@@ -1,0 +1,69 @@
+// Command faultcampaign reproduces the paper's fault-injection study:
+//
+//	faultcampaign                     Table 1 (1000 random bit flips)
+//	faultcampaign -runs 5000          a larger sample
+//	faultcampaign -exhaustive         flip every bit of send_chunk once
+//	faultcampaign -ftgm               repeat with FTGM and replay the hangs
+//	                                  against a live cluster (§5.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runs := flag.Int("runs", 1000, "number of injections (paper: 1000)")
+	seed := flag.Uint64("seed", 2003, "campaign RNG seed")
+	exhaustive := flag.Bool("exhaustive", false, "flip every bit of the section once")
+	ftgm := flag.Bool("ftgm", false, "replay hang outcomes against a live FTGM cluster (§5.2)")
+	sample := flag.Int("sample", 20, "hangs to replay with -ftgm (0 = all)")
+	sections := flag.Bool("sections", false, "compare send_chunk vs recv_chunk injection")
+	flag.Parse()
+
+	if *sections {
+		send, recv, err := experiments.Table1Sections(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSections(send, recv))
+		return nil
+	}
+
+	var res experiments.Table1Result
+	var err error
+	if *exhaustive {
+		res, err = experiments.Table1Exhaustive(*seed)
+	} else {
+		res, err = experiments.Table1(*runs, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+
+	if *ftgm {
+		fmt.Println("Replaying hang outcomes against a live FTGM pair (watchdog detection +")
+		fmt.Println("transparent recovery + exactly-once delivery audit)...")
+		fmt.Println()
+		eff, err := experiments.Effectiveness(*runs, *sample, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eff.Render())
+		fmt.Println("Note: the paper reports 5/286 hangs its prototype could not recover and")
+		fmt.Println("left them under investigation; this deterministic reproduction recovers")
+		fmt.Println("every replayed hang, so that residue does not appear here.")
+	}
+	return nil
+}

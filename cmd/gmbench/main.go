@@ -1,0 +1,76 @@
+// Command gmbench regenerates the paper's performance evaluation on the
+// simulated Myrinet/GM stack:
+//
+//	gmbench -mode bw      Figure 7  (bidirectional bandwidth vs length)
+//	gmbench -mode lat     Figure 8  (half round-trip latency vs length)
+//	gmbench -mode table2  Table 2   (metric summary, GM vs FTGM)
+//	gmbench -mode all     everything
+//
+// The -quick flag shrinks the sweeps for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mode := flag.String("mode", "all", "bw | lat | table2 | all")
+	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
+	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
+	quick := flag.Bool("quick", false, "small sweeps for a fast run")
+	flag.Parse()
+
+	if *quick {
+		*msgs = 40
+		*rounds = 20
+	}
+
+	doBW := *mode == "bw" || *mode == "all"
+	doLat := *mode == "lat" || *mode == "all"
+	doT2 := *mode == "table2" || *mode == "all"
+	if !doBW && !doLat && !doT2 {
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	if doBW {
+		sizes := experiments.Figure7Sizes()
+		if *quick {
+			sizes = []int{64, 1024, 4096, 4097, 16384, 65536, 262144}
+		}
+		res, err := experiments.Figure7(sizes, *msgs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if doLat {
+		sizes := experiments.Figure8Sizes()
+		if *quick {
+			sizes = []int{1, 16, 100, 1024, 16384}
+		}
+		res, err := experiments.Figure8(sizes, *rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if doT2 {
+		res, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}

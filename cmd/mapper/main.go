@@ -1,0 +1,103 @@
+// Command mapper demonstrates the GM mapping protocol: it builds a
+// configurable topology, runs the scout-based mapper, prints the assigned
+// identities and route tables, optionally cuts a link and remaps (the
+// self-reconfiguration the paper describes in §2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/gm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mapper:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	nodes := flag.Int("nodes", 6, "number of nodes (max 12 on two switches)")
+	twoSwitches := flag.Bool("two-switches", true, "spread nodes across two trunked switches")
+	failNode := flag.Int("fail", -1, "node index whose cable to cut before remapping")
+	flag.Parse()
+	if *nodes < 2 || *nodes > 12 {
+		return fmt.Errorf("-nodes must be 2..12")
+	}
+
+	cl := gm.NewCluster(gm.DefaultConfig(gm.ModeFTGM))
+	sw1 := cl.AddSwitch("sw1")
+	var sw2 *gm.Switch
+	if *twoSwitches {
+		sw2 = cl.AddSwitch("sw2")
+		if err := cl.ConnectSwitches(sw1, sw2, 7, 7); err != nil {
+			return err
+		}
+	}
+	var all []*gm.Node
+	for i := 0; i < *nodes; i++ {
+		n := cl.AddNode(fmt.Sprintf("node%d", i))
+		sw, port := sw1, i
+		if *twoSwitches && i >= *nodes/2 {
+			sw, port = sw2, i-*nodes/2
+		}
+		if err := cl.Connect(n, sw, port); err != nil {
+			return err
+		}
+		all = append(all, n)
+	}
+
+	res, err := cl.Boot()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapping completed in %v: %d interfaces, %d scouts\n",
+		res.Elapsed, len(res.IDs), res.ScoutsSent)
+	printRoutes(res.Routes)
+
+	if *failNode >= 0 && *failNode < len(all) {
+		fmt.Printf("\ncutting the cable of node %d and remapping...\n", *failNode)
+		all[*failNode].SetLinkUp(false)
+		res2, err := cl.Remap()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("remap completed in %v: %d interfaces remain\n", res2.Elapsed, len(res2.IDs))
+		printRoutes(res2.Routes)
+	}
+	return nil
+}
+
+func printRoutes(routes map[gm.NodeID]map[gm.NodeID][]byte) {
+	var ids []int
+	for id := range routes {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, src := range ids {
+		tbl := routes[gm.NodeID(src)]
+		var dsts []int
+		for d := range tbl {
+			dsts = append(dsts, int(d))
+		}
+		sort.Ints(dsts)
+		fmt.Printf("  node %d routes:", src)
+		for _, d := range dsts {
+			fmt.Printf("  ->%d %v", d, deltas(tbl[gm.NodeID(d)]))
+		}
+		fmt.Println()
+	}
+}
+
+// deltas renders route bytes as signed hop deltas.
+func deltas(route []byte) []int8 {
+	out := make([]int8, len(route))
+	for i, b := range route {
+		out[i] = int8(b)
+	}
+	return out
+}

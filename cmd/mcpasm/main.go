@@ -1,0 +1,110 @@
+// Command mcpasm inspects the fault-injection firmware: it assembles the
+// campaign's MCP fragment, prints a disassembly listing, and can replay a
+// single bit-flip trial showing exactly which instruction was corrupted
+// into what and how the execution ended.
+//
+//	mcpasm                     disassemble the whole program
+//	mcpasm -section recv_chunk disassemble one section
+//	mcpasm -trial 1234         replay the flip at bit 1234 of the section
+//	mcpasm -hunt hang          find and explain the first flip with that outcome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcpasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	section := flag.String("section", "send_chunk", "send_chunk | recv_chunk")
+	trial := flag.Int("trial", -1, "replay the flip at this bit offset of the section")
+	hunt := flag.String("hunt", "", "find the first flip whose outcome contains this string")
+	seed := flag.Uint64("seed", 2003, "campaign seed")
+	flag.Parse()
+
+	sec := fault.SectionSend
+	if *section == "recv_chunk" {
+		sec = fault.SectionRecv
+	} else if *section != "send_chunk" {
+		return fmt.Errorf("unknown -section %q", *section)
+	}
+
+	prog, err := fault.Program()
+	if err != nil {
+		return err
+	}
+	campaign, err := fault.NewSectionCampaign(sec, *seed)
+	if err != nil {
+		return err
+	}
+	lo, hi, err := prog.SymbolRange(symbolsOf(sec))
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *trial >= 0:
+		return explainTrial(campaign, prog, lo, *trial)
+	case *hunt != "":
+		for bit := 0; bit < campaign.SectionBits(); bit++ {
+			tr := campaign.RunTrial(bit)
+			if strings.Contains(strings.ToLower(tr.Outcome.String()), strings.ToLower(*hunt)) {
+				return explainTrial(campaign, prog, lo, bit)
+			}
+		}
+		return fmt.Errorf("no flip in %s produces an outcome matching %q", sec, *hunt)
+	default:
+		img := make([]byte, int(prog.Origin)+len(prog.Image))
+		copy(img[prog.Origin:], prog.Image)
+		fmt.Printf("; MCP fragment, %d bytes; section %s = [%#x, %#x) (%d bits)\n\n",
+			len(prog.Image), sec, lo, hi, campaign.SectionBits())
+		fmt.Print(isa.Listing(img, prog.Origin, prog.Origin+uint32(len(prog.Image)), prog.Symbols))
+	}
+	return nil
+}
+
+func symbolsOf(sec fault.Section) (string, string) {
+	if sec == fault.SectionRecv {
+		return "recv_chunk", "recv_chunk_end"
+	}
+	return "send_chunk", "send_chunk_end"
+}
+
+func explainTrial(c *fault.Campaign, prog *isa.Program, lo uint32, bit int) error {
+	if bit >= c.SectionBits() {
+		return fmt.Errorf("bit %d out of section range (%d bits)", bit, c.SectionBits())
+	}
+	addr := lo + uint32(bit/8)
+	wordAddr := addr &^ 3
+	// Original and corrupted instruction words.
+	img := make([]byte, int(prog.Origin)+len(prog.Image))
+	copy(img[prog.Origin:], prog.Image)
+	orig := wordAt(img, wordAddr)
+	img[addr] ^= 1 << (bit % 8)
+	bad := wordAt(img, wordAddr)
+
+	tr := c.RunTrial(bit)
+	fmt.Printf("flip bit %d: byte %#x, bit %d of the instruction word at %#x\n\n",
+		bit, addr, (int(addr-wordAddr)*8)+bit%8, wordAddr)
+	fmt.Printf("  before: %08x  %s\n", uint32(orig), isa.Disassemble(orig))
+	fmt.Printf("  after:  %08x  %s\n\n", uint32(bad), isa.Disassemble(bad))
+	fmt.Printf("  execution stopped: %v\n", tr.Stop)
+	fmt.Printf("  classified as:     %v\n", tr.Outcome)
+	return nil
+}
+
+func wordAt(mem []byte, addr uint32) isa.Word {
+	return isa.Word(uint32(mem[addr]) | uint32(mem[addr+1])<<8 |
+		uint32(mem[addr+2])<<16 | uint32(mem[addr+3])<<24)
+}

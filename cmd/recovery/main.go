@@ -1,0 +1,112 @@
+// Command recovery reproduces the recovery-time evaluation:
+//
+//	recovery                  Table 3 (recovery-time components, mean of -runs)
+//	recovery -timeline        also print the Figure 9 phase timeline
+//	recovery -scenarios       run the Figure 4/5 motivating failure scenarios
+//	recovery -ablate          run the watchdog-interval and commit-point ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/gm"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "recovery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runs := flag.Int("runs", 5, "hang/recovery cycles to average")
+	timeline := flag.Bool("timeline", true, "print the Figure 9 timeline")
+	scenarios := flag.Bool("scenarios", false, "run the Figure 4/5 scenarios")
+	ablate := flag.Bool("ablate", false, "run the design ablations")
+	ports := flag.Bool("ports", false, "measure recovery time vs open ports")
+	availability := flag.Bool("availability", false, "run the mission-availability comparison")
+	checkpoint := flag.Bool("checkpoint", false, "run the periodic-checkpointing baseline comparison")
+	flag.Parse()
+
+	res, err := experiments.Table3(*runs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if *timeline {
+		fmt.Println(res.RenderTimeline())
+	}
+
+	if *scenarios {
+		for _, f := range []func(gm.Mode) (experiments.ScenarioResult, error){
+			experiments.Figure4Scenario, experiments.Figure5Scenario,
+		} {
+			for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+				sc, err := f(mode)
+				if err != nil {
+					return err
+				}
+				fmt.Println(sc.Render())
+			}
+		}
+		f6, err := experiments.Figure6Scenario()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f6.Render())
+	}
+
+	if *ports {
+		points, err := experiments.RecoveryVsPorts([]int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRecoveryVsPorts(points))
+	}
+
+	if *availability {
+		results, err := experiments.AvailabilityComparison(experiments.DefaultAvailabilityConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAvailability(results))
+	}
+
+	if *checkpoint {
+		points, err := experiments.CheckpointBaseline(
+			[]gm.Duration{100 * gm.Millisecond, 50 * gm.Millisecond, 10 * gm.Millisecond},
+			experiments.DefaultCheckpointConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCheckpoint(points))
+	}
+
+	if *ablate {
+		ack, err := experiments.AblationDelayedACK(4096, 60)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ack.Render())
+		seq, err := experiments.AblationSeqStreams()
+		if err != nil {
+			return err
+		}
+		fmt.Println(seq.Render())
+		sc, err := experiments.AblationShadowCopy()
+		if err != nil {
+			return err
+		}
+		fmt.Println(sc.Render())
+		wd, err := experiments.AblationWatchdog([]int{400, 600, 800, 1000, 1500, 2000, 4000})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderWatchdog(wd))
+	}
+	return nil
+}

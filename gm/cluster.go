@@ -1,0 +1,234 @@
+package gm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fabric"
+	"repro/internal/mapper"
+	"repro/internal/sim"
+)
+
+// Time and Duration re-export the virtual time types.
+type (
+	// Time is a virtual timestamp.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+)
+
+// Common durations re-exported for application code.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Errors reported by cluster assembly and the port API.
+var (
+	ErrNotBooted    = errors.New("gm: cluster not booted")
+	ErrNoSendTokens = errors.New("gm: no send tokens available")
+	ErrPortClosed   = errors.New("gm: port closed")
+	ErrBadArgument  = errors.New("gm: bad argument")
+)
+
+// Cluster is a simulated Myrinet network: nodes (host + interface card),
+// switches and cables, all driven by one deterministic discrete-event
+// engine in virtual time.
+type Cluster struct {
+	cfg      Config
+	eng      *sim.Engine
+	nodes    []*Node
+	switches []*Switch
+	links    []*fabric.Link
+	booted   bool
+	mapRes   mapper.Result
+}
+
+// Switch wraps a crossbar switch in the cluster.
+type Switch struct {
+	sw *fabric.Switch
+}
+
+// Name returns the switch's name.
+func (s *Switch) Name() string { return s.sw.Name() }
+
+// NumPorts returns the switch's port count.
+func (s *Switch) NumPorts() int { return s.sw.NumPorts() }
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	return &Cluster{cfg: cfg, eng: sim.NewEngine(cfg.Seed)}
+}
+
+// Engine exposes the simulation engine (experiment harnesses schedule
+// against it; applications normally use At/After/Run).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// EnableTrace streams component-level trace lines (switch drops, processor
+// hangs, card resets, ...) to w, each stamped with the virtual time. Pass
+// nil to disable.
+func (c *Cluster) EnableTrace(w io.Writer) {
+	if w == nil {
+		c.eng.SetTrace(nil)
+		return
+	}
+	c.eng.SetTrace(func(at sim.Time, component, format string, args ...any) {
+		fmt.Fprintf(w, "[%12s] %-16s %s\n", at, component, fmt.Sprintf(format, args...))
+	})
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() Time { return c.eng.Now() }
+
+// At schedules fn at virtual time t.
+func (c *Cluster) At(t Time, fn func()) { c.eng.At(t, fn) }
+
+// After schedules fn after d.
+func (c *Cluster) After(d Duration, fn func()) { c.eng.After(d, fn) }
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d Duration) { c.eng.RunFor(d) }
+
+// RunUntil advances the simulation to absolute time t.
+func (c *Cluster) RunUntil(t Time) { c.eng.RunUntil(t) }
+
+// AddNode creates a node (host + LANai interface card). Its cable must
+// then be connected with Connect before Boot.
+func (c *Cluster) AddNode(name string) *Node {
+	n := newNode(c, name, len(c.nodes))
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// Nodes returns the cluster's nodes in creation order.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// AddSwitch creates a crossbar switch.
+func (c *Cluster) AddSwitch(name string) *Switch {
+	s := &Switch{sw: fabric.NewSwitch(c.eng, name, c.cfg.Switch)}
+	c.switches = append(c.switches, s)
+	return s
+}
+
+// Connect cables a node's interface into a switch port.
+func (c *Cluster) Connect(n *Node, s *Switch, port int) error {
+	if n == nil || s == nil {
+		return fmt.Errorf("%w: nil node or switch", ErrBadArgument)
+	}
+	l := fabric.NewLink(c.eng, c.cfg.Link, n.chip, s.sw)
+	if err := s.sw.AttachLink(port, l); err != nil {
+		return err
+	}
+	n.chip.Attach(l.EndFor(n.chip))
+	n.link = l
+	c.links = append(c.links, l)
+	return nil
+}
+
+// ConnectSwitches cables two switches together (a trunk).
+func (c *Cluster) ConnectSwitches(a, b *Switch, portA, portB int) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("%w: nil switch", ErrBadArgument)
+	}
+	l := fabric.NewLink(c.eng, c.cfg.Link, a.sw, b.sw)
+	if err := a.sw.AttachLink(portA, l); err != nil {
+		return err
+	}
+	if err := b.sw.AttachLink(portB, l); err != nil {
+		return err
+	}
+	c.links = append(c.links, l)
+	return nil
+}
+
+// Boot brings the cluster up: it loads the MCP into every interface, runs
+// the GM mapper from the first node, distributes identities and route
+// tables, and stores the authoritative copies in each driver for the FTD's
+// use. Boot advances virtual time (MCP loads take their real ~500 ms each,
+// in parallel; the mapping protocol takes a few ms more).
+func (c *Cluster) Boot() (mapper.Result, error) {
+	if len(c.nodes) == 0 {
+		return mapper.Result{}, fmt.Errorf("%w: no nodes", ErrBadArgument)
+	}
+	loaded := 0
+	for _, n := range c.nodes {
+		n.driver.LoadMCP(func() { loaded++ })
+	}
+	deadline := c.eng.Now() + c.cfg.Driver.MCPLoadTime + sim.Millisecond
+	c.eng.RunUntil(deadline)
+	if loaded != len(c.nodes) {
+		return mapper.Result{}, fmt.Errorf("gm: %d/%d MCP loads finished", loaded, len(c.nodes))
+	}
+
+	var res mapper.Result
+	var mapErr error
+	finished := false
+	mapper.New(c.nodes[0].m, c.cfg.Mapper).Run(func(r mapper.Result, err error) {
+		res, mapErr, finished = r, err, true
+	})
+	// The mapping protocol is timeout-driven; give it ample virtual time.
+	for i := 0; i < 1000 && !finished; i++ {
+		c.eng.RunFor(10 * sim.Millisecond)
+	}
+	if !finished {
+		return mapper.Result{}, errors.New("gm: mapper did not converge")
+	}
+	if mapErr != nil {
+		return mapper.Result{}, mapErr
+	}
+	if len(res.IDs) != len(c.nodes) {
+		return res, fmt.Errorf("gm: mapper found %d interfaces, cluster has %d",
+			len(res.IDs), len(c.nodes))
+	}
+
+	// Authoritative host copies for recovery (§4.3: the FTD restores "the
+	// mapping and routing table information").
+	for _, n := range c.nodes {
+		id := res.IDs[n.m.UID()]
+		n.driver.SetRoutes(id, res.Routes[id])
+	}
+	c.mapRes = res
+	c.booted = true
+	// Let the config packets and any stragglers settle.
+	c.eng.RunFor(2 * c.cfg.Mapper.RoundTimeout)
+	return res, nil
+}
+
+// Booted reports whether Boot completed.
+func (c *Cluster) Booted() bool { return c.booted }
+
+// MapResult returns the mapping produced by Boot.
+func (c *Cluster) MapResult() mapper.Result { return c.mapRes }
+
+// Remap re-runs the mapper (e.g. after a topology change) and refreshes
+// every reachable driver's authoritative copy.
+func (c *Cluster) Remap() (mapper.Result, error) {
+	if !c.booted {
+		return mapper.Result{}, ErrNotBooted
+	}
+	var res mapper.Result
+	var mapErr error
+	finished := false
+	mapper.New(c.nodes[0].m, c.cfg.Mapper).Run(func(r mapper.Result, err error) {
+		res, mapErr, finished = r, err, true
+	})
+	for i := 0; i < 1000 && !finished; i++ {
+		c.eng.RunFor(10 * sim.Millisecond)
+	}
+	if !finished {
+		return mapper.Result{}, errors.New("gm: mapper did not converge")
+	}
+	if mapErr != nil {
+		return mapper.Result{}, mapErr
+	}
+	for _, n := range c.nodes {
+		if id, ok := res.IDs[n.m.UID()]; ok {
+			n.driver.SetRoutes(id, res.Routes[id])
+		}
+	}
+	c.mapRes = res
+	return res, nil
+}

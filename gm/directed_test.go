@@ -1,0 +1,200 @@
+package gm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDirectedSendBasic(t *testing.T) {
+	for _, mode := range []Mode{ModeGM, ModeFTGM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cl, a, b := twoNodes(t, mode)
+			pa, _ := a.OpenPort(1)
+			pb, _ := b.OpenPort(1)
+			region, err := pb.RegisterMemory(4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			received := 0
+			pb.SetReceiveHandler(func(ev RecvEvent) { received++ })
+
+			data := []byte("deposited without a receive token")
+			acked := false
+			if err := pa.DirectedSend(b.ID(), 1, region.ID, 128, data, func(s SendStatus) {
+				acked = s == SendOK
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cl.Run(5 * Millisecond)
+			if !acked {
+				t.Fatal("directed send not acknowledged")
+			}
+			if !bytes.Equal(region.Buf[128:128+len(data)], data) {
+				t.Fatalf("deposit missing: %q", region.Buf[128:128+len(data)])
+			}
+			// GM semantics: the receiving process is never notified.
+			if received != 0 {
+				t.Errorf("receiver got %d events, want 0", received)
+			}
+			if b.MCPStats().DirectedDeposits != 1 {
+				t.Errorf("DirectedDeposits = %d", b.MCPStats().DirectedDeposits)
+			}
+		})
+	}
+}
+
+func TestDirectedSendMultiFragment(t *testing.T) {
+	cl, a, b := twoNodes(t, ModeFTGM)
+	pa, _ := a.OpenPort(1)
+	pb, _ := b.OpenPort(1)
+	region, err := pb.RegisterMemory(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*4096+77)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	done := false
+	if err := pa.DirectedSend(b.ID(), 1, region.ID, 4096, data, func(SendStatus) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(10 * Millisecond)
+	if !done {
+		t.Fatal("multi-fragment directed send not acknowledged")
+	}
+	if !bytes.Equal(region.Buf[4096:4096+len(data)], data) {
+		t.Fatal("multi-fragment deposit corrupted")
+	}
+}
+
+func TestDirectedSendOutOfBoundsDropped(t *testing.T) {
+	cl, a, b := twoNodes(t, ModeFTGM)
+	pa, _ := a.OpenPort(1)
+	pb, _ := b.OpenPort(1)
+	region, err := pb.RegisterMemory(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset + length exceeds the region: a protocol violation that must
+	// never scribble on other memory.
+	if err := pa.DirectedSend(b.ID(), 1, region.ID, 200, make([]byte, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown region id.
+	if err := pa.DirectedSend(b.ID(), 1, 9999, 0, []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(5 * Millisecond)
+	if b.MCPStats().DirectedDeposits != 0 {
+		t.Error("out-of-bounds deposit landed")
+	}
+	if b.MCPStats().BadHeaderDrops < 2 {
+		t.Errorf("BadHeaderDrops = %d, want >= 2", b.MCPStats().BadHeaderDrops)
+	}
+	for _, v := range region.Buf {
+		if v != 0 {
+			t.Fatal("region modified by rejected deposit")
+		}
+	}
+}
+
+func TestDirectedSendSurvivesRecovery(t *testing.T) {
+	// Directed sends ride the same shadow/sequence machinery: a hang on
+	// the sender mid-stream must not lose or duplicate deposits.
+	cfg := DefaultConfig(ModeFTGM)
+	cfg.Host.SendTokens = 256
+	cl, a, b := twoNodesCfg(t, cfg)
+	pa, _ := a.OpenPort(1)
+	pb, _ := b.OpenPort(1)
+	region, err := pb.RegisterMemory(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each deposit writes an 8-byte slot; slot i gets value i+1.
+	const slots = 50
+	acked := 0
+	var post func(i int)
+	post = func(i int) {
+		if i >= slots {
+			return
+		}
+		buf := make([]byte, 8)
+		buf[0] = byte(i + 1)
+		if err := pa.DirectedSend(b.ID(), 1, region.ID, uint32(8*i), buf, func(SendStatus) {
+			acked++
+		}); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+		cl.After(200*Microsecond, func() { post(i + 1) })
+	}
+	post(0)
+	cl.After(3*Millisecond, func() { a.InjectHang() })
+	cl.Run(15 * Second)
+	if acked != slots {
+		t.Fatalf("acknowledged %d/%d deposits", acked, slots)
+	}
+	for i := 0; i < slots; i++ {
+		if region.Buf[8*i] != byte(i+1) {
+			t.Fatalf("slot %d = %d after recovery", i, region.Buf[8*i])
+		}
+	}
+}
+
+func TestDirectedSendMixedWithRegular(t *testing.T) {
+	// Directed and ordinary sends interleave on the same stream and stay
+	// ordered (they share sequence numbers).
+	cl, a, b := twoNodes(t, ModeFTGM)
+	pa, _ := a.OpenPort(1)
+	pb, _ := b.OpenPort(1)
+	region, err := pb.RegisterMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regular [][]byte
+	pb.SetReceiveHandler(func(ev RecvEvent) {
+		regular = append(regular, append([]byte(nil), ev.Data...))
+		_ = pb.ProvideReceiveBuffer(64, PriorityLow)
+	})
+	for i := 0; i < 8; i++ {
+		if err := pb.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			if err := pa.DirectedSend(b.ID(), 1, region.ID, uint32(16*i), []byte{byte(i + 1)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := pa.Send(b.ID(), 1, PriorityLow, []byte{byte(i + 1)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl.Run(10 * Millisecond)
+	if len(regular) != 3 {
+		t.Fatalf("regular deliveries = %d, want 3", len(regular))
+	}
+	if b.MCPStats().DirectedDeposits != 3 {
+		t.Fatalf("deposits = %d, want 3", b.MCPStats().DirectedDeposits)
+	}
+	for i := 0; i < 6; i += 2 {
+		if region.Buf[16*i] != byte(i+1) {
+			t.Errorf("deposit slot %d wrong", i)
+		}
+	}
+}
+
+func TestRegisterMemoryValidation(t *testing.T) {
+	cl, a, _ := twoNodes(t, ModeFTGM)
+	p, _ := a.OpenPort(1)
+	if _, err := p.RegisterMemory(0); err == nil {
+		t.Error("zero-size region registered")
+	}
+	a.ClosePort(1)
+	if _, err := p.RegisterMemory(64); err != ErrPortClosed {
+		t.Errorf("err = %v, want ErrPortClosed", err)
+	}
+	_ = cl
+}

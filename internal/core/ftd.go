@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lanai"
+	"repro/internal/sim"
+)
+
+// FTDConfig sets the daemon's recovery-phase durations. The defaults are
+// calibrated so the FTD span lands near the paper's measured ~765,000 µs,
+// of which ~500,000 µs is the MCP reload (§5.2, Table 3).
+type FTDConfig struct {
+	// VerifyInterval is how long the FTD waits after writing the magic
+	// word before checking whether a live MCP cleared it — it must cover a
+	// worst-case L_timer gap (§4.3).
+	VerifyInterval sim.Duration
+	// DisableInterrupts, UnmapIO, CardReset, ClearSRAM are the pre-reload
+	// steps of §4.3.
+	DisableInterrupts sim.Duration
+	UnmapIO           sim.Duration
+	CardReset         sim.Duration
+	ClearSRAM         sim.Duration
+	// RestorePageTable covers notifying the LANai of the host's page hash
+	// table; RestoreRoutes covers the mapping/route upload (§4.3).
+	RestorePageTable sim.Duration
+	RestoreRoutes    sim.Duration
+	// PostEventPerPort is the cost of posting FAULT_DETECTED into one open
+	// port's receive queue.
+	PostEventPerPort sim.Duration
+}
+
+// DefaultFTDConfig matches the Table 3 breakdown.
+func DefaultFTDConfig() FTDConfig {
+	return FTDConfig{
+		VerifyInterval:    2 * sim.Millisecond,
+		DisableInterrupts: 100 * sim.Microsecond,
+		UnmapIO:           3 * sim.Millisecond,
+		CardReset:         50 * sim.Millisecond,
+		ClearSRAM:         12 * sim.Millisecond,
+		RestorePageTable:  150 * sim.Millisecond,
+		RestoreRoutes:     45 * sim.Millisecond,
+		PostEventPerPort:  1500 * sim.Microsecond,
+	}
+}
+
+// Phase names a step of the recovery, for the Figure 9 timeline.
+type Phase int
+
+// Recovery phases in order.
+const (
+	PhaseFaultInjected Phase = iota + 1
+	PhaseInterrupt
+	PhaseFTDWake
+	PhaseVerified
+	PhaseCardReset
+	PhaseMCPReloaded
+	PhaseTablesRestored
+	PhaseEventsPosted
+	PhaseProcessesDone
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFaultInjected:
+		return "fault-injected"
+	case PhaseInterrupt:
+		return "watchdog-interrupt"
+	case PhaseFTDWake:
+		return "ftd-woken"
+	case PhaseVerified:
+		return "hang-verified"
+	case PhaseCardReset:
+		return "card-reset"
+	case PhaseMCPReloaded:
+		return "mcp-reloaded"
+	case PhaseTablesRestored:
+		return "tables-restored"
+	case PhaseEventsPosted:
+		return "fault-events-posted"
+	case PhaseProcessesDone:
+		return "processes-recovered"
+	default:
+		return fmt.Sprintf("phase?%d", int(p))
+	}
+}
+
+// Timeline records when each recovery phase completed (Figure 9).
+type Timeline struct {
+	marks map[Phase]sim.Time
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{marks: make(map[Phase]sim.Time)} }
+
+// Mark records a phase completion (first mark wins).
+func (t *Timeline) Mark(p Phase, at sim.Time) {
+	if _, ok := t.marks[p]; !ok {
+		t.marks[p] = at
+	}
+}
+
+// At returns a phase's timestamp.
+func (t *Timeline) At(p Phase) (sim.Time, bool) {
+	v, ok := t.marks[p]
+	return v, ok
+}
+
+// DetectionTime is fault injection -> FTD wakeup: "measured as the time
+// from the fault injection to the time when the FTD is woken up by the
+// driver" (§5.2).
+func (t *Timeline) DetectionTime() sim.Duration {
+	return t.span(PhaseFaultInjected, PhaseFTDWake)
+}
+
+// FTDTime is FTD wakeup -> FAULT_DETECTED events posted (Table 3 "FTD
+// Recovery Time").
+func (t *Timeline) FTDTime() sim.Duration {
+	return t.span(PhaseFTDWake, PhaseEventsPosted)
+}
+
+// ReloadTime is the MCP reload component of the FTD time.
+func (t *Timeline) ReloadTime() sim.Duration {
+	return t.span(PhaseCardReset, PhaseMCPReloaded)
+}
+
+// PerProcessTime is events posted -> all processes recovered (Table 3
+// "Per-process Recovery Time").
+func (t *Timeline) PerProcessTime() sim.Duration {
+	return t.span(PhaseEventsPosted, PhaseProcessesDone)
+}
+
+// TotalTime is fault injection -> all processes recovered.
+func (t *Timeline) TotalTime() sim.Duration {
+	return t.span(PhaseFaultInjected, PhaseProcessesDone)
+}
+
+func (t *Timeline) span(a, b Phase) sim.Duration {
+	ta, oka := t.marks[a]
+	tb, okb := t.marks[b]
+	if !oka || !okb || tb < ta {
+		return 0
+	}
+	return tb - ta
+}
+
+// Phases returns the recorded phases in order with timestamps.
+func (t *Timeline) Phases() []struct {
+	Phase Phase
+	At    sim.Time
+} {
+	var out []struct {
+		Phase Phase
+		At    sim.Time
+	}
+	for p := PhaseFaultInjected; p <= PhaseProcessesDone; p++ {
+		if at, ok := t.marks[p]; ok {
+			out = append(out, struct {
+				Phase Phase
+				At    sim.Time
+			}{p, at})
+		}
+	}
+	return out
+}
+
+// FTDStats counts daemon activity.
+type FTDStats struct {
+	Wakeups        uint64
+	FalseAlarms    uint64 // magic word cleared: the LANai was alive after all
+	Recoveries     uint64
+	PortsRecovered uint64
+}
+
+// FTD is the fault tolerance daemon of §4.3: a host process that sleeps
+// until the driver's FATAL interrupt wakes it, verifies the hang via the
+// magic-word handshake, and rebuilds the interface: reset, SRAM clear, MCP
+// reload, page-hash and route restoration, and a FAULT_DETECTED event in
+// every open port's receive queue. It then "rewinds and stands guard for
+// the recovery of the next fault".
+type FTD struct {
+	eng    *sim.Engine
+	driver *Driver
+	cfg    FTDConfig
+
+	timeline *Timeline
+	stats    FTDStats
+
+	// OnRecovered runs after FAULT_DETECTED events are posted (tests and
+	// experiment harnesses hook it).
+	OnRecovered func(*Timeline)
+}
+
+// NewFTD builds and arms the daemon on a driver.
+func NewFTD(driver *Driver, cfg FTDConfig) *FTD {
+	f := &FTD{
+		eng:      driver.eng,
+		driver:   driver,
+		cfg:      cfg,
+		timeline: NewTimeline(),
+	}
+	driver.SetOnFatal(f.wake)
+	return f
+}
+
+// Timeline returns the current recovery timeline.
+func (f *FTD) Timeline() *Timeline { return f.timeline }
+
+// Stats returns daemon counters.
+func (f *FTD) Stats() FTDStats { return f.stats }
+
+// MarkFault records the fault-injection instant (experiment harnesses call
+// this when they inject).
+func (f *FTD) MarkFault() {
+	f.timeline = NewTimeline()
+	f.timeline.Mark(PhaseFaultInjected, f.eng.Now())
+}
+
+// wake is the daemon's entry: the driver saw the FATAL interrupt.
+func (f *FTD) wake() {
+	f.stats.Wakeups++
+	f.timeline.Mark(PhaseFTDWake, f.eng.Now())
+	f.verify()
+}
+
+// verify writes the magic word into LANai SRAM; a functioning MCP clears it
+// within an L_timer interval. "If the location is not cleared, the FTD
+// assumes that the interface has hung" (§4.3).
+func (f *FTD) verify() {
+	chip := f.driver.Chip()
+	chip.WriteWord(lanai.MagicAddr, lanai.MagicWord)
+	f.eng.After(f.cfg.VerifyInterval, func() {
+		if chip.ReadWord(lanai.MagicAddr) != lanai.MagicWord {
+			// The LANai is alive; false alarm. Re-arm and go back to sleep.
+			f.stats.FalseAlarms++
+			f.driver.ClearFatal()
+			return
+		}
+		f.timeline.Mark(PhaseVerified, f.eng.Now())
+		f.recover()
+	})
+}
+
+// recover executes the §4.3 sequence with the calibrated phase costs.
+func (f *FTD) recover() {
+	d := f.driver
+	chip := d.Chip()
+	f.eng.After(f.cfg.DisableInterrupts, func() {
+		// Interrupts disabled, IO unmapped.
+		f.eng.After(f.cfg.UnmapIO, func() {
+			// Card reset: all components return to a non-faulty state
+			// (the fault is assumed transient, §4.3).
+			f.eng.After(f.cfg.CardReset, func() {
+				chip.Reset()
+				f.eng.After(f.cfg.ClearSRAM, func() {
+					chip.ClearSRAM()
+					f.timeline.Mark(PhaseCardReset, f.eng.Now())
+					// Reload the MCP (the dominant cost, ~500 ms).
+					d.LoadMCP(func() {
+						f.timeline.Mark(PhaseMCPReloaded, f.eng.Now())
+						f.restoreTables()
+					})
+				})
+			})
+		})
+	})
+}
+
+// restoreTables re-registers the page hash table and re-uploads the
+// mapping/route information, then posts FAULT_DETECTED everywhere.
+func (f *FTD) restoreTables() {
+	d := f.driver
+	f.eng.After(f.cfg.RestorePageTable, func() {
+		d.MCP().RegisterPageTable(d.PageTable().Len())
+		f.eng.After(f.cfg.RestoreRoutes, func() {
+			if d.Routes() != nil {
+				d.MCP().UploadRoutes(d.Routes())
+				d.MCP().SetNodeID(d.NodeID())
+			}
+			f.timeline.Mark(PhaseTablesRestored, f.eng.Now())
+			f.postFaultEvents()
+		})
+	})
+}
+
+// postFaultEvents re-opens each port skeleton and posts FAULT_DETECTED into
+// its receive queue; the per-process handler does the rest (§4.4).
+func (f *FTD) postFaultEvents() {
+	d := f.driver
+	ports := d.OpenPorts()
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(ports) {
+			f.timeline.Mark(PhaseEventsPosted, f.eng.Now())
+			f.stats.Recoveries++
+			d.ClearFatal()
+			if f.OnRecovered != nil {
+				f.OnRecovered(f.timeline)
+			}
+			return
+		}
+		port := ports[i]
+		f.eng.After(f.cfg.PostEventPerPort, func() {
+			// The port is reopened in a bare state; the process's
+			// FAULT_DETECTED handler restores tokens and sequence state.
+			d.MCP().ReopenPort(port, d.PortSink(port))
+			d.MCP().PostFaultDetected(port)
+			f.stats.PortsRecovered++
+			next(i + 1)
+		})
+	}
+	next(0)
+}

@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: low-overhead
+// fault tolerance for network-interface processor hangs (§3-§4). It
+// provides
+//
+//   - the continuous host-side state backup ("checkpointing") of §4.1: the
+//     shadow copies of the send and receive tokens in the LANai's
+//     possession, the host-generated per-(port, remote-node) sequence-number
+//     streams, and the receiver's per-(connection, port) ACK table;
+//   - the device driver that loads the MCP and turns the watchdog's FATAL
+//     interrupt into a fault-tolerance-daemon wakeup (§4.2-4.3);
+//   - the fault tolerance daemon (FTD) itself, with the full recovery
+//     sequence of §4.3 (magic-word verification, card reset, SRAM clear,
+//     MCP reload, page-hash/route restoration, FAULT_DETECTED posting);
+//   - a recovery timeline that reproduces the measurement points of
+//     Figure 9 and Table 3;
+//   - the naive restart baseline (driver reload without state restoration)
+//     whose failures motivate the design (Figures 4 and 5).
+package core
+
+import (
+	"repro/internal/gmproto"
+)
+
+// ShadowStore is one port's backup copy of the state the LANai holds on its
+// behalf: "the user keeps a copy of the required LANai state that is not
+// implicitly stored in the host memory" (§4.1). The gm library updates it
+// on every send/receive call and consumes it in the FAULT_DETECTED handler.
+type ShadowStore struct {
+	port gmproto.PortID
+
+	sendTokens map[uint64]gmproto.SendToken
+	sendOrder  []uint64
+
+	recvTokens map[uint64]gmproto.RecvToken
+	recvOrder  []uint64
+
+	// txSeq is the next host-generated sequence number per remote node and
+	// priority level: "independent streams of sequence numbers for each
+	// remote node on a per-port basis" (§4.1), with GM's two priority
+	// levels carrying separate spaces.
+	txSeq map[seqKey]uint32
+}
+
+type seqKey struct {
+	node gmproto.NodeID
+	prio gmproto.Priority
+}
+
+// NewShadowStore returns an empty store for a port.
+func NewShadowStore(port gmproto.PortID) *ShadowStore {
+	return &ShadowStore{
+		port:       port,
+		sendTokens: make(map[uint64]gmproto.SendToken),
+		recvTokens: make(map[uint64]gmproto.RecvToken),
+		txSeq:      make(map[seqKey]uint32),
+	}
+}
+
+// Port returns the owning port.
+func (s *ShadowStore) Port() gmproto.PortID { return s.port }
+
+// NextSeq mints the next sequence number of the (dest, priority) stream.
+func (s *ShadowStore) NextSeq(dest gmproto.NodeID, prio gmproto.Priority) uint32 {
+	k := seqKey{node: dest, prio: prio}
+	s.txSeq[k]++
+	return s.txSeq[k]
+}
+
+// AddSendToken records a token handed to the LANai; "when a call to any of
+// the gm_send() functions is made, a copy of the send token is added to the
+// queue" (§4.1). Re-adding an id that was removed places it at the back of
+// the queue (it is a fresh token that happens to reuse the id).
+func (s *ShadowStore) AddSendToken(tok gmproto.SendToken) {
+	if _, dup := s.sendTokens[tok.ID]; !dup {
+		s.sendOrder = scrubID(s.sendOrder, tok.ID)
+		s.sendOrder = append(s.sendOrder, tok.ID)
+	}
+	s.sendTokens[tok.ID] = tok
+}
+
+// scrubID drops stale occurrences of id left behind by a removal.
+func scrubID(order []uint64, id uint64) []uint64 {
+	out := order[:0]
+	for _, v := range order {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RemoveSendToken drops the copy "just before the callback function for
+// that send token is invoked" (§4.1).
+func (s *ShadowStore) RemoveSendToken(id uint64) {
+	delete(s.sendTokens, id)
+}
+
+// AddRecvToken records a provided receive buffer.
+func (s *ShadowStore) AddRecvToken(tok gmproto.RecvToken) {
+	if _, dup := s.recvTokens[tok.ID]; !dup {
+		s.recvOrder = scrubID(s.recvOrder, tok.ID)
+		s.recvOrder = append(s.recvOrder, tok.ID)
+	}
+	s.recvTokens[tok.ID] = tok
+}
+
+// RemoveRecvToken drops the copy when the message lands ("the receiver, at
+// this time, also deletes the corresponding copy of the receive token",
+// §4.1).
+func (s *ShadowStore) RemoveRecvToken(id uint64) {
+	delete(s.recvTokens, id)
+}
+
+// OutstandingSends returns the unacknowledged send tokens in posting order —
+// "the send tokens contain the sequence numbers of the messages that have
+// not been acknowledged" (§4.4). Order matters: restored messages must
+// re-enter the window in sequence order.
+func (s *ShadowStore) OutstandingSends() []gmproto.SendToken {
+	out := make([]gmproto.SendToken, 0, len(s.sendTokens))
+	live := s.sendOrder[:0]
+	for _, id := range s.sendOrder {
+		tok, ok := s.sendTokens[id]
+		if !ok {
+			continue
+		}
+		live = append(live, id)
+		out = append(out, tok)
+	}
+	s.sendOrder = live
+	return out
+}
+
+// OutstandingRecvs returns the receive tokens the LANai still owes buffers
+// for, in posting order.
+func (s *ShadowStore) OutstandingRecvs() []gmproto.RecvToken {
+	out := make([]gmproto.RecvToken, 0, len(s.recvTokens))
+	live := s.recvOrder[:0]
+	for _, id := range s.recvOrder {
+		tok, ok := s.recvTokens[id]
+		if !ok {
+			continue
+		}
+		live = append(live, id)
+		out = append(out, tok)
+	}
+	s.recvOrder = live
+	return out
+}
+
+// Counts reports outstanding send and receive token counts.
+func (s *ShadowStore) Counts() (sends, recvs int) {
+	return len(s.sendTokens), len(s.recvTokens)
+}
+
+// Per-entry sizes of the backup structures, as a C implementation inside
+// the GM library would declare them (§5 prices the whole process-side
+// overhead at ~20 KB of virtual memory).
+const (
+	sendTokenBytes = 96 // buffer pointer/len, destination, priority, seq
+	recvTokenBytes = 32 // buffer len, priority, id
+	seqStreamBytes = 8  // per-destination next sequence number
+)
+
+// FootprintBytes reports the process virtual memory held by this port's
+// backup copies: the shadow send/receive token queues and the sequence
+// generators. Hash-table slack is included at 2x load factor.
+func (s *ShadowStore) FootprintBytes(maxSendTokens, maxRecvTokens, maxNodes int) int {
+	sends := maxSendTokens * sendTokenBytes * 2
+	recvs := maxRecvTokens * recvTokenBytes * 2
+	seqs := maxNodes * seqStreamBytes
+	return sends + recvs + seqs
+}
+
+// RxAckTable is the node-level copy of the last sequence number received on
+// each incoming stream — "an ACK number for every (connection, port) pair"
+// (§4.1). The gm library updates it from the sequence number the LANai
+// includes in every receive event.
+type RxAckTable struct {
+	last map[gmproto.StreamID]uint32
+}
+
+// NewRxAckTable returns an empty table.
+func NewRxAckTable() *RxAckTable {
+	return &RxAckTable{last: make(map[gmproto.StreamID]uint32)}
+}
+
+// Update records a received (and host-committed) sequence number.
+func (t *RxAckTable) Update(id gmproto.StreamID, seq uint32) {
+	if seq > t.last[id] {
+		t.last[id] = seq
+	}
+}
+
+// Last returns the recorded sequence number for a stream.
+func (t *RxAckTable) Last(id gmproto.StreamID) uint32 { return t.last[id] }
+
+// Snapshot copies the table for upload to a recovering LANai (§4.4).
+func (t *RxAckTable) Snapshot() map[gmproto.StreamID]uint32 {
+	out := make(map[gmproto.StreamID]uint32, len(t.last))
+	for k, v := range t.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Len reports how many streams are tracked.
+func (t *RxAckTable) Len() int { return len(t.last) }

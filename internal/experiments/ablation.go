@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/trace"
+)
+
+// AblationDelayedACK measures what FTGM's delayed commit point costs: the
+// send-token turnaround time (send to callback — when the process gets its
+// token back) and the sustained bandwidth, with the ACK sent at the commit
+// point (FTGM) versus at message arrival (the stock GM point, which
+// re-opens the Figure 5 window). The paper argues the delay is invisible in
+// bandwidth because packets of a message stay pipelined (§5.1).
+type AblationDelayedACKResult struct {
+	TurnaroundDelayedUs   float64
+	TurnaroundImmediateUs float64
+	BandwidthDelayed      float64
+	BandwidthImmediate    float64
+}
+
+// AblationDelayedACK runs the comparison with msgs messages of size bytes.
+func AblationDelayedACK(size, msgs int) (AblationDelayedACKResult, error) {
+	var res AblationDelayedACKResult
+	measure := func(immediate bool) (turnUs, bw float64, err error) {
+		p, err := NewPair(PairOptions{
+			Mode: gm.ModeFTGM,
+			Configure: func(cfg *gm.Config) {
+				cfg.MCP.ImmediateAck = immediate
+			},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Token turnaround on an idle network.
+		var turn trace.LatencySeries
+		for i := 0; i < 20; i++ {
+			if err := p.PB.ProvideReceiveBuffer(uint32(size)+16, gm.PriorityLow); err != nil {
+				return 0, 0, err
+			}
+			start := p.Cluster.Now()
+			done := false
+			if err := p.PA.Send(p.B.ID(), 2, gm.PriorityLow, make([]byte, size), func(gm.SendStatus) {
+				turn.Add(p.Cluster.Now() - start)
+				done = true
+			}); err != nil {
+				return 0, 0, err
+			}
+			limit := p.Cluster.Now() + gm.Second
+			for !done && p.Cluster.Now() < limit {
+				p.Cluster.Run(100 * gm.Microsecond)
+			}
+			if !done {
+				return 0, 0, fmt.Errorf("experiments: turnaround send stalled")
+			}
+		}
+		// Bandwidth under the bidirectional streaming workload.
+		bw = BidirectionalRate(p, size, msgs)
+		return turn.Mean().Micros(), bw, nil
+	}
+	var err error
+	if res.TurnaroundDelayedUs, res.BandwidthDelayed, err = measure(false); err != nil {
+		return res, err
+	}
+	if res.TurnaroundImmediateUs, res.BandwidthImmediate, err = measure(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r AblationDelayedACKResult) Render() string {
+	t := trace.Table{
+		Title:   "Ablation: delayed (FTGM) vs immediate (GM-style) ACK commit point",
+		Headers: []string{"Metric", "delayed ACK", "immediate ACK"},
+	}
+	t.AddRow("Send-token turnaround",
+		fmt.Sprintf("%.2fus", r.TurnaroundDelayedUs),
+		fmt.Sprintf("%.2fus", r.TurnaroundImmediateUs))
+	t.AddRow("Bidirectional bandwidth",
+		fmt.Sprintf("%.1fMB/s", r.BandwidthDelayed),
+		fmt.Sprintf("%.1fMB/s", r.BandwidthImmediate))
+	return t.Render()
+}
+
+// AblationSeqStreamsResult compares FTGM's per-(port,dest) host sequence
+// streams against the rejected per-connection design that needs process
+// synchronization (§4.1).
+type AblationSeqStreamsResult struct {
+	PerPortSendUs       float64
+	PerConnectionSendUs float64
+	PerPortLatencyUs    float64
+	PerConnLatencyUs    float64
+}
+
+// AblationSeqStreams measures both designs.
+func AblationSeqStreams() (AblationSeqStreamsResult, error) {
+	var res AblationSeqStreamsResult
+	measure := func(perConn bool) (sendUs, latUs float64, err error) {
+		p, err := NewPair(PairOptions{
+			Mode: gm.ModeFTGM,
+			Configure: func(cfg *gm.Config) {
+				cfg.Host.PerConnectionSeqSync = perConn
+			},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		lat := HalfRoundTrip(p, 16, 40)
+		return p.A.CPU().PerSend().Micros(), lat.Micros(), nil
+	}
+	var err error
+	if res.PerPortSendUs, res.PerPortLatencyUs, err = measure(false); err != nil {
+		return res, err
+	}
+	if res.PerConnectionSendUs, res.PerConnLatencyUs, err = measure(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r AblationSeqStreamsResult) Render() string {
+	t := trace.Table{
+		Title:   "Ablation: per-(port,dest) sequence streams vs per-connection + synchronization",
+		Headers: []string{"Metric", "per-port streams (FTGM)", "per-connection + sync"},
+	}
+	t.AddRow("Host util. (send)",
+		fmt.Sprintf("%.2fus", r.PerPortSendUs),
+		fmt.Sprintf("%.2fus", r.PerConnectionSendUs))
+	t.AddRow("Half round trip",
+		fmt.Sprintf("%.2fus", r.PerPortLatencyUs),
+		fmt.Sprintf("%.2fus", r.PerConnLatencyUs))
+	return t.Render()
+}
+
+// AblationShadowCopyResult isolates the cost of the §4.1 host-side backup
+// itself: FTGM with the token-housekeeping charges zeroed (everything else
+// identical) against full FTGM.
+type AblationShadowCopyResult struct {
+	WithCopySendUs    float64
+	WithCopyRecvUs    float64
+	WithoutCopySendUs float64
+	WithoutCopyRecvUs float64
+	WithCopyLatUs     float64
+	WithoutCopyLatUs  float64
+}
+
+// AblationShadowCopy measures both configurations.
+func AblationShadowCopy() (AblationShadowCopyResult, error) {
+	var res AblationShadowCopyResult
+	measure := func(free bool) (sendUs, recvUs, latUs float64, err error) {
+		p, err := NewPair(PairOptions{
+			Mode: gm.ModeFTGM,
+			Configure: func(cfg *gm.Config) {
+				if free {
+					cfg.Host.FTGMSendExtra = 0
+					cfg.Host.FTGMRecvExtra = 0
+				}
+			},
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		lat := HalfRoundTrip(p, 16, 40)
+		return p.A.CPU().PerSend().Micros(), p.A.CPU().PerRecv().Micros(), lat.Micros(), nil
+	}
+	var err error
+	if res.WithCopySendUs, res.WithCopyRecvUs, res.WithCopyLatUs, err = measure(false); err != nil {
+		return res, err
+	}
+	if res.WithoutCopySendUs, res.WithoutCopyRecvUs, res.WithoutCopyLatUs, err = measure(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r AblationShadowCopyResult) Render() string {
+	t := trace.Table{
+		Title:   "Ablation: shadow-token housekeeping cost (the 0.25/0.4 us of §5.1)",
+		Headers: []string{"Metric", "with backup", "backup free (hypothetical)"},
+	}
+	t.AddRow("Host util. (send)",
+		fmt.Sprintf("%.2fus", r.WithCopySendUs), fmt.Sprintf("%.2fus", r.WithoutCopySendUs))
+	t.AddRow("Host util. (recv)",
+		fmt.Sprintf("%.2fus", r.WithCopyRecvUs), fmt.Sprintf("%.2fus", r.WithoutCopyRecvUs))
+	t.AddRow("Half round trip",
+		fmt.Sprintf("%.2fus", r.WithCopyLatUs), fmt.Sprintf("%.2fus", r.WithoutCopyLatUs))
+	return t.Render()
+}
+
+// AblationWatchdogPoint is one watchdog-interval sample.
+type AblationWatchdogPoint struct {
+	IntervalUs  float64
+	DetectionUs float64
+	FalseAlarms uint64
+}
+
+// AblationWatchdog sweeps the IT1 interval: below the worst-case L_timer
+// gap the watchdog fires spuriously (caught by the FTD's magic-word check,
+// but each false alarm costs a verification round trip); above it,
+// detection latency grows linearly. The paper chose "slightly greater than
+// 800 µs" (§4.2).
+func AblationWatchdog(intervalsUs []int) ([]AblationWatchdogPoint, error) {
+	var out []AblationWatchdogPoint
+	for _, us := range intervalsUs {
+		p, err := NewPair(PairOptions{
+			Mode: gm.ModeFTGM,
+			Configure: func(cfg *gm.Config) {
+				cfg.MCP.WatchdogTicks = uint32(us * 2) // 0.5 µs ticks
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Light traffic while watching for false alarms.
+		p.PB.SetReceiveHandler(func(ev gm.RecvEvent) {
+			_ = p.PB.ProvideReceiveBuffer(64, gm.PriorityLow)
+		})
+		for i := 0; i < 16; i++ {
+			if err := p.PB.ProvideReceiveBuffer(64, gm.PriorityLow); err != nil {
+				return nil, err
+			}
+		}
+		stop := false
+		var pump func()
+		pump = func() {
+			if stop {
+				return
+			}
+			_ = p.PA.Send(p.B.ID(), 2, gm.PriorityLow, []byte("w"), nil)
+			p.Cluster.After(300*gm.Microsecond, pump)
+		}
+		pump()
+		p.Cluster.Run(200 * gm.Millisecond)
+		falseAlarms := p.A.FTD().Stats().FalseAlarms
+		stop = true
+
+		// Now a real hang: measure detection.
+		recovered := false
+		p.A.Recovered = func() { recovered = true }
+		p.A.InjectHang()
+		limit := p.Cluster.Now() + 20*gm.Second
+		for !recovered && p.Cluster.Now() < limit {
+			p.Cluster.Run(100 * gm.Millisecond)
+		}
+		det := 0.0
+		if recovered {
+			det = p.A.FTD().Timeline().DetectionTime().Micros()
+		}
+		out = append(out, AblationWatchdogPoint{
+			IntervalUs:  float64(us),
+			DetectionUs: det,
+			FalseAlarms: falseAlarms,
+		})
+	}
+	return out, nil
+}
+
+// RenderWatchdog prints the sweep.
+func RenderWatchdog(points []AblationWatchdogPoint) string {
+	t := trace.Table{
+		Title:   "Ablation: watchdog (IT1) interval vs detection latency and false alarms",
+		Headers: []string{"IT1 interval (us)", "detection (us)", "false alarms / 200ms"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f", p.IntervalUs),
+			fmt.Sprintf("%.0f", p.DetectionUs),
+			fmt.Sprintf("%d", p.FalseAlarms))
+	}
+	return t.Render()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationDelayedACK(t *testing.T) {
+	res, err := AblationDelayedACK(4096, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delayed commit point must cost something in token turnaround
+	// (the ACK waits for the receive-side DMA)...
+	if res.TurnaroundDelayedUs <= res.TurnaroundImmediateUs {
+		t.Errorf("turnaround delayed %.2f <= immediate %.2f",
+			res.TurnaroundDelayedUs, res.TurnaroundImmediateUs)
+	}
+	// ...but be invisible in bandwidth (within 3%), the paper's argument.
+	if res.BandwidthDelayed < res.BandwidthImmediate*0.97 {
+		t.Errorf("bandwidth delayed %.1f vs immediate %.1f: delay visible in throughput",
+			res.BandwidthDelayed, res.BandwidthImmediate)
+	}
+	if !strings.Contains(res.Render(), "delayed ACK") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationSeqStreams(t *testing.T) {
+	res, err := AblationSeqStreams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rejected per-connection design pays synchronization on every
+	// send.
+	extra := res.PerConnectionSendUs - res.PerPortSendUs
+	if extra < 0.3 || extra > 0.45 {
+		t.Errorf("sync overhead = %.2f us, want ~0.35", extra)
+	}
+	if res.PerConnLatencyUs <= res.PerPortLatencyUs {
+		t.Error("sync overhead invisible in latency")
+	}
+	if !strings.Contains(res.Render(), "per-port streams") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationShadowCopy(t *testing.T) {
+	res, err := AblationShadowCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSend := res.WithCopySendUs - res.WithoutCopySendUs
+	dRecv := res.WithCopyRecvUs - res.WithoutCopyRecvUs
+	if dSend < 0.2 || dSend > 0.3 {
+		t.Errorf("send-side copy cost = %.2f us, want ~0.25", dSend)
+	}
+	if dRecv < 0.35 || dRecv > 0.45 {
+		t.Errorf("recv-side copy cost = %.2f us, want ~0.4", dRecv)
+	}
+	if res.WithCopyLatUs <= res.WithoutCopyLatUs {
+		t.Error("copy cost invisible in latency")
+	}
+	if !strings.Contains(res.Render(), "shadow-token") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationWatchdog(t *testing.T) {
+	points, err := AblationWatchdog([]int{400, 1000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// 400 µs is below the L_timer period: spurious expiries (caught by the
+	// magic-word check, but they happen).
+	if points[0].FalseAlarms == 0 {
+		t.Error("sub-period watchdog produced no false alarms")
+	}
+	// The paper's choice (1000 µs) is quiet.
+	if points[1].FalseAlarms != 0 {
+		t.Errorf("1000us watchdog false alarms = %d", points[1].FalseAlarms)
+	}
+	// Detection latency grows with the interval.
+	if points[2].DetectionUs <= points[1].DetectionUs {
+		t.Errorf("detection not growing: %v", points)
+	}
+	if points[1].DetectionUs > 1100 {
+		t.Errorf("1000us watchdog detection = %.0f us", points[1].DetectionUs)
+	}
+	if !strings.Contains(RenderWatchdog(points), "IT1") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/fabric"
+	"repro/internal/trace"
+)
+
+// LatencyStage is one component of the one-way small-message latency.
+type LatencyStage struct {
+	Name   string
+	GMUs   float64
+	FTGMUs float64
+}
+
+// AnatomyResult decomposes the short-message latency into its stages — the
+// paper's discussion of "the sum of a host component and a network
+// interface component" (§5.1) made explicit — and validates the sum against
+// the simulator's measured one-way latency.
+type AnatomyResult struct {
+	MsgBytes     int
+	Stages       []LatencyStage
+	SumGMUs      float64
+	SumFTGMUs    float64
+	MeasuredGM   float64
+	MeasuredFTGM float64
+}
+
+// LatencyAnatomy builds the stage budget for a message of the given size
+// from the calibrated configuration, then measures the same one-way latency
+// in the simulator. The two must agree; the table shows where every
+// microsecond goes and which stages FTGM lengthens.
+func LatencyAnatomy(msgBytes int) (AnatomyResult, error) {
+	res := AnatomyResult{MsgBytes: msgBytes}
+	cfg := gm.DefaultConfig(gm.ModeGM)
+	us := func(d gm.Duration) float64 { return d.Micros() }
+	pci := func(n int) float64 {
+		return us(cfg.PCI.TxnOverhead) + float64(n)/cfg.PCI.BytesPerSec*1e6
+	}
+	wireBytes := 22 + msgBytes + fabric.HeaderBytes + 1 // header + payload + route
+	wire := float64(wireBytes)/cfg.Link.BytesPerSec*1e6 +
+		2*us(cfg.Link.PropDelay) + us(cfg.Switch.CutThrough)
+
+	add := func(name string, gmUs, ftgmUs float64) {
+		res.Stages = append(res.Stages, LatencyStage{Name: name, GMUs: gmUs, FTGMUs: ftgmUs})
+		res.SumGMUs += gmUs
+		res.SumFTGMUs += ftgmUs
+	}
+	add("host: post send (PIO descriptor)",
+		us(cfg.Host.SendOverhead), us(cfg.Host.SendOverhead+cfg.Host.FTGMSendExtra))
+	add("LANai: token decode + DMA setup",
+		us(cfg.MCP.SendProcA), us(cfg.MCP.SendProcA+cfg.MCP.FTGMSendExtra))
+	add("PCI: payload DMA host->SRAM", pci(msgBytes), pci(msgBytes))
+	add("LANai: send_chunk (header+inject)", us(cfg.MCP.SendProcB), us(cfg.MCP.SendProcB))
+	add("wire: serialize + switch + propagate", wire, wire)
+	add("LANai: recv check + buffer match", us(cfg.MCP.RecvProcA), us(cfg.MCP.RecvProcA))
+	add("PCI: payload DMA SRAM->user buffer", pci(msgBytes), pci(msgBytes))
+	add("LANai: event build",
+		us(cfg.MCP.RecvProcB), us(cfg.MCP.RecvProcB+cfg.MCP.FTGMRecvExtra))
+	add("PCI: event record DMA", pci(cfg.MCP.EventBytes), pci(cfg.MCP.EventBytes))
+	add("host: receive + dispatch",
+		us(cfg.Host.RecvOverhead), us(cfg.Host.RecvOverhead+cfg.Host.FTGMRecvExtra))
+
+	// Measure the same one-way path in the simulator. The budget describes
+	// the *uncontended* path; individual probes can collide with an
+	// L_timer execution (up to +2 µs), so probe at several phases and take
+	// the minimum — the standard way to expose a pipeline's anatomy.
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		p, err := NewPair(PairOptions{Mode: mode})
+		if err != nil {
+			return res, err
+		}
+		cl := p.Cluster
+		var deliveredAt gm.Time
+		p.PB.SetReceiveHandler(func(ev gm.RecvEvent) { deliveredAt = cl.Now() })
+		best := 0.0
+		for probe := 0; probe < 10; probe++ {
+			if err := p.PB.ProvideReceiveBuffer(uint32(msgBytes)+16, gm.PriorityLow); err != nil {
+				return res, err
+			}
+			deliveredAt = 0
+			start := cl.Now()
+			if err := p.PA.Send(p.B.ID(), 2, gm.PriorityLow, make([]byte, msgBytes), nil); err != nil {
+				return res, err
+			}
+			cl.Run(1 * gm.Millisecond)
+			if deliveredAt == 0 {
+				return res, fmt.Errorf("experiments: anatomy probe %d not delivered", probe)
+			}
+			oneWay := (deliveredAt - start).Micros()
+			if best == 0 || oneWay < best {
+				best = oneWay
+			}
+			cl.Run(137 * gm.Microsecond) // vary the L_timer phase
+		}
+		if mode == gm.ModeGM {
+			res.MeasuredGM = best
+		} else {
+			res.MeasuredFTGM = best
+		}
+	}
+	return res, nil
+}
+
+// Render prints the stage budget next to the measured totals.
+func (r AnatomyResult) Render() string {
+	t := trace.Table{
+		Title: fmt.Sprintf("Latency anatomy: one-way delivery of a %d-byte message (us)",
+			r.MsgBytes),
+		Headers: []string{"Stage", "GM", "FTGM", "delta"},
+	}
+	for _, s := range r.Stages {
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.2f", s.GMUs),
+			fmt.Sprintf("%.2f", s.FTGMUs),
+			fmt.Sprintf("%+.2f", s.FTGMUs-s.GMUs))
+	}
+	t.AddRow("budget total",
+		fmt.Sprintf("%.2f", r.SumGMUs),
+		fmt.Sprintf("%.2f", r.SumFTGMUs),
+		fmt.Sprintf("%+.2f", r.SumFTGMUs-r.SumGMUs))
+	t.AddRow("simulator measured",
+		fmt.Sprintf("%.2f", r.MeasuredGM),
+		fmt.Sprintf("%.2f", r.MeasuredFTGM),
+		fmt.Sprintf("%+.2f", r.MeasuredFTGM-r.MeasuredGM))
+	return t.Render()
+}

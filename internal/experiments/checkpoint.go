@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/trace"
+)
+
+// CheckpointPoint reports one checkpoint-interval configuration of the
+// classical whole-state checkpointing scheme the paper rejects: "a crude
+// way ... is by periodically checkpointing both the application and the
+// network interface state and retracting back to the last checkpoint ...
+// Such a scheme however involves a great deal of overhead and in many ways
+// can work against the very basis of using a high-speed network" (§4).
+type CheckpointPoint struct {
+	IntervalMs     float64
+	MeanLatencyUs  float64
+	P99LatencyUs   float64
+	MaxLatencyUs   float64
+	BandwidthMBs   float64
+	PauseOverhead  float64 // fraction of time the NIC is quiesced
+	RollbackLossMs float64 // mean work lost on a fault (interval/2)
+}
+
+// CheckpointConfig shapes the rejected scheme's costs.
+type CheckpointConfig struct {
+	// NICPause is how long the interface is quiesced per checkpoint
+	// (drain, snapshot registers and queues).
+	NICPause gm.Duration
+	// StateBytes is the interface + application state copied across PCI
+	// per checkpoint (the LANai alone carries up to 1 MB of SRAM).
+	StateBytes int
+}
+
+// DefaultCheckpointConfig quiesces for 2 ms and copies 1 MB per round.
+func DefaultCheckpointConfig() CheckpointConfig {
+	return CheckpointConfig{NICPause: 2 * gm.Millisecond, StateBytes: 1 << 20}
+}
+
+// CheckpointBaseline measures ping latency and streaming bandwidth under
+// periodic whole-state checkpointing at each interval, for comparison with
+// FTGM's continuous 1.5 µs-per-message backup. The FTGM reference point is
+// returned as a pseudo-interval of 0.
+func CheckpointBaseline(intervals []gm.Duration, ckpt CheckpointConfig) ([]CheckpointPoint, error) {
+	var out []CheckpointPoint
+
+	// FTGM reference: no pauses, the continuous backup's cost is already
+	// inside the per-message constants.
+	ref, err := checkpointRun(0, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ref)
+
+	for _, iv := range intervals {
+		pt, err := checkpointRun(iv, ckpt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func checkpointRun(interval gm.Duration, ckpt CheckpointConfig) (CheckpointPoint, error) {
+	var pt CheckpointPoint
+	pt.IntervalMs = interval.Millis()
+
+	p, err := NewPair(PairOptions{Mode: gm.ModeFTGM, SendTokens: 512})
+	if err != nil {
+		return pt, err
+	}
+	cl := p.Cluster
+
+	if interval > 0 {
+		var pause func()
+		pause = func() {
+			p.A.InjectCheckpointPause(ckpt.NICPause, ckpt.StateBytes)
+			p.B.InjectCheckpointPause(ckpt.NICPause, ckpt.StateBytes)
+			cl.After(interval, pause)
+		}
+		cl.After(interval, pause)
+		// Quiesce time plus the PCI occupancy of the state copy.
+		pciTime := gm.Duration(float64(ckpt.StateBytes) / 195e6 * float64(gm.Second))
+		pt.PauseOverhead = float64(ckpt.NICPause+pciTime) / float64(interval)
+		pt.RollbackLossMs = interval.Millis() / 2
+	}
+
+	// Latency probes: a ping every 500 µs for 200 rounds, timed
+	// individually so checkpoint stalls show up in the tail.
+	var lat trace.LatencySeries
+	probes := 0
+	var sendProbe func()
+	p.PB.SetReceiveHandler(func(ev gm.RecvEvent) {
+		_ = p.PB.ProvideReceiveBuffer(64, gm.PriorityLow)
+	})
+	for i := 0; i < 16; i++ {
+		if err := p.PB.ProvideReceiveBuffer(64, gm.PriorityLow); err != nil {
+			return pt, err
+		}
+	}
+	sendProbe = func() {
+		if probes >= 200 {
+			return
+		}
+		probes++
+		start := cl.Now()
+		if err := p.PA.Send(p.B.ID(), 2, gm.PriorityLow, make([]byte, 16), func(gm.SendStatus) {
+			lat.Add(cl.Now() - start)
+			cl.After(500*gm.Microsecond, sendProbe)
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sendProbe()
+	limit := cl.Now() + 30*gm.Second
+	for lat.N() < 200 && cl.Now() < limit {
+		cl.Run(10 * gm.Millisecond)
+	}
+	if lat.N() < 200 {
+		return pt, fmt.Errorf("experiments: checkpoint probes stalled at %d/200", lat.N())
+	}
+	pt.MeanLatencyUs = lat.Mean().Micros()
+	pt.P99LatencyUs = lat.Percentile(99).Micros()
+	pt.MaxLatencyUs = lat.Max().Micros()
+
+	// Streaming bandwidth under the same pauses.
+	pt.BandwidthMBs = BidirectionalRate(p, 65536, 60)
+	return pt, nil
+}
+
+// RenderCheckpoint prints the comparison, FTGM row first.
+func RenderCheckpoint(points []CheckpointPoint) string {
+	t := trace.Table{
+		Title:   "Rejected baseline: periodic whole-state checkpointing vs FTGM's continuous backup",
+		Headers: []string{"scheme", "send lat mean", "p99", "max", "stream MB/s", "NIC pause", "rollback loss"},
+	}
+	for i, p := range points {
+		name := fmt.Sprintf("checkpoint every %.0fms", p.IntervalMs)
+		if i == 0 {
+			name = "FTGM (continuous)"
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1fus", p.MeanLatencyUs),
+			fmt.Sprintf("%.1fus", p.P99LatencyUs),
+			fmt.Sprintf("%.0fus", p.MaxLatencyUs),
+			fmt.Sprintf("%.1f", p.BandwidthMBs),
+			fmt.Sprintf("%.2f%%", 100*p.PauseOverhead),
+			fmt.Sprintf("%.0fms", p.RollbackLossMs))
+	}
+	return t.Render()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/core"
+	"repro/internal/gmproto"
+	"repro/internal/trace"
+)
+
+// MemoryResult reproduces the §5 resource claims: "the extra static memory
+// usage in the LANai was around 100KB while a process used up extra virtual
+// memory in the order of 20KB".
+type MemoryResult struct {
+	ClusterNodes   int
+	GMLanaiBytes   int
+	FTGMLanaiBytes int
+	ExtraLanai     int
+	ProcessBytes   int
+	PaperLanai     int // ~100 KB
+	PaperProcess   int // ~20 KB
+}
+
+// MemoryFootprint sizes both variants' structural state for a cluster of
+// the given node count (the paper's era ran Myrinet clusters of 64-256
+// interfaces; firmware allocates its tables at the configured maximum).
+func MemoryFootprint(clusterNodes int) (MemoryResult, error) {
+	res := MemoryResult{
+		ClusterNodes: clusterNodes,
+		PaperLanai:   100 << 10,
+		PaperProcess: 20 << 10,
+	}
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		p, err := NewPair(PairOptions{Mode: mode})
+		if err != nil {
+			return res, err
+		}
+		fp := p.A.Driver().MCP().Footprint(clusterNodes)
+		if mode == gm.ModeGM {
+			res.GMLanaiBytes = fp.Total()
+		} else {
+			res.FTGMLanaiBytes = fp.Total()
+		}
+	}
+	res.ExtraLanai = res.FTGMLanaiBytes - res.GMLanaiBytes
+
+	// Process side: one port's backup at GM's default token limits (64
+	// send tokens, a 128-deep receive queue).
+	shadow := core.NewShadowStore(2)
+	res.ProcessBytes = shadow.FootprintBytes(
+		gm.DefaultHostConfig().SendTokens, 128, clusterNodes)
+	_ = gmproto.MaxPorts
+	return res, nil
+}
+
+// Render prints the comparison against the paper's figures.
+func (r MemoryResult) Render() string {
+	t := trace.Table{
+		Title: fmt.Sprintf("Memory footprint of the fault tolerance state (%d-node cluster)",
+			r.ClusterNodes),
+		Headers: []string{"Quantity", "this repro", "paper"},
+	}
+	kb := func(b int) string { return fmt.Sprintf("%.0fKB", float64(b)/1024) }
+	t.AddRow("LANai SRAM, stock GM tables", kb(r.GMLanaiBytes), "-")
+	t.AddRow("LANai SRAM, FTGM tables", kb(r.FTGMLanaiBytes), "-")
+	t.AddRow("  extra for FTGM", kb(r.ExtraLanai), "~100KB")
+	t.AddRow("process virtual memory per port", kb(r.ProcessBytes), "~20KB")
+	return t.Render()
+}

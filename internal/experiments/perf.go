@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/trace"
+)
+
+// Figure7Sizes is the message-length sweep for the bandwidth figure:
+// powers of two from 1 B to 512 KB, plus points just past each of the
+// first fragmentation boundaries, which produce the jagged mid-curve the
+// paper explains by GM's 4 KB fragmentation (§5.1).
+func Figure7Sizes() []int {
+	var sizes []int
+	for s := 1; s <= 512*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	for _, straddle := range []int{4097, 8193, 12289, 20481} {
+		sizes = append(sizes, straddle)
+	}
+	return sortedInts(sizes)
+}
+
+// Figure8Sizes is the latency sweep: 1 B to 64 KB.
+func Figure8Sizes() []int {
+	var sizes []int
+	for s := 1; s <= 64*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	sizes = append(sizes, 100) // the paper quotes the 1..100 B average
+	return sortedInts(sizes)
+}
+
+func sortedInts(v []int) []int {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+	return v
+}
+
+// Figure7Result holds the bandwidth curves.
+type Figure7Result struct {
+	GM   trace.Series
+	FTGM trace.Series
+}
+
+// Figure7 measures the sustained bidirectional data rate per direction for
+// both protocol variants across the size sweep. msgs is the message count
+// per point (the paper used 1000; smaller counts keep the same steady-state
+// shape).
+func Figure7(sizes []int, msgs int) (Figure7Result, error) {
+	res := Figure7Result{GM: trace.Series{Name: "GM"}, FTGM: trace.Series{Name: "FTGM"}}
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		for _, size := range sizes {
+			p, err := NewPair(PairOptions{Mode: mode})
+			if err != nil {
+				return res, err
+			}
+			rate := BidirectionalRate(p, size, msgs)
+			if mode == gm.ModeGM {
+				res.GM.Add(float64(size), rate)
+			} else {
+				res.FTGM.Add(float64(size), rate)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the two curves as aligned columns.
+func (r Figure7Result) Render() string {
+	return trace.RenderSeries(
+		"Figure 7. Bandwidth comparison of the original GM and FTGM (MB/s per direction, bidirectional workload)",
+		"bytes", r.GM, r.FTGM)
+}
+
+// Figure8Result holds the latency curves (half round trip, µs).
+type Figure8Result struct {
+	GM   trace.Series
+	FTGM trace.Series
+}
+
+// Figure8 measures the ping-pong half round-trip latency across the sweep.
+func Figure8(sizes []int, rounds int) (Figure8Result, error) {
+	res := Figure8Result{GM: trace.Series{Name: "GM"}, FTGM: trace.Series{Name: "FTGM"}}
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		for _, size := range sizes {
+			p, err := NewPair(PairOptions{Mode: mode})
+			if err != nil {
+				return res, err
+			}
+			half := HalfRoundTrip(p, size, rounds)
+			if mode == gm.ModeGM {
+				res.GM.Add(float64(size), half.Micros())
+			} else {
+				res.FTGM.Add(float64(size), half.Micros())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the two curves.
+func (r Figure8Result) Render() string {
+	return trace.RenderSeries(
+		"Figure 8. Latency comparison of the original GM and FTGM (half round trip, us)",
+		"bytes", r.GM, r.FTGM)
+}
+
+// Table2Row is one protocol variant's summary metrics.
+type Table2Row struct {
+	BandwidthMBs  float64 // large-message bidirectional rate per direction
+	LatencyUs     float64 // short-message (<=100 B) half round trip
+	HostSendUs    float64 // host CPU per send
+	HostRecvUs    float64 // host CPU per receive
+	LanaiPerMsgUs float64 // LANai occupancy per message (both interfaces)
+}
+
+// Table2Result compares GM and FTGM.
+type Table2Result struct {
+	GM   Table2Row
+	FTGM Table2Row
+}
+
+// Table2 reproduces the paper's metric summary.
+func Table2() (Table2Result, error) {
+	var res Table2Result
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		row, err := table2Row(mode)
+		if err != nil {
+			return res, err
+		}
+		if mode == gm.ModeGM {
+			res.GM = row
+		} else {
+			res.FTGM = row
+		}
+	}
+	return res, nil
+}
+
+func table2Row(mode gm.Mode) (Table2Row, error) {
+	var row Table2Row
+
+	// Bandwidth: large messages, bidirectional.
+	p, err := NewPair(PairOptions{Mode: mode})
+	if err != nil {
+		return row, err
+	}
+	row.BandwidthMBs = BidirectionalRate(p, 256*1024, 60)
+
+	// Latency: mean over the paper's 1..100 B band.
+	var lat float64
+	latSizes := []int{1, 16, 32, 64, 100}
+	for _, size := range latSizes {
+		p, err := NewPair(PairOptions{Mode: mode})
+		if err != nil {
+			return row, err
+		}
+		lat += HalfRoundTrip(p, size, 30).Micros()
+	}
+	row.LatencyUs = lat / float64(len(latSizes))
+
+	// Host and LANai utilization from a unidirectional small-message run.
+	p, err = NewPair(PairOptions{Mode: mode})
+	if err != nil {
+		return row, err
+	}
+	const n = 200
+	ltBefore := p.A.MCPStats().LTimerRuns + p.B.MCPStats().LTimerRuns
+	busyBefore := p.A.ChipStats().ExecBusy + p.B.ChipStats().ExecBusy
+	st := stream(p.Cluster, p.PA, p.PB, p.B.ID(), 16, n, 32)
+	limit := p.Cluster.Now() + 30*gm.Second
+	for st.delivered < n && p.Cluster.Now() < limit {
+		p.Cluster.Run(5 * gm.Millisecond)
+	}
+	if st.delivered < n {
+		return row, fmt.Errorf("experiments: utilization stream stalled at %d/%d", st.delivered, n)
+	}
+	row.HostSendUs = p.A.CPU().PerSend().Micros()
+	row.HostRecvUs = p.B.CPU().PerRecv().Micros()
+	busy := p.A.ChipStats().ExecBusy + p.B.ChipStats().ExecBusy - busyBefore
+	lt := p.A.MCPStats().LTimerRuns + p.B.MCPStats().LTimerRuns - ltBefore
+	cfg := gm.DefaultConfig(mode)
+	busy -= gm.Duration(lt) * cfg.MCP.LTimerProc
+	row.LanaiPerMsgUs = busy.Micros() / float64(n)
+	return row, nil
+}
+
+// Render prints the summary in the paper's Table 2 shape.
+func (r Table2Result) Render() string {
+	t := trace.Table{
+		Title:   "Table 2. Comparison of various performance metrics between GM and FTGM",
+		Headers: []string{"Performance Metric", "GM", "FTGM", "paper GM", "paper FTGM"},
+	}
+	t.AddRow("Bandwidth",
+		fmt.Sprintf("%.1fMB/s", r.GM.BandwidthMBs), fmt.Sprintf("%.1fMB/s", r.FTGM.BandwidthMBs),
+		"92.4MB/s", "92.0MB/s")
+	t.AddRow("Latency",
+		fmt.Sprintf("%.1fus", r.GM.LatencyUs), fmt.Sprintf("%.1fus", r.FTGM.LatencyUs),
+		"11.5us", "13.0us")
+	t.AddRow("Host util. (send)",
+		fmt.Sprintf("%.2fus", r.GM.HostSendUs), fmt.Sprintf("%.2fus", r.FTGM.HostSendUs),
+		"0.30us", "0.55us")
+	t.AddRow("Host util. (recv)",
+		fmt.Sprintf("%.2fus", r.GM.HostRecvUs), fmt.Sprintf("%.2fus", r.FTGM.HostRecvUs),
+		"0.75us", "1.15us")
+	t.AddRow("LANai util.",
+		fmt.Sprintf("%.1fus", r.GM.LanaiPerMsgUs), fmt.Sprintf("%.1fus", r.FTGM.LanaiPerMsgUs),
+		"6.0us", "6.8us")
+	return t.Render()
+}

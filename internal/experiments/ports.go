@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/trace"
+)
+
+// RecoveryVsPortsPoint is one sample of the port-count scaling experiment.
+type RecoveryVsPortsPoint struct {
+	Ports        int
+	FTDUs        float64
+	PerProcessUs float64
+	TotalUs      float64
+}
+
+// RecoveryVsPorts measures how the recovery time scales with the number of
+// open ports. "The rest of the recovery time depends on the number of open
+// ports at the time of failure" (§5.2): the FTD posts one FAULT_DETECTED
+// event per port, and every port's process runs its own handler.
+func RecoveryVsPorts(portCounts []int) ([]RecoveryVsPortsPoint, error) {
+	var out []RecoveryVsPortsPoint
+	for _, nports := range portCounts {
+		if nports < 1 || nports > gm.MaxPorts {
+			return nil, fmt.Errorf("experiments: port count %d out of range", nports)
+		}
+		p, err := NewPair(PairOptions{Mode: gm.ModeFTGM})
+		if err != nil {
+			return nil, err
+		}
+		// PA/PB already occupy port 2; open the remaining ones.
+		opened := 1
+		for id := gm.PortID(0); int(id) < gm.MaxPorts && opened < nports; id++ {
+			if id == 2 {
+				continue
+			}
+			if _, err := p.A.OpenPort(id); err != nil {
+				return nil, err
+			}
+			opened++
+		}
+		p.Cluster.Run(10 * gm.Millisecond)
+		recovered := false
+		p.A.Recovered = func() { recovered = true }
+		p.A.InjectHang()
+		limit := p.Cluster.Now() + 30*gm.Second
+		for !recovered && p.Cluster.Now() < limit {
+			p.Cluster.Run(100 * gm.Millisecond)
+		}
+		if !recovered {
+			return nil, fmt.Errorf("experiments: recovery with %d ports did not finish", nports)
+		}
+		tl := p.A.FTD().Timeline()
+		out = append(out, RecoveryVsPortsPoint{
+			Ports:        nports,
+			FTDUs:        tl.FTDTime().Micros(),
+			PerProcessUs: tl.PerProcessTime().Micros(),
+			TotalUs:      tl.TotalTime().Micros(),
+		})
+	}
+	return out, nil
+}
+
+// RenderRecoveryVsPorts prints the scaling table.
+func RenderRecoveryVsPorts(points []RecoveryVsPortsPoint) string {
+	t := trace.Table{
+		Title:   "Recovery time vs open ports (§5.2: per-port FAULT_DETECTED + handler)",
+		Headers: []string{"open ports", "FTD (us)", "per-process (us)", "total (us)"},
+	}
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Ports),
+			fmt.Sprintf("%.0f", p.FTDUs),
+			fmt.Sprintf("%.0f", p.PerProcessUs),
+			fmt.Sprintf("%.0f", p.TotalUs))
+	}
+	return t.Render()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecoveryVsPorts(t *testing.T) {
+	points, err := RecoveryVsPorts([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// FTD time grows mildly (one FAULT_DETECTED post per port)...
+	if points[2].FTDUs <= points[0].FTDUs {
+		t.Errorf("FTD time not growing with ports: %v", points)
+	}
+	// ...while per-process time grows roughly linearly (handlers serialize
+	// on the host CPU).
+	r21 := points[1].PerProcessUs / points[0].PerProcessUs
+	r42 := points[2].PerProcessUs / points[1].PerProcessUs
+	if r21 < 1.7 || r21 > 2.3 || r42 < 1.7 || r42 > 2.3 {
+		t.Errorf("per-process scaling not ~linear: 1->2 x%.2f, 2->4 x%.2f", r21, r42)
+	}
+	if !strings.Contains(RenderRecoveryVsPorts(points), "open ports") {
+		t.Error("render broken")
+	}
+	if _, err := RecoveryVsPorts([]int{0}); err == nil {
+		t.Error("port count 0 accepted")
+	}
+}

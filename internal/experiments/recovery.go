@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Table3Result aggregates the recovery-time components over several
+// injected hangs (Table 3 / Figure 9 of the paper).
+type Table3Result struct {
+	Runs         int
+	Detection    trace.LatencySeries
+	FTD          trace.LatencySeries
+	Reload       trace.LatencySeries
+	PerProcess   trace.LatencySeries
+	Total        trace.LatencySeries
+	LastTimeline *core.Timeline
+}
+
+// Table3 injects `runs` hangs (at varied phases of the watchdog period)
+// into a live FTGM pair carrying light traffic and measures each recovery
+// phase. The same run yields the Figure 9 timeline.
+func Table3(runs int) (*Table3Result, error) {
+	res := &Table3Result{Runs: runs}
+	p, err := NewPair(PairOptions{Mode: gm.ModeFTGM, SendTokens: 1024})
+	if err != nil {
+		return nil, err
+	}
+	// Light background traffic so recovery happens mid-stream.
+	p.PB.SetReceiveHandler(func(ev gm.RecvEvent) {
+		_ = p.PB.ProvideReceiveBuffer(64, gm.PriorityLow)
+	})
+	for i := 0; i < 64; i++ {
+		if err := p.PB.ProvideReceiveBuffer(64, gm.PriorityLow); err != nil {
+			return nil, err
+		}
+	}
+	stopTraffic := false
+	var pump func()
+	pump = func() {
+		if stopTraffic {
+			return
+		}
+		_ = p.PA.Send(p.B.ID(), 2, gm.PriorityLow, []byte("background"), nil)
+		p.Cluster.After(500*gm.Microsecond, pump)
+	}
+	pump()
+
+	for i := 0; i < runs; i++ {
+		// Vary the injection phase relative to the L_timer/watchdog cycle
+		// so detection latency is sampled across the period.
+		phase := gm.Duration(i) * 137 * gm.Microsecond
+		p.Cluster.Run(20*gm.Millisecond + phase)
+
+		recovered := false
+		p.A.Recovered = func() { recovered = true }
+		p.A.InjectHang()
+		limit := p.Cluster.Now() + 20*gm.Second
+		for !recovered && p.Cluster.Now() < limit {
+			p.Cluster.Run(50 * gm.Millisecond)
+		}
+		if !recovered {
+			return nil, fmt.Errorf("experiments: recovery %d did not complete", i)
+		}
+		tl := p.A.FTD().Timeline()
+		res.Detection.Add(tl.DetectionTime())
+		res.FTD.Add(tl.FTDTime())
+		res.Reload.Add(tl.ReloadTime())
+		res.PerProcess.Add(tl.PerProcessTime())
+		res.Total.Add(tl.TotalTime())
+		res.LastTimeline = tl
+		// Let the retransmission backlog drain before the next fault.
+		p.Cluster.Run(500 * gm.Millisecond)
+	}
+	stopTraffic = true
+	return res, nil
+}
+
+// Render prints the Table 3 breakdown next to the paper's values.
+func (r *Table3Result) Render() string {
+	t := trace.Table{
+		Title:   fmt.Sprintf("Table 3. Components of the fault recovery time (mean of %d runs)", r.Runs),
+		Headers: []string{"Component", "this repro (us)", "paper (us)"},
+	}
+	t.AddRow("Fault Detection Time", fmt.Sprintf("%.0f", r.Detection.Mean().Micros()), "800")
+	t.AddRow("FTD Recovery Time", fmt.Sprintf("%.0f", r.FTD.Mean().Micros()), "765000")
+	t.AddRow("  of which MCP reload", fmt.Sprintf("%.0f", r.Reload.Mean().Micros()), "~500000")
+	t.AddRow("Per-process Recovery Time", fmt.Sprintf("%.0f", r.PerProcess.Mean().Micros()), "900000")
+	t.AddRow("Total", fmt.Sprintf("%.0f", r.Total.Mean().Micros()), "<2s")
+	return t.Render()
+}
+
+// RenderTimeline prints the Figure 9 recovery timeline of the last run.
+func (r *Table3Result) RenderTimeline() string {
+	if r.LastTimeline == nil {
+		return "no timeline recorded\n"
+	}
+	out := "Figure 9. The timeline of the fault recovery process\n"
+	phases := r.LastTimeline.Phases()
+	if len(phases) == 0 {
+		return out
+	}
+	t0 := phases[0].At
+	for _, ph := range phases {
+		out += fmt.Sprintf("  %-22s t+%12.1f us\n", ph.Phase, (ph.At - t0).Micros())
+	}
+	return out
+}
+
+// EffectivenessResult reproduces the §5.2 experiment: the Table 1 campaign
+// repeated with FTGM in place.
+type EffectivenessResult struct {
+	CampaignRuns int
+	Hangs        int
+	Detected     int
+	Recovered    int
+	AuditFailed  int
+	PaperHangs   int // 286
+	PaperMissed  int // 5
+}
+
+// Effectiveness runs the ISA campaign to find the hang-producing flips,
+// then replays `sample` of them as live LANai hangs against an FTGM pair
+// under audited traffic: every hang must be detected by the watchdog and
+// recovered with exactly-once delivery.
+func Effectiveness(campaignRuns, sample int, seed uint64) (*EffectivenessResult, error) {
+	c, err := fault.NewCampaign(seed)
+	if err != nil {
+		return nil, err
+	}
+	campaign := c.Run(campaignRuns)
+	res := &EffectivenessResult{
+		CampaignRuns: campaignRuns,
+		Hangs:        campaign.Counts[fault.OutcomeLocalHang],
+		PaperHangs:   286,
+		PaperMissed:  5,
+	}
+	if sample <= 0 || sample > res.Hangs {
+		sample = res.Hangs
+	}
+
+	p, err := NewPair(PairOptions{Mode: gm.ModeFTGM, SendTokens: 4096})
+	if err != nil {
+		return nil, err
+	}
+	// Audited continuous traffic.
+	seen := make(map[uint32]bool)
+	var delivered, dups, reorders int
+	var lastID uint32
+	p.PB.SetReceiveHandler(func(ev gm.RecvEvent) {
+		id := uint32(ev.Data[0]) | uint32(ev.Data[1])<<8 | uint32(ev.Data[2])<<16 | uint32(ev.Data[3])<<24
+		if seen[id] {
+			dups++
+		}
+		if id < lastID {
+			reorders++
+		}
+		seen[id] = true
+		lastID = id
+		delivered++
+		_ = p.PB.ProvideReceiveBuffer(64, gm.PriorityLow)
+	})
+	for i := 0; i < 256; i++ {
+		if err := p.PB.ProvideReceiveBuffer(64, gm.PriorityLow); err != nil {
+			return nil, err
+		}
+	}
+	var sent uint32
+	sendOne := func() {
+		sent++
+		id := sent
+		buf := []byte{byte(id), byte(id >> 8), byte(id >> 16), byte(id >> 24)}
+		_ = p.PA.Send(p.B.ID(), 2, gm.PriorityLow, buf, nil)
+	}
+	stop := false
+	var pump func()
+	pump = func() {
+		if stop {
+			return
+		}
+		sendOne()
+		p.Cluster.After(300*gm.Microsecond, pump)
+	}
+	pump()
+
+	for i := 0; i < sample; i++ {
+		p.Cluster.Run(10 * gm.Millisecond)
+		recovered := false
+		p.A.Recovered = func() { recovered = true }
+		before := p.A.FTD().Stats().Wakeups
+		p.A.InjectHang()
+		limit := p.Cluster.Now() + 20*gm.Second
+		for !recovered && p.Cluster.Now() < limit {
+			p.Cluster.Run(100 * gm.Millisecond)
+		}
+		if p.A.FTD().Stats().Wakeups > before {
+			res.Detected++
+		}
+		if recovered {
+			res.Recovered++
+		}
+		p.Cluster.Run(500 * gm.Millisecond) // drain backlog
+	}
+	stop = true
+	p.Cluster.Run(2 * gm.Second)
+	if dups > 0 || reorders > 0 || delivered < int(sent)-64 {
+		res.AuditFailed = dups + reorders
+	}
+	_ = delivered
+	return res, nil
+}
+
+// Render summarizes the §5.2 comparison.
+func (r *EffectivenessResult) Render() string {
+	t := trace.Table{
+		Title:   "Recovery effectiveness (the §5.2 experiment: Table 1 campaign repeated with FTGM)",
+		Headers: []string{"Quantity", "this repro", "paper"},
+	}
+	t.AddRow("Hangs in campaign", fmt.Sprintf("%d/%d", r.Hangs, r.CampaignRuns), "286/1000")
+	t.AddRow("Hangs detected", fmt.Sprintf("%d/%d (replayed)", r.Detected, r.Recovered+r.missedCount()), "286/286 (all)")
+	t.AddRow("Hangs recovered", fmt.Sprintf("%d", r.Recovered), "281/286")
+	t.AddRow("Audit violations", fmt.Sprintf("%d", r.AuditFailed), "n/a")
+	return t.Render()
+}
+
+func (r *EffectivenessResult) missedCount() int {
+	return r.Detected - r.Recovered
+}

@@ -1,0 +1,149 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Device is anything a link end can attach to: a switch or a host
+// interface's packet interface.
+type Device interface {
+	// Name identifies the device in traces.
+	Name() string
+	// RecvPacket delivers a packet that finished arriving on the given
+	// attachment.
+	RecvPacket(pkt *Packet, on *Attachment)
+}
+
+// LinkConfig sets the physical characteristics of a link.
+type LinkConfig struct {
+	// BytesPerSec is the serialization rate per direction
+	// (2 Gb/s Myrinet = 250e6).
+	BytesPerSec float64
+	// PropDelay is the signal propagation delay of the cable.
+	PropDelay sim.Duration
+}
+
+// DefaultLinkConfig matches the paper's 2 Gb/s Myrinet links with a short
+// machine-room cable.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{BytesPerSec: 250e6, PropDelay: 100 * sim.Nanosecond}
+}
+
+// Attachment is one end of a link, the handle a device transmits on.
+type Attachment struct {
+	link *Link
+	end  int
+	dev  Device
+}
+
+// Device returns the device attached at this end.
+func (a *Attachment) Device() Device { return a.dev }
+
+// Peer returns the attachment at the other end of the link.
+func (a *Attachment) Peer() *Attachment { return &a.link.ends[1-a.end] }
+
+// Link returns the link this attachment belongs to.
+func (a *Attachment) Link() *Link { return a.link }
+
+// Send transmits a packet toward the peer device. Transmission serializes
+// behind earlier packets in the same direction (the Myrinet stop/go
+// backpressure collapses to FIFO occupancy at packet granularity) and the
+// packet is delivered after serialization plus propagation. Packets sent on
+// a downed link are silently dropped, as on a cut cable.
+func (a *Attachment) Send(pkt *Packet) {
+	l := a.link
+	if !l.up {
+		l.stats[a.end].Dropped++
+		return
+	}
+	eng := l.eng
+	start := eng.Now()
+	if l.nextFree[a.end] > start {
+		start = l.nextFree[a.end]
+	}
+	ser := sim.Duration(float64(pkt.WireSize()) / l.cfg.BytesPerSec * float64(sim.Second))
+	l.nextFree[a.end] = start + ser
+	st := &l.stats[a.end]
+	st.Packets++
+	st.Bytes += uint64(pkt.WireSize())
+	st.Busy += ser
+	peer := a.Peer()
+	eng.At(start+ser+l.cfg.PropDelay, func() {
+		if !l.up {
+			st.Dropped++
+			return
+		}
+		peer.dev.RecvPacket(pkt, peer)
+	})
+}
+
+// LinkStats counts traffic in one direction of a link.
+type LinkStats struct {
+	Packets uint64
+	Bytes   uint64
+	Dropped uint64
+	Busy    sim.Duration
+}
+
+// Link is a full-duplex point-to-point cable between two devices.
+type Link struct {
+	eng      *sim.Engine
+	cfg      LinkConfig
+	name     string
+	ends     [2]Attachment
+	nextFree [2]sim.Time
+	stats    [2]LinkStats
+	up       bool
+}
+
+// NewLink creates a link between devices a and b and returns it. Attachment
+// 0 belongs to a, attachment 1 to b.
+func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Device) *Link {
+	l := &Link{
+		eng:  eng,
+		cfg:  cfg,
+		name: fmt.Sprintf("%s<->%s", a.Name(), b.Name()),
+		up:   true,
+	}
+	l.ends[0] = Attachment{link: l, end: 0, dev: a}
+	l.ends[1] = Attachment{link: l, end: 1, dev: b}
+	return l
+}
+
+// End returns the attachment for end i (0 or 1).
+func (l *Link) End(i int) *Attachment { return &l.ends[i] }
+
+// EndFor returns the attachment belonging to dev, or nil.
+func (l *Link) EndFor(dev Device) *Attachment {
+	for i := range l.ends {
+		if l.ends[i].dev == dev {
+			return &l.ends[i]
+		}
+	}
+	return nil
+}
+
+// Name identifies the link in traces.
+func (l *Link) Name() string { return l.name }
+
+// Up reports whether the link is carrying traffic.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp raises or cuts the link. In-flight deliveries on a link that goes
+// down are dropped.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Stats returns the traffic counters for direction end->peer.
+func (l *Link) Stats(end int) LinkStats { return l.stats[end] }
+
+// Utilization reports the busy fraction of direction end over elapsed time
+// since the start of the simulation.
+func (l *Link) Utilization(end int) float64 {
+	now := l.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.stats[end].Busy) / float64(now)
+}

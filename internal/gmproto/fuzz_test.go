@@ -1,0 +1,89 @@
+package gmproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeData: arbitrary bytes must either fail to decode or round-trip
+// through re-encoding; never panic.
+func FuzzDecodeData(f *testing.F) {
+	h := DataHeader{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Prio: PriorityLow,
+		Seq: 7, MsgID: 8, MsgLen: 16, Offset: 0}
+	f.Add(h.Encode([]byte("seed payload")))
+	f.Add([]byte{})
+	f.Add([]byte{byte(PTData)})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, payload, err := DecodeData(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode(payload)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not idempotent:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeAck mirrors FuzzDecodeData for control packets.
+func FuzzDecodeAck(f *testing.F) {
+	f.Add((&AckHeader{Src: 1, Dst: 2, SrcPort: 3, AckSeq: 9}).Encode())
+	f.Add((&AckHeader{Nack: true, AckSeq: 1}).Encode())
+	f.Add([]byte{byte(PTNack)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeAck(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode()
+		// Re-encoding normalizes length; the decoded prefix must match.
+		if len(data) < len(re) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("decode/encode prefix mismatch:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeConfig: mapper configuration payloads from the wire.
+func FuzzDecodeConfig(f *testing.F) {
+	c := ConfigPayload{ID: 3, Routes: map[NodeID][]byte{1: {0xFF}, 2: {1, 2}}}
+	f.Add(c.Encode())
+	f.Add([]byte{byte(PTMapConfig), 0, 0, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		// Round trip through encode/decode preserves the table.
+		re, err2 := DecodeConfig(got.Encode())
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if re.ID != got.ID || len(re.Routes) != len(got.Routes) {
+			t.Fatal("config round trip lost data")
+		}
+		for id, r := range got.Routes {
+			if !bytes.Equal(re.Routes[id], r) {
+				t.Fatal("route bytes changed in round trip")
+			}
+		}
+	})
+}
+
+// FuzzScoutReply covers the remaining mapper payloads.
+func FuzzScoutReply(f *testing.F) {
+	f.Add((&ScoutPayload{Fwd: []byte{1, 0xFF}}).Encode())
+	f.Add((&ReplyPayload{UID: 77, Fwd: []byte{3}}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeScout(data); err == nil {
+			if _, err := DecodeScout(s.Encode()); err != nil {
+				t.Fatal("scout re-decode failed")
+			}
+		}
+		if r, err := DecodeReply(data); err == nil {
+			if _, err := DecodeReply(r.Encode()); err != nil {
+				t.Fatal("reply re-decode failed")
+			}
+		}
+	})
+}

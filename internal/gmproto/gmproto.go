@@ -1,0 +1,343 @@
+// Package gmproto defines the GM wire protocol and host-interface types
+// shared by the MCP (the firmware side) and the gm user library (the host
+// side): node/port identifiers, packet headers with real byte encodings,
+// send/receive tokens, sequence-number streams, and the events the LANai
+// posts into a port's receive queue.
+//
+// Headers are encoded into actual packet bytes (and covered by the fabric
+// CRC) so that bit-level corruption experiments damage real protocol state,
+// as in the paper's fault-injection study.
+package gmproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a network interface, assigned during mapping.
+type NodeID uint16
+
+// PortID identifies a GM port on a node. GM allows 8 ports per node (§4.1).
+type PortID uint8
+
+// MaxPorts is the number of ports per node.
+const MaxPorts = 8
+
+// Priority is a GM message priority; GM has two non-preemptive levels.
+type Priority uint8
+
+// Message priorities.
+const (
+	PriorityLow  Priority = 1
+	PriorityHigh Priority = 2
+)
+
+// Valid reports whether p is a defined priority.
+func (p Priority) Valid() bool { return p == PriorityLow || p == PriorityHigh }
+
+// MaxPacketPayload is GM's fragmentation limit: large messages are split
+// into packets of at most 4 KB so a long message cannot block a channel
+// (§5.1).
+const MaxPacketPayload = 4096
+
+// PacketType tags the GM-level content of a fabric packet.
+type PacketType uint8
+
+// Packet types.
+const (
+	PTData PacketType = iota + 1
+	PTAck
+	PTNack
+	PTMapScout
+	PTMapReply
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case PTData:
+		return "DATA"
+	case PTAck:
+		return "ACK"
+	case PTNack:
+		return "NACK"
+	case PTMapScout:
+		return "SCOUT"
+	case PTMapReply:
+		return "REPLY"
+	default:
+		return fmt.Sprintf("PT?%d", uint8(t))
+	}
+}
+
+// StreamID names a reliable, ordered sequence-number stream.
+//
+// In stock GM a stream is a connection: all traffic from one node to
+// another shares one MCP-generated sequence space, whatever port it came
+// from. In FTGM the host generates sequence numbers per (port, remote node),
+// so the receiver tracks one ACK number per (connection, port) pair (§4.1).
+// The GM case is represented with Port = ConnectionPort. GM's "two
+// non-preemptive priority levels" (§3.1) each carry their own sequence
+// space, so the priority is part of the stream identity in both modes.
+type StreamID struct {
+	Node NodeID // the remote node (the connection)
+	Port PortID // the sending port, or ConnectionPort for per-connection mode
+	Prio Priority
+}
+
+// ConnectionPort is the Port value of per-connection (stock GM) streams.
+const ConnectionPort PortID = 0xFF
+
+// String renders the stream for traces.
+func (s StreamID) String() string {
+	if s.Port == ConnectionPort {
+		return fmt.Sprintf("conn(%d,p%d)", s.Node, s.Prio)
+	}
+	return fmt.Sprintf("stream(%d:%d,p%d)", s.Node, s.Port, s.Prio)
+}
+
+// DataHeader is the GM header of a DATA packet. Directed sends (GM's
+// zero-copy deposit into pre-registered remote memory) reuse the same
+// reliable stream machinery: Directed is set and RemoteOffset names the
+// destination within the receiver's registered region RegionID; no receive
+// token is consumed and no receive event is posted.
+type DataHeader struct {
+	Src     NodeID
+	Dst     NodeID
+	SrcPort PortID
+	DstPort PortID
+	Prio    Priority
+	Seq     uint32 // message sequence number on the sender's stream
+	MsgID   uint32 // sender-unique message id, for reassembly
+	MsgLen  uint32 // total message length
+	Offset  uint32 // offset of this fragment within the message
+
+	Directed     bool
+	RegionID     uint32 // receiver's registered-memory region
+	RemoteOffset uint32 // destination offset within the region
+}
+
+// DataHeaderSize is the encoded size of a DataHeader.
+const DataHeaderSize = 1 + 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 1 + 4 + 4
+
+// ErrShortHeader is returned when a packet is too short to decode.
+var ErrShortHeader = errors.New("gmproto: short header")
+
+// ErrBadType is returned when decoding a packet of an unexpected type.
+var ErrBadType = errors.New("gmproto: unexpected packet type")
+
+// Encode renders the header followed by the fragment payload.
+func (h *DataHeader) Encode(payload []byte) []byte {
+	buf := make([]byte, DataHeaderSize+len(payload))
+	buf[0] = byte(PTData)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(h.Src))
+	binary.LittleEndian.PutUint16(buf[3:], uint16(h.Dst))
+	buf[5] = byte(h.SrcPort)
+	buf[6] = byte(h.DstPort)
+	buf[7] = byte(h.Prio)
+	binary.LittleEndian.PutUint32(buf[8:], h.Seq)
+	binary.LittleEndian.PutUint32(buf[12:], h.MsgID)
+	binary.LittleEndian.PutUint32(buf[16:], h.MsgLen)
+	binary.LittleEndian.PutUint32(buf[20:], h.Offset)
+	if h.Directed {
+		buf[24] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[25:], h.RegionID)
+	binary.LittleEndian.PutUint32(buf[29:], h.RemoteOffset)
+	copy(buf[DataHeaderSize:], payload)
+	return buf
+}
+
+// DecodeData parses a DATA packet payload into its header and fragment.
+func DecodeData(b []byte) (DataHeader, []byte, error) {
+	if len(b) < DataHeaderSize {
+		return DataHeader{}, nil, ErrShortHeader
+	}
+	if PacketType(b[0]) != PTData {
+		return DataHeader{}, nil, fmt.Errorf("%w: %v", ErrBadType, PacketType(b[0]))
+	}
+	h := DataHeader{
+		Src:          NodeID(binary.LittleEndian.Uint16(b[1:])),
+		Dst:          NodeID(binary.LittleEndian.Uint16(b[3:])),
+		SrcPort:      PortID(b[5]),
+		DstPort:      PortID(b[6]),
+		Prio:         Priority(b[7]),
+		Seq:          binary.LittleEndian.Uint32(b[8:]),
+		MsgID:        binary.LittleEndian.Uint32(b[12:]),
+		MsgLen:       binary.LittleEndian.Uint32(b[16:]),
+		Offset:       binary.LittleEndian.Uint32(b[20:]),
+		Directed:     b[24] == 1,
+		RegionID:     binary.LittleEndian.Uint32(b[25:]),
+		RemoteOffset: binary.LittleEndian.Uint32(b[29:]),
+	}
+	if b[24] > 1 {
+		return DataHeader{}, nil, fmt.Errorf("%w: directed flag %d", ErrBadType, b[24])
+	}
+	return h, b[DataHeaderSize:], nil
+}
+
+// AckHeader is the GM header of an ACK or NACK packet. ACKs are cumulative
+// per stream: AckSeq is the highest in-order message sequence received (and,
+// under FTGM's delayed commit point, DMA-completed). A NACK carries the
+// sequence number the receiver expects next. SrcPort and Prio identify the
+// stream being acknowledged.
+type AckHeader struct {
+	Src     NodeID   // acknowledging node
+	Dst     NodeID   // original sender
+	SrcPort PortID   // the stream's sending port (ConnectionPort in GM mode)
+	Prio    Priority // the stream's priority level
+	AckSeq  uint32   // ACK: highest in-order seq delivered; NACK: expected seq
+	Nack    bool
+}
+
+// AckHeaderSize is the encoded size of an AckHeader.
+const AckHeaderSize = 1 + 2 + 2 + 1 + 1 + 4 + 1
+
+// Encode renders the header.
+func (h *AckHeader) Encode() []byte {
+	buf := make([]byte, AckHeaderSize)
+	if h.Nack {
+		buf[0] = byte(PTNack)
+	} else {
+		buf[0] = byte(PTAck)
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(h.Src))
+	binary.LittleEndian.PutUint16(buf[3:], uint16(h.Dst))
+	buf[5] = byte(h.SrcPort)
+	buf[6] = byte(h.Prio)
+	binary.LittleEndian.PutUint32(buf[7:], h.AckSeq)
+	if h.Nack {
+		buf[11] = 1
+	}
+	return buf
+}
+
+// DecodeAck parses an ACK/NACK packet payload.
+func DecodeAck(b []byte) (AckHeader, error) {
+	if len(b) < AckHeaderSize {
+		return AckHeader{}, ErrShortHeader
+	}
+	t := PacketType(b[0])
+	if t != PTAck && t != PTNack {
+		return AckHeader{}, fmt.Errorf("%w: %v", ErrBadType, t)
+	}
+	return AckHeader{
+		Src:     NodeID(binary.LittleEndian.Uint16(b[1:])),
+		Dst:     NodeID(binary.LittleEndian.Uint16(b[3:])),
+		SrcPort: PortID(b[5]),
+		Prio:    Priority(b[6]),
+		AckSeq:  binary.LittleEndian.Uint32(b[7:]),
+		Nack:    b[11] == 1,
+	}, nil
+}
+
+// PeekType reports the packet type of an encoded GM payload.
+func PeekType(b []byte) (PacketType, error) {
+	if len(b) == 0 {
+		return 0, ErrShortHeader
+	}
+	return PacketType(b[0]), nil
+}
+
+// SendToken is the descriptor a process hands to the LANai with gm_send():
+// "information about the location, size and priority of the send buffer and
+// the intended destination for the message" (§3.1). Under FTGM it also
+// carries the host-generated sequence number (§4.1).
+type SendToken struct {
+	ID       uint64 // host-unique token id (callback correlation)
+	Dest     NodeID
+	DestPort PortID
+	SrcPort  PortID
+	Prio     Priority
+	Data     []byte // the pinned send buffer contents
+	Seq      uint32 // host-generated sequence number (FTGM only)
+	HasSeq   bool   // whether Seq is meaningful
+
+	// Directed-send fields (gm_directed_send: deposit into the receiver's
+	// registered memory without consuming a receive token).
+	Directed     bool
+	RegionID     uint32
+	RemoteOffset uint32
+}
+
+// RecvToken describes a provided receive buffer: "its size and the priority
+// of the message that it can accept" (§3.1).
+type RecvToken struct {
+	ID   uint64
+	Size uint32
+	Prio Priority
+}
+
+// SendStatus reports the outcome of a send to its callback.
+type SendStatus uint8
+
+// Send statuses.
+const (
+	SendOK SendStatus = iota + 1
+	SendErrorDropped
+	SendErrorClosed
+)
+
+// String names the send status.
+func (s SendStatus) String() string {
+	switch s {
+	case SendOK:
+		return "ok"
+	case SendErrorDropped:
+		return "dropped"
+	case SendErrorClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("status?%d", uint8(s))
+	}
+}
+
+// EventType tags an entry in a port's receive (event) queue.
+type EventType uint8
+
+// Event types posted by the MCP into the host receive queue.
+const (
+	EvReceived EventType = iota + 1
+	EvSent
+	EvSendError
+	EvFaultDetected // posted by the FTD after reloading the MCP (§4.3)
+	EvAlarm
+	EvNoRecvBuffer
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EvReceived:
+		return "RECEIVED"
+	case EvSent:
+		return "SENT"
+	case EvSendError:
+		return "SEND_ERROR"
+	case EvFaultDetected:
+		return "FAULT_DETECTED"
+	case EvAlarm:
+		return "ALARM"
+	case EvNoRecvBuffer:
+		return "NO_RECV_BUFFER"
+	default:
+		return fmt.Sprintf("Ev?%d", uint8(t))
+	}
+}
+
+// Event is an entry in a port's receive queue. Which fields are meaningful
+// depends on Type. Under FTGM, EvReceived carries the sequence number of
+// the message just ACKed, so the host can maintain its per-stream ACK
+// table (§4.1).
+type Event struct {
+	Type    EventType
+	Port    PortID
+	Src     NodeID
+	SrcPort PortID
+	Prio    Priority // priority level of the received message's stream
+	Seq     uint32
+	TokenID uint64 // send token (EvSent/EvSendError) or recv token (EvReceived)
+	Status  SendStatus
+	Data    []byte // received message contents (EvReceived)
+}

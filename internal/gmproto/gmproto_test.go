@@ -1,0 +1,150 @@
+package gmproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataHeaderRoundTrip(t *testing.T) {
+	h := DataHeader{
+		Src: 3, Dst: 7, SrcPort: 2, DstPort: 5, Prio: PriorityHigh,
+		Seq: 0xdeadbeef, MsgID: 42, MsgLen: 100000, Offset: 8192,
+	}
+	payload := []byte("fragment data")
+	enc := h.Encode(payload)
+	got, data, err := DecodeData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header round trip: got %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("payload round trip: %q", data)
+	}
+}
+
+func TestDataHeaderErrors(t *testing.T) {
+	if _, _, err := DecodeData(make([]byte, 3)); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short: %v", err)
+	}
+	ack := (&AckHeader{Src: 1, Dst: 2}).Encode()
+	pad := append(ack, make([]byte, DataHeaderSize)...)
+	if _, _, err := DecodeData(pad); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong type: %v", err)
+	}
+}
+
+func TestAckHeaderRoundTrip(t *testing.T) {
+	for _, nack := range []bool{false, true} {
+		h := AckHeader{Src: 9, Dst: 1, SrcPort: 3, AckSeq: 77, Nack: nack}
+		got, err := DecodeAck(h.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Errorf("ack round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestAckHeaderErrors(t *testing.T) {
+	if _, err := DecodeAck(nil); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short: %v", err)
+	}
+	data := (&DataHeader{}).Encode(nil)
+	if _, err := DecodeAck(data); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong type: %v", err)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	d := (&DataHeader{}).Encode(nil)
+	if pt, err := PeekType(d); err != nil || pt != PTData {
+		t.Errorf("peek data = %v, %v", pt, err)
+	}
+	a := (&AckHeader{Nack: true}).Encode()
+	if pt, err := PeekType(a); err != nil || pt != PTNack {
+		t.Errorf("peek nack = %v, %v", pt, err)
+	}
+	if _, err := PeekType(nil); err == nil {
+		t.Error("empty peek succeeded")
+	}
+}
+
+func TestStreamIDString(t *testing.T) {
+	if got := (StreamID{Node: 4, Port: ConnectionPort, Prio: PriorityLow}).String(); got != "conn(4,p1)" {
+		t.Errorf("conn stream = %q", got)
+	}
+	if got := (StreamID{Node: 4, Port: 2, Prio: PriorityHigh}).String(); got != "stream(4:2,p2)" {
+		t.Errorf("port stream = %q", got)
+	}
+}
+
+func TestPriorityValid(t *testing.T) {
+	if !PriorityLow.Valid() || !PriorityHigh.Valid() {
+		t.Error("defined priorities invalid")
+	}
+	if Priority(0).Valid() || Priority(3).Valid() {
+		t.Error("undefined priorities valid")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, pt := range []PacketType{PTData, PTAck, PTNack, PTMapScout, PTMapReply, PacketType(99)} {
+		if pt.String() == "" {
+			t.Errorf("empty string for %d", pt)
+		}
+	}
+	for _, ev := range []EventType{EvReceived, EvSent, EvSendError, EvFaultDetected, EvAlarm, EvNoRecvBuffer, EventType(99)} {
+		if ev.String() == "" {
+			t.Errorf("empty string for %d", ev)
+		}
+	}
+	for _, s := range []SendStatus{SendOK, SendErrorDropped, SendErrorClosed, SendStatus(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", s)
+		}
+	}
+}
+
+// Property: DataHeader encoding round-trips for all field values and any
+// payload.
+func TestPropertyDataRoundTrip(t *testing.T) {
+	f := func(src, dst uint16, sp, dp uint8, seq, msgID, msgLen, off uint32, payload []byte) bool {
+		h := DataHeader{
+			Src: NodeID(src), Dst: NodeID(dst),
+			SrcPort: PortID(sp), DstPort: PortID(dp),
+			Prio: PriorityLow,
+			Seq:  seq, MsgID: msgID, MsgLen: msgLen, Offset: off,
+		}
+		got, data, err := DecodeData(h.Encode(payload))
+		return err == nil && got == h && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: corrupting any single byte of an encoded DATA header+payload is
+// either detected by the decoder or changes the decoded values — corruption
+// can never silently decode to the original.
+func TestPropertyCorruptionVisible(t *testing.T) {
+	f := func(seq uint32, idx uint8, flip uint8, payload []byte) bool {
+		h := DataHeader{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Prio: PriorityLow, Seq: seq, MsgLen: uint32(len(payload))}
+		enc := h.Encode(payload)
+		i := int(idx) % len(enc)
+		mask := flip | 1 // guarantee at least one bit flips
+		enc[i] ^= mask
+		got, data, err := DecodeData(enc)
+		if err != nil {
+			return true // detected
+		}
+		return got != h || !bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

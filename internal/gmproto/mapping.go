@@ -1,0 +1,133 @@
+package gmproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PTMapConfig distributes the mapper's results (identity + route table) to
+// an interface.
+const PTMapConfig PacketType = 6
+
+// ScoutPayload is a mapper probe. It carries the forward route it was
+// launched on so the reached interface can compute the reverse route
+// (negated deltas in reverse order) and identify which probe it answers.
+type ScoutPayload struct {
+	Fwd []byte
+}
+
+// Encode renders the scout payload.
+func (s *ScoutPayload) Encode() []byte {
+	buf := make([]byte, 2+len(s.Fwd))
+	buf[0] = byte(PTMapScout)
+	buf[1] = byte(len(s.Fwd))
+	copy(buf[2:], s.Fwd)
+	return buf
+}
+
+// DecodeScout parses a scout payload.
+func DecodeScout(b []byte) (ScoutPayload, error) {
+	if len(b) < 2 || PacketType(b[0]) != PTMapScout {
+		return ScoutPayload{}, fmt.Errorf("%w: scout", ErrShortHeader)
+	}
+	n := int(b[1])
+	if len(b) < 2+n {
+		return ScoutPayload{}, fmt.Errorf("%w: scout path", ErrShortHeader)
+	}
+	return ScoutPayload{Fwd: append([]byte(nil), b[2:2+n]...)}, nil
+}
+
+// ReplyPayload is an interface's answer to a scout: its burned-in unique id
+// and the forward route the scout traveled.
+type ReplyPayload struct {
+	UID uint64
+	Fwd []byte
+}
+
+// Encode renders the reply payload.
+func (r *ReplyPayload) Encode() []byte {
+	buf := make([]byte, 10+len(r.Fwd))
+	buf[0] = byte(PTMapReply)
+	binary.LittleEndian.PutUint64(buf[1:], r.UID)
+	buf[9] = byte(len(r.Fwd))
+	copy(buf[10:], r.Fwd)
+	return buf
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(b []byte) (ReplyPayload, error) {
+	if len(b) < 10 || PacketType(b[0]) != PTMapReply {
+		return ReplyPayload{}, fmt.Errorf("%w: reply", ErrShortHeader)
+	}
+	n := int(b[9])
+	if len(b) < 10+n {
+		return ReplyPayload{}, fmt.Errorf("%w: reply path", ErrShortHeader)
+	}
+	return ReplyPayload{
+		UID: binary.LittleEndian.Uint64(b[1:]),
+		Fwd: append([]byte(nil), b[10:10+n]...),
+	}, nil
+}
+
+// ConfigPayload assigns an interface its NodeID and route table. At the end
+// of the mapping protocol "each interface has a map of the network and
+// routes to all other interfaces stored in its local memory" (§2).
+type ConfigPayload struct {
+	ID     NodeID
+	Routes map[NodeID][]byte
+}
+
+// Encode renders the config payload.
+func (c *ConfigPayload) Encode() []byte {
+	size := 1 + 2 + 2
+	for _, r := range c.Routes {
+		size += 2 + 1 + len(r)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(PTMapConfig))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(c.ID))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Routes)))
+	for id, r := range c.Routes {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(id))
+		buf = append(buf, byte(len(r)))
+		buf = append(buf, r...)
+	}
+	return buf
+}
+
+// DecodeConfig parses a config payload.
+func DecodeConfig(b []byte) (ConfigPayload, error) {
+	if len(b) < 5 || PacketType(b[0]) != PTMapConfig {
+		return ConfigPayload{}, fmt.Errorf("%w: config", ErrShortHeader)
+	}
+	c := ConfigPayload{
+		ID:     NodeID(binary.LittleEndian.Uint16(b[1:])),
+		Routes: make(map[NodeID][]byte),
+	}
+	n := int(binary.LittleEndian.Uint16(b[3:]))
+	off := 5
+	for i := 0; i < n; i++ {
+		if len(b) < off+3 {
+			return ConfigPayload{}, fmt.Errorf("%w: config entry", ErrShortHeader)
+		}
+		id := NodeID(binary.LittleEndian.Uint16(b[off:]))
+		rlen := int(b[off+2])
+		off += 3
+		if len(b) < off+rlen {
+			return ConfigPayload{}, fmt.Errorf("%w: config route", ErrShortHeader)
+		}
+		c.Routes[id] = append([]byte(nil), b[off:off+rlen]...)
+		off += rlen
+	}
+	return c, nil
+}
+
+// ReverseRoute computes the return route of a delta route: negated deltas
+// in reverse order.
+func ReverseRoute(fwd []byte) []byte {
+	rev := make([]byte, len(fwd))
+	for i, d := range fwd {
+		rev[len(fwd)-1-i] = byte(-int8(d))
+	}
+	return rev
+}

@@ -1,0 +1,475 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: an image to load at Origin, plus
+// the symbol table so harnesses can locate routines (the fault campaign
+// flips bits only inside the send_chunk section, exactly as the paper did).
+type Program struct {
+	Origin  uint32
+	Image   []byte
+	Symbols map[string]uint32
+}
+
+// SymbolRange returns the [start, end) byte range between two labels, which
+// by convention bracket a section (e.g. "send_chunk" .. "send_chunk_end").
+func (p *Program) SymbolRange(start, end string) (lo, hi uint32, err error) {
+	lo, ok := p.Symbols[start]
+	if !ok {
+		return 0, 0, fmt.Errorf("isa: unknown symbol %q", start)
+	}
+	hi, ok = p.Symbols[end]
+	if !ok {
+		return 0, 0, fmt.Errorf("isa: unknown symbol %q", end)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("isa: symbol range %q..%q reversed", start, end)
+	}
+	return lo, hi, nil
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("isa: line %d: %s", e.line, e.msg) }
+
+type item struct {
+	line  int
+	addr  uint32
+	kind  byte // 'i' instruction, 'w' word literal, 's' space
+	op    string
+	args  []string
+	value uint32 // for .word / .space
+}
+
+var regAliases = map[string]int{
+	"zero": 0, "ra": 31, "sp": 30, "fp": 29, "gp": 28,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regAliases[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string, symbols map[string]uint32) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty immediate")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 32)
+	} else if s[0] >= '0' && s[0] <= '9' {
+		v, err = strconv.ParseUint(s, 10, 32)
+	} else {
+		// Symbol reference, with optional %hi/%lo selectors.
+		switch {
+		case strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")"):
+			a, ok := symbols[s[4:len(s)-1]]
+			if !ok {
+				return 0, fmt.Errorf("unknown symbol in %q", s)
+			}
+			return int64(a >> 16), nil
+		case strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")"):
+			a, ok := symbols[s[4:len(s)-1]]
+			if !ok {
+				return 0, fmt.Errorf("unknown symbol in %q", s)
+			}
+			return int64(a & 0xffff), nil
+		default:
+			a, ok := symbols[s]
+			if !ok {
+				return 0, fmt.Errorf("unknown symbol %q", s)
+			}
+			return int64(a), nil
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// splitArgs splits "r1, 8(r2)" into ["r1", "8(r2)"].
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// parseMem parses "imm(rN)" operands.
+func parseMem(s string, symbols map[string]uint32) (base int, off int64, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr, symbols)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return base, off, err
+}
+
+func stripComment(line string) string {
+	for _, c := range []byte{';', '#'} {
+		if i := strings.IndexByte(line, c); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// instrSize reports how many words an (possibly pseudo) instruction expands
+// to; used by pass one to lay out addresses.
+func instrSize(op string) uint32 {
+	switch op {
+	case "li", "la":
+		return 2 // lui+ori
+	default:
+		return 1
+	}
+}
+
+// Assemble translates source into a Program. The source starts at origin
+// (also the machine's PC after reset, conventionally past the reset vector).
+func Assemble(src string, origin uint32) (*Program, error) {
+	lines := strings.Split(src, "\n")
+	symbols := make(map[string]uint32)
+	var items []item
+	pc := origin
+
+	// Pass 1: addresses and symbols.
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, &asmError{ln + 1, fmt.Sprintf("bad label %q", label)}
+			}
+			if _, dup := symbols[label]; dup {
+				return nil, &asmError{ln + 1, fmt.Sprintf("duplicate label %q", label)}
+			}
+			symbols[label] = pc
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		op := strings.ToLower(fields[0])
+		rest := ""
+		if len(fields) == 2 {
+			rest = fields[1]
+		}
+		switch op {
+		case ".org":
+			v, err := parseImm(rest, symbols)
+			if err != nil {
+				return nil, &asmError{ln + 1, err.Error()}
+			}
+			if uint32(v) < pc {
+				return nil, &asmError{ln + 1, ".org moves backwards"}
+			}
+			pc = uint32(v)
+		case ".word":
+			items = append(items, item{line: ln + 1, addr: pc, kind: 'w', op: rest})
+			pc += 4
+		case ".space":
+			v, err := parseImm(rest, symbols)
+			if err != nil {
+				return nil, &asmError{ln + 1, err.Error()}
+			}
+			items = append(items, item{line: ln + 1, addr: pc, kind: 's', value: uint32(v)})
+			pc += uint32(v)
+		case ".align":
+			v, err := parseImm(rest, symbols)
+			if err != nil {
+				return nil, &asmError{ln + 1, err.Error()}
+			}
+			a := uint32(v)
+			if a == 0 || a&(a-1) != 0 {
+				return nil, &asmError{ln + 1, ".align must be a power of two"}
+			}
+			pad := (a - pc%a) % a
+			if pad > 0 {
+				items = append(items, item{line: ln + 1, addr: pc, kind: 's', value: pad})
+				pc += pad
+			}
+		default:
+			items = append(items, item{line: ln + 1, addr: pc, kind: 'i', op: op, args: splitArgs(rest)})
+			pc += 4 * instrSize(op)
+		}
+	}
+
+	size := pc - origin
+	img := make([]byte, size)
+	put := func(addr uint32, w Word) {
+		off := addr - origin
+		img[off] = byte(w)
+		img[off+1] = byte(w >> 8)
+		img[off+2] = byte(w >> 16)
+		img[off+3] = byte(w >> 24)
+	}
+
+	// Pass 2: encode.
+	for _, it := range items {
+		switch it.kind {
+		case 's':
+			continue
+		case 'w':
+			v, err := parseImm(it.op, symbols)
+			if err != nil {
+				return nil, &asmError{it.line, err.Error()}
+			}
+			put(it.addr, Word(uint32(v)))
+			continue
+		}
+		words, err := encodeInstr(it, symbols)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range words {
+			put(it.addr+uint32(4*i), w)
+		}
+	}
+	return &Program{Origin: origin, Image: img, Symbols: symbols}, nil
+}
+
+func encodeInstr(it item, symbols map[string]uint32) ([]Word, error) {
+	fail := func(format string, args ...any) ([]Word, error) {
+		return nil, &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	need := func(n int) error {
+		if len(it.args) != n {
+			return &asmError{it.line, fmt.Sprintf("%s needs %d operands, got %d", it.op, n, len(it.args))}
+		}
+		return nil
+	}
+	branchOff := func(target string) (int32, error) {
+		v, err := parseImm(target, symbols)
+		if err != nil {
+			return 0, err
+		}
+		delta := int64(uint32(v)) - int64(it.addr) - 4
+		if delta%4 != 0 {
+			return 0, fmt.Errorf("branch target %q not word aligned", target)
+		}
+		off := delta / 4
+		if off < -(1<<15) || off >= 1<<15 {
+			return 0, fmt.Errorf("branch target %q out of range", target)
+		}
+		return int32(off), nil
+	}
+
+	rrr := map[string]Opcode{
+		"add": OpADD, "sub": OpSUB, "and": OpAND, "or": OpOR, "xor": OpXOR,
+		"sll": OpSLL, "srl": OpSRL, "sra": OpSRA, "slt": OpSLT, "sltu": OpSLTU,
+	}
+	rri := map[string]Opcode{
+		"addi": OpADDI, "andi": OpANDI, "ori": OpORI, "xori": OpXORI,
+		"slli": OpSLLI, "srli": OpSRLI, "slti": OpSLTI,
+	}
+	loads := map[string]Opcode{"lw": OpLW, "lb": OpLB, "lh": OpLH}
+	stores := map[string]Opcode{"sw": OpSW, "sb": OpSB, "sh": OpSH}
+	branches := map[string]Opcode{"beq": OpBEQ, "bne": OpBNE, "blt": OpBLT, "bge": OpBGE}
+
+	switch {
+	case it.op == "nop":
+		return []Word{0}, nil
+	case it.op == "halt":
+		return []Word{EncodeR(OpHALT, 0, 0, 0)}, nil
+	case rrr[it.op] != 0:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		rs2, e3 := parseReg(it.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeR(rrr[it.op], rd, rs1, rs2)}, nil
+	case rri[it.op] != 0:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		imm, e3 := parseImm(it.args[2], symbols)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		if imm < -(1<<15) || imm >= 1<<16 {
+			return fail("immediate %d out of 16-bit range", imm)
+		}
+		return []Word{EncodeI(rri[it.op], rd, rs1, int32(imm))}, nil
+	case it.op == "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		imm, e2 := parseImm(it.args[1], symbols)
+		if e1 != nil || e2 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeI(OpLUI, rd, 0, int32(imm))}, nil
+	case loads[it.op] != 0:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		base, off, e2 := parseMem(it.args[1], symbols)
+		if e1 != nil || e2 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeI(loads[it.op], rd, base, int32(off))}, nil
+	case stores[it.op] != 0:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		base, off, e2 := parseMem(it.args[1], symbols)
+		if e1 != nil || e2 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeI(stores[it.op], rd, base, int32(off))}, nil
+	case branches[it.op] != 0:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		off, e3 := branchOff(it.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands in %v: %v %v %v", it.args, e1, e2, e3)
+		}
+		return []Word{EncodeI(branches[it.op], rd, rs1, off)}, nil
+	case it.op == "jal" || it.op == "call" || it.op == "j":
+		rd := 31
+		target := ""
+		switch it.op {
+		case "jal":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			r, err := parseReg(it.args[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			rd, target = r, it.args[1]
+		case "call":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			target = it.args[0]
+		case "j":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			rd, target = 0, it.args[0]
+		}
+		v, err := parseImm(target, symbols)
+		if err != nil {
+			return fail("%v", err)
+		}
+		delta := int64(uint32(v)) - int64(it.addr) - 4
+		if delta%4 != 0 {
+			return fail("jump target %q not word aligned", target)
+		}
+		off := delta / 4
+		if off < -(1<<20) || off >= 1<<20 {
+			return fail("jump target %q out of range", target)
+		}
+		return []Word{EncodeJ(OpJAL, rd, int32(off))}, nil
+	case it.op == "jalr":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		imm, e3 := parseImm(it.args[2], symbols)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeI(OpJALR, rd, rs1, int32(imm))}, nil
+	case it.op == "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []Word{EncodeI(OpJALR, 0, rs1, 0)}, nil
+	case it.op == "ret":
+		return []Word{EncodeI(OpJALR, 0, 31, 0)}, nil
+	case it.op == "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		return []Word{EncodeI(OpADDI, rd, rs1, 0)}, nil
+	case it.op == "li" || it.op == "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseReg(it.args[0])
+		imm, e2 := parseImm(it.args[1], symbols)
+		if e1 != nil || e2 != nil {
+			return fail("bad operands in %v", it.args)
+		}
+		v := uint32(imm)
+		return []Word{
+			EncodeI(OpLUI, rd, 0, int32(v>>16)),
+			EncodeI(OpORI, rd, rd, int32(v&0xffff)),
+		}, nil
+	default:
+		return fail("unknown instruction %q", it.op)
+	}
+}

@@ -1,0 +1,39 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble: arbitrary source either assembles or errors; assembled
+// output must load and run without panicking.
+func FuzzAssemble(f *testing.F) {
+	f.Add("addi r1, r0, 5\nhalt\n")
+	f.Add("loop:\n j loop\n")
+	f.Add(".org 0x10\nli r1, 0x90000000\nsw r0, 0(r1)\n")
+	f.Add("lab el:\nadd r1")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, 0)
+		if err != nil {
+			return
+		}
+		if len(p.Image) == 0 {
+			return
+		}
+		m := NewMachine(1 << 16)
+		if int(p.Origin)+len(p.Image) <= len(m.Mem) {
+			copy(m.Mem[p.Origin:], p.Image)
+			m.PC = p.Origin
+			m.Run(5000)
+		}
+	})
+}
+
+// FuzzExecute: arbitrary code images never panic the interpreter.
+func FuzzExecute(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04}) // add-ish word
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, image []byte) {
+		m := NewMachine(1 << 14)
+		copy(m.Mem, image)
+		m.TrapOnReset = false
+		m.Run(5000)
+	})
+}

@@ -1,0 +1,408 @@
+// Package lanai models the LANai chip at the center of the Myrinet host
+// interface card (§2 of the paper): a RISC processor core, fast local SRAM,
+// DMA logic to/from the network (the packet interface), E-bus DMA logic
+// to/from the host across PCI, three 32-bit interval timers decremented
+// every 0.5 µs, and the interface status / interrupt mask registers.
+//
+// The control program (package mcp) runs "on" this chip: its handlers
+// execute serially on the single processor with explicit time costs, and a
+// processor hang — the paper's central failure mode — stops the handlers
+// while leaving the timer and interrupt logic alive, which is precisely the
+// property the software watchdog of §4.2 relies on.
+package lanai
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// ISR/IMR bits of the interface status register.
+const (
+	ISRTimer0      uint32 = 1 << iota // IT0: GM's L_timer interval timer
+	ISRTimer1                         // IT1: the watchdog timer FTGM arms (§4.2)
+	ISRTimer2                         // IT2: spare
+	ISRRecvPacket                     // packet interface: packet landed in SRAM
+	ISRHostDMADone                    // E-bus DMA engine completion
+	ISRDoorbell                       // host wrote a doorbell word
+)
+
+// TimerTick is the interval timer decrement period: "32-bit counters that
+// are decremented every 1/2 µs" (§4.2).
+const TimerTick = 500 * sim.Nanosecond
+
+// NumTimers is the number of interval timers on the chip.
+const NumTimers = 3
+
+// MagicAddr is the SRAM location used for the FTD's liveness handshake: the
+// FTD writes a magic word here, which a live control program clears (§4.3).
+const MagicAddr = 0x40
+
+// MagicWord is the value the FTD writes to MagicAddr.
+const MagicWord = 0xFEEDC0DE
+
+// Config sets the chip's physical parameters.
+type Config struct {
+	// SRAMSize is the local memory size (512 KB..8 MB on real cards).
+	SRAMSize int
+	// RecvRing is how many arrived packets the packet interface can hold
+	// before the control program services them; overflow is dropped (the
+	// network-level Go-Back-N recovers).
+	RecvRing int
+}
+
+// DefaultConfig models a LANai 9 card with 1 MB of SRAM.
+func DefaultConfig() Config {
+	return Config{SRAMSize: 1 << 20, RecvRing: 256}
+}
+
+// Stats counts chip-level activity.
+type Stats struct {
+	PacketsSent     uint64
+	PacketsReceived uint64
+	PacketsDropped  uint64 // recv-ring overflow or processor down
+	HostDMAs        uint64
+	HostDMABytes    uint64
+	ExecBusy        sim.Duration // processor busy time
+	Resets          uint64
+}
+
+type timer struct {
+	event   *sim.Event
+	armedAt sim.Time
+	ticks   uint32
+}
+
+// Chip is one LANai instance. It implements fabric.Device so a link can be
+// cabled directly into its packet interface.
+type Chip struct {
+	eng  *sim.Engine
+	cfg  Config
+	name string
+
+	// SRAM backs the ISA-level fault experiments and the magic-word
+	// handshake; protocol state is modeled structurally in package mcp.
+	SRAM []byte
+
+	isr, imr uint32
+	timers   [NumTimers]timer
+
+	running bool
+	hung    bool
+	// epoch invalidates queued processor work across hangs and resets.
+	epoch    uint64
+	execFree sim.Time
+
+	pci     *host.PCIBus
+	dmaBusy bool
+	dmaQ    []dmaReq
+
+	att      *fabric.Attachment
+	recvRing []*fabric.Packet
+
+	isrHandler  func(bit uint32)
+	hostIntr    func(isr uint32)
+	stats       Stats
+	onHung      func()
+	powerCycled bool
+}
+
+type dmaReq struct {
+	bytes int
+	done  func()
+}
+
+// New returns a powered chip with no control program running.
+func New(eng *sim.Engine, name string, cfg Config, pci *host.PCIBus) *Chip {
+	return &Chip{
+		eng:  eng,
+		cfg:  cfg,
+		name: name,
+		SRAM: make([]byte, cfg.SRAMSize),
+		pci:  pci,
+	}
+}
+
+// Name implements fabric.Device.
+func (c *Chip) Name() string { return c.name }
+
+// Engine returns the simulation engine the chip runs on.
+func (c *Chip) Engine() *sim.Engine { return c.eng }
+
+// Stats returns the chip's counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// Attach cables the packet interface to a link end.
+func (c *Chip) Attach(a *fabric.Attachment) { c.att = a }
+
+// Attachment returns the cabled link end, or nil.
+func (c *Chip) Attachment() *fabric.Attachment { return c.att }
+
+// SetISRHandler installs the control program's dispatch hook: it is invoked
+// whenever an ISR bit is raised while the processor runs.
+func (c *Chip) SetISRHandler(fn func(bit uint32)) { c.isrHandler = fn }
+
+// SetHostInterrupt installs the driver's interrupt handler, invoked when a
+// raised ISR bit is enabled in the IMR. This is the path the watchdog's
+// FATAL interrupt takes to the host (§4.3).
+func (c *Chip) SetHostInterrupt(fn func(isr uint32)) { c.hostIntr = fn }
+
+// Running reports whether the processor is executing the control program.
+func (c *Chip) Running() bool { return c.running }
+
+// Hung reports whether the processor is hung.
+func (c *Chip) Hung() bool { return c.hung }
+
+// Start begins executing the control program (after LoadMCP / reset).
+func (c *Chip) Start() {
+	c.running = true
+	c.hung = false
+	c.execFree = c.eng.Now()
+}
+
+// Hang models the paper's central failure: the processor stops executing
+// instructions (crash or infinite loop). Timer and interrupt logic stay
+// alive — the paper's watchdog assumption, which held for every hang in
+// their experiments (§4.2). Queued handlers are invalidated.
+func (c *Chip) Hang() {
+	if !c.running {
+		return
+	}
+	c.running = false
+	c.hung = true
+	c.epoch++
+	c.eng.Tracef(c.name, "processor hung")
+	if c.onHung != nil {
+		c.onHung()
+	}
+}
+
+// SetOnHung installs a test/experiment hook invoked when the chip hangs.
+func (c *Chip) SetOnHung(fn func()) { c.onHung = fn }
+
+// HardHang additionally kills the timer and interrupt logic: the fault
+// propagated beyond the processor core, so the watchdog interrupt can never
+// fire. Rare, and the reason the paper's detection assumption "cannot be
+// proved correct".
+func (c *Chip) HardHang() {
+	c.Hang()
+	for i := range c.timers {
+		if c.timers[i].event != nil {
+			c.timers[i].event.Cancel()
+			c.timers[i].event = nil
+		}
+	}
+	c.imr = 0
+}
+
+// Reset models the card reset the FTD performs: the processor stops, ISR,
+// IMR and timers clear, in-flight DMA and queued work are invalidated, and
+// buffered packets are lost. SRAM contents are *not* cleared by the reset
+// itself; the FTD clears SRAM and reloads the MCP explicitly (§4.3).
+func (c *Chip) Reset() {
+	c.running = false
+	c.hung = false
+	c.epoch++
+	c.isr = 0
+	c.imr = 0
+	for i := range c.timers {
+		if c.timers[i].event != nil {
+			c.timers[i].event.Cancel()
+			c.timers[i].event = nil
+		}
+	}
+	c.dmaBusy = false
+	c.dmaQ = nil
+	c.recvRing = nil
+	c.stats.Resets++
+	c.eng.Tracef(c.name, "card reset")
+}
+
+// ClearSRAM zeroes local memory (FTD recovery step).
+func (c *Chip) ClearSRAM() {
+	for i := range c.SRAM {
+		c.SRAM[i] = 0
+	}
+}
+
+// --- Registers ---
+
+// ISR returns the interface status register.
+func (c *Chip) ISR() uint32 { return c.isr }
+
+// RaiseISR sets an ISR bit, notifies the running control program, and
+// raises a host interrupt if the bit is unmasked in the IMR.
+func (c *Chip) RaiseISR(bit uint32) {
+	c.isr |= bit
+	if c.running && c.isrHandler != nil {
+		c.isrHandler(bit)
+	}
+	if c.imr&bit != 0 && c.hostIntr != nil {
+		c.hostIntr(c.isr)
+	}
+}
+
+// AckISR clears ISR bits.
+func (c *Chip) AckISR(bits uint32) { c.isr &^= bits }
+
+// IMR returns the interrupt mask register.
+func (c *Chip) IMR() uint32 { return c.imr }
+
+// SetIMR replaces the interrupt mask register.
+func (c *Chip) SetIMR(v uint32) { c.imr = v }
+
+// --- Interval timers ---
+
+// SetTimer arms interval timer i to expire after ticks 0.5 µs ticks,
+// replacing any previous deadline. Expiry raises the timer's ISR bit.
+func (c *Chip) SetTimer(i int, ticks uint32) {
+	t := &c.timers[i]
+	if t.event != nil {
+		t.event.Cancel()
+	}
+	t.armedAt = c.eng.Now()
+	t.ticks = ticks
+	bit := ISRTimer0 << uint(i)
+	t.event = c.eng.AfterLabel(sim.Duration(ticks)*TimerTick, "timer", func() {
+		t.event = nil
+		c.RaiseISR(bit)
+	})
+}
+
+// StopTimer disarms interval timer i.
+func (c *Chip) StopTimer(i int) {
+	if c.timers[i].event != nil {
+		c.timers[i].event.Cancel()
+		c.timers[i].event = nil
+	}
+}
+
+// TimerArmed reports whether timer i has a pending expiry.
+func (c *Chip) TimerArmed(i int) bool { return c.timers[i].event != nil }
+
+// --- Processor ---
+
+// Exec queues fn on the processor: it runs after the processor finishes all
+// earlier work plus cost. Work queued before a hang or reset never runs.
+// Exec on a stopped processor is dropped.
+func (c *Chip) Exec(cost sim.Duration, fn func()) {
+	if !c.running {
+		return
+	}
+	start := c.eng.Now()
+	if c.execFree > start {
+		start = c.execFree
+	}
+	end := start + cost
+	c.execFree = end
+	c.stats.ExecBusy += cost
+	epoch := c.epoch
+	c.eng.At(end, func() {
+		if c.epoch != epoch || !c.running {
+			return
+		}
+		fn()
+	})
+}
+
+// ExecBusyUntil reports when the processor will next be idle.
+func (c *Chip) ExecBusyUntil() sim.Time { return c.execFree }
+
+// --- E-bus (host) DMA engine ---
+
+// HostDMA queues a transfer of n bytes between host memory and SRAM on the
+// single E-bus DMA engine. Transfers serialize on the engine and occupy the
+// PCI bus; done runs at completion (and the ISRHostDMADone bit is raised).
+// Send-side and receive-side traffic of one card contend here, which is the
+// resource that caps the bidirectional bandwidth curve (Figure 7).
+func (c *Chip) HostDMA(n int, done func()) {
+	if !c.running {
+		return
+	}
+	c.dmaQ = append(c.dmaQ, dmaReq{bytes: n, done: done})
+	c.pumpDMA()
+}
+
+func (c *Chip) pumpDMA() {
+	if c.dmaBusy || len(c.dmaQ) == 0 {
+		return
+	}
+	req := c.dmaQ[0]
+	c.dmaQ = c.dmaQ[1:]
+	c.dmaBusy = true
+	c.stats.HostDMAs++
+	c.stats.HostDMABytes += uint64(req.bytes)
+	epoch := c.epoch
+	c.pci.Transfer(req.bytes, func() {
+		if c.epoch != epoch {
+			return
+		}
+		c.dmaBusy = false
+		c.RaiseISR(ISRHostDMADone)
+		if req.done != nil {
+			req.done()
+		}
+		c.pumpDMA()
+	})
+}
+
+// --- Packet interface ---
+
+// TransmitPacket injects a packet onto the cabled link.
+func (c *Chip) TransmitPacket(pkt *fabric.Packet) {
+	if c.att == nil {
+		return
+	}
+	c.stats.PacketsSent++
+	c.att.Send(pkt)
+}
+
+// RecvPacket implements fabric.Device: an arriving packet lands in the
+// packet interface's SRAM ring and raises ISRRecvPacket. With the processor
+// down (hung or in reset) the ring is not serviced; arrivals are dropped,
+// modeling the backpressured-then-timed-out fate of packets sent to a dead
+// interface.
+func (c *Chip) RecvPacket(pkt *fabric.Packet, on *fabric.Attachment) {
+	if !c.running || len(c.recvRing) >= c.cfg.RecvRing {
+		c.stats.PacketsDropped++
+		return
+	}
+	c.stats.PacketsReceived++
+	c.recvRing = append(c.recvRing, pkt)
+	c.RaiseISR(ISRRecvPacket)
+}
+
+// PopRecv removes and returns the oldest buffered packet, or nil.
+func (c *Chip) PopRecv() *fabric.Packet {
+	if len(c.recvRing) == 0 {
+		return nil
+	}
+	pkt := c.recvRing[0]
+	c.recvRing = c.recvRing[1:]
+	return pkt
+}
+
+// RecvPending reports how many packets wait in the ring.
+func (c *Chip) RecvPending() int { return len(c.recvRing) }
+
+// --- SRAM word access (magic word, ISA images) ---
+
+// ReadWord reads a 32-bit little-endian SRAM word.
+func (c *Chip) ReadWord(addr uint32) uint32 {
+	if int(addr)+4 > len(c.SRAM) {
+		return 0
+	}
+	return uint32(c.SRAM[addr]) | uint32(c.SRAM[addr+1])<<8 |
+		uint32(c.SRAM[addr+2])<<16 | uint32(c.SRAM[addr+3])<<24
+}
+
+// WriteWord writes a 32-bit little-endian SRAM word.
+func (c *Chip) WriteWord(addr uint32, v uint32) {
+	if int(addr)+4 > len(c.SRAM) {
+		return
+	}
+	c.SRAM[addr] = byte(v)
+	c.SRAM[addr+1] = byte(v >> 8)
+	c.SRAM[addr+2] = byte(v >> 16)
+	c.SRAM[addr+3] = byte(v >> 24)
+}

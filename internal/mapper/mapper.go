@@ -1,0 +1,272 @@
+// Package mapper implements the GM mapper: the program that runs on one
+// node, explores the fabric with scout packets, assigns every interface an
+// identity, computes source routes, and distributes (identity, route table)
+// configuration to each interface — after which "each interface has a map
+// of the network and routes to all other interfaces stored in its local
+// memory" (§2 of the paper). Re-running the mapper reconfigures the network
+// when links or nodes appear or disappear, and the FTD restores the
+// mapper's output into a recovering interface (§4.3).
+//
+// Exploration is breadth-first over route space: scouts are launched along
+// every delta sequence up to MaxDepth; an interface reached by a scout
+// answers with its burned-in UID over the reverse route (negated deltas,
+// reversed). Routes between two non-mapper nodes are spliced at the
+// mapper's first switch from the mapper's own routes, with the junction
+// delta adjusted for the different ingress port.
+package mapper
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/gmproto"
+	"repro/internal/mcp"
+	"repro/internal/sim"
+)
+
+// Config controls the exploration.
+type Config struct {
+	// MaxDepth is the maximum route length explored (switch hops).
+	MaxDepth int
+	// MaxDelta bounds the per-hop delta magnitude; 8-port switches need
+	// deltas in [-7, 7].
+	MaxDelta int
+	// RoundTimeout is how long the mapper waits for scout replies of one
+	// depth after the last scout of the round left.
+	RoundTimeout sim.Duration
+	// ScoutGap paces probe injection so replies do not overrun the
+	// mapper's own packet ring (the real mapper likewise rate-limits).
+	ScoutGap sim.Duration
+}
+
+// DefaultConfig explores up to three switch hops on 8-port switches.
+func DefaultConfig() Config {
+	return Config{
+		MaxDepth:     3,
+		MaxDelta:     7,
+		RoundTimeout: 1 * sim.Millisecond,
+		ScoutGap:     2 * sim.Microsecond,
+	}
+}
+
+// Result is the outcome of a mapping run.
+type Result struct {
+	// IDs maps each discovered interface UID to its assigned NodeID.
+	IDs map[uint64]gmproto.NodeID
+	// Routes maps each assigned NodeID to its route table (routes to every
+	// other node).
+	Routes map[gmproto.NodeID]map[gmproto.NodeID][]byte
+	// MapperID is the NodeID assigned to the mapping node itself.
+	MapperID gmproto.NodeID
+	// ScoutsSent counts probes launched.
+	ScoutsSent int
+	// Elapsed is how long the mapping protocol took.
+	Elapsed sim.Duration
+}
+
+// ErrNoInterfaces is reported when exploration finds nothing and the
+// mapper cannot even configure itself.
+var ErrNoInterfaces = errors.New("mapper: no interfaces discovered")
+
+// Mapper drives one mapping run from a node's MCP.
+type Mapper struct {
+	eng   *sim.Engine
+	local *mcp.MCP
+	cfg   Config
+
+	found    map[uint64][]byte // uid -> shortest forward route
+	frontier [][]byte
+	scouts   int
+	started  sim.Time
+	done     func(Result, error)
+}
+
+// New prepares a mapper on the given (local) interface.
+func New(local *mcp.MCP, cfg Config) *Mapper {
+	return &Mapper{
+		eng:   local.Chip().Engine(),
+		local: local,
+		cfg:   cfg,
+		found: make(map[uint64][]byte),
+	}
+}
+
+// Run starts the mapping protocol; done is invoked (in virtual time) with
+// the result. The local interface's map sink is taken over for the run.
+func (mp *Mapper) Run(done func(Result, error)) {
+	mp.done = done
+	mp.started = mp.eng.Now()
+	mp.local.SetMapSink(mp.onReply)
+	// Depth-1 frontier: every single-delta route.
+	mp.frontier = nil
+	for d := -mp.cfg.MaxDelta; d <= mp.cfg.MaxDelta; d++ {
+		mp.frontier = append(mp.frontier, []byte{byte(int8(d))})
+	}
+	mp.runRound(1)
+}
+
+func (mp *Mapper) runRound(depth int) {
+	for i, route := range mp.frontier {
+		route := route
+		mp.eng.After(sim.Duration(i)*mp.cfg.ScoutGap, func() {
+			scout := gmproto.ScoutPayload{Fwd: route}
+			mp.local.RawTransmit(route, scout.Encode())
+		})
+		mp.scouts++
+	}
+	sendSpan := sim.Duration(len(mp.frontier)) * mp.cfg.ScoutGap
+	mp.eng.After(sendSpan+mp.cfg.RoundTimeout, func() {
+		if depth >= mp.cfg.MaxDepth {
+			mp.finish()
+			return
+		}
+		// Extend only routes that did not terminate at an interface:
+		// those may have ended at a switch (or at nothing — the depth
+		// bound kills the difference).
+		var next [][]byte
+		for _, route := range mp.frontier {
+			if mp.reachedInterface(route) {
+				continue
+			}
+			for d := -mp.cfg.MaxDelta; d <= mp.cfg.MaxDelta; d++ {
+				ext := make([]byte, len(route)+1)
+				copy(ext, route)
+				ext[len(route)] = byte(int8(d))
+				next = append(next, ext)
+			}
+		}
+		mp.frontier = next
+		if len(next) == 0 {
+			mp.finish()
+			return
+		}
+		mp.runRound(depth + 1)
+	})
+}
+
+func (mp *Mapper) reachedInterface(route []byte) bool {
+	for _, r := range mp.found {
+		if len(r) == len(route) && string(r) == string(route) {
+			return true
+		}
+	}
+	return false
+}
+
+func (mp *Mapper) onReply(payload []byte) {
+	r, err := gmproto.DecodeReply(payload)
+	if err != nil {
+		return
+	}
+	if r.UID == mp.local.UID() {
+		return // a scout that looped straight back home
+	}
+	if prev, ok := mp.found[r.UID]; ok && len(prev) <= len(r.Fwd) {
+		return
+	}
+	mp.found[r.UID] = r.Fwd
+}
+
+// finish assigns identities, computes all-pairs routes, distributes the
+// configuration, and reports the result.
+func (mp *Mapper) finish() {
+	mp.local.SetMapSink(nil)
+	// A mapper that found nothing still configures itself: a one-node map
+	// (the rest of the fabric may be down or absent).
+
+	// Deterministic identity assignment: UIDs sorted, mapper first.
+	uids := make([]uint64, 0, len(mp.found)+1)
+	uids = append(uids, mp.local.UID())
+	for uid := range mp.found {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	ids := make(map[uint64]gmproto.NodeID, len(uids))
+	for i, uid := range uids {
+		ids[uid] = gmproto.NodeID(i + 1)
+	}
+	mapperID := ids[mp.local.UID()]
+
+	// Mapper-relative routes.
+	fromMapper := make(map[gmproto.NodeID][]byte, len(mp.found))
+	for uid, route := range mp.found {
+		fromMapper[ids[uid]] = route
+	}
+
+	// All-pairs route tables via splicing at the mapper's first switch.
+	routes := make(map[gmproto.NodeID]map[gmproto.NodeID][]byte, len(uids))
+	for _, xu := range uids {
+		x := ids[xu]
+		tbl := make(map[gmproto.NodeID][]byte)
+		for _, yu := range uids {
+			y := ids[yu]
+			if x == y {
+				continue
+			}
+			r, err := SpliceRoute(fromMapper[x], fromMapper[y])
+			if err != nil {
+				continue
+			}
+			tbl[y] = r
+		}
+		routes[x] = tbl
+	}
+
+	// Distribute: remote nodes by config packet, the mapper node directly.
+	for _, uid := range uids {
+		id := ids[uid]
+		if uid == mp.local.UID() {
+			mp.local.SetNodeID(id)
+			mp.local.UploadRoutes(routes[id])
+			continue
+		}
+		cfg := gmproto.ConfigPayload{ID: id, Routes: routes[id]}
+		mp.local.RawTransmit(fromMapper[id], cfg.Encode())
+	}
+
+	res := Result{
+		IDs:        ids,
+		Routes:     routes,
+		MapperID:   mapperID,
+		ScoutsSent: mp.scouts,
+		Elapsed:    mp.eng.Now() - mp.started,
+	}
+	// Give the config packets time to land before reporting completion.
+	mp.eng.After(mp.cfg.RoundTimeout, func() { mp.done(res, nil) })
+}
+
+// SpliceRoute builds a route X->Y out of the mapper's routes M->X and M->Y.
+// The two mapper routes share switches up to their first divergence; the
+// spliced route backtracks from X to the divergence switch, turns, and
+// follows the Y path. At the divergence switch the X-path packet arrives on
+// the port it would have exited toward X (input-relative deltas make that
+// in+dx), while the Y path needs output in+dy, so the junction delta is
+// dy-dx; every later Y-path delta applies unchanged because the packet then
+// enters each switch on exactly the port an M-launched packet would.
+//
+// An empty toX means X is the mapper itself (route is just M->Y); an empty
+// toY means Y is the mapper (route is just reverse(M->X)).
+func SpliceRoute(toX, toY []byte) ([]byte, error) {
+	if len(toX) == 0 {
+		if len(toY) == 0 {
+			return nil, fmt.Errorf("mapper: splice of empty routes")
+		}
+		return append([]byte(nil), toY...), nil
+	}
+	if len(toY) == 0 {
+		return gmproto.ReverseRoute(toX), nil
+	}
+	// Longest common prefix, capped so the junction hop exists in both.
+	maxK := min(len(toX), len(toY)) - 1
+	k := 0
+	for k < maxK && toX[k] == toY[k] {
+		k++
+	}
+	rev := gmproto.ReverseRoute(toX[k:])
+	out := make([]byte, 0, len(rev)+len(toY)-k)
+	out = append(out, rev[:len(rev)-1]...)
+	out = append(out, byte(int8(toY[k])-int8(toX[k])))
+	out = append(out, toY[k+1:]...)
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package mapper
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gmproto"
+	"repro/internal/host"
+	"repro/internal/lanai"
+	"repro/internal/mcp"
+	"repro/internal/sim"
+)
+
+// testNet is a hand-built fabric for mapper tests.
+type testNet struct {
+	eng      *sim.Engine
+	mcps     []*mcp.MCP
+	switches []*fabric.Switch
+	links    []*fabric.Link
+}
+
+func newNet(t *testing.T) *testNet {
+	t.Helper()
+	return &testNet{eng: sim.NewEngine(1)}
+}
+
+func (n *testNet) addNode(t *testing.T, uid uint64) *mcp.MCP {
+	t.Helper()
+	i := len(n.mcps)
+	pci := host.NewPCIBus(n.eng, fmt.Sprintf("pci%d", i), host.DefaultPCIConfig())
+	chip := lanai.New(n.eng, fmt.Sprintf("lanai%d", i), lanai.DefaultConfig(), pci)
+	m := mcp.New(chip, mcp.DefaultConfig(), mcp.ModeGM)
+	m.SetUID(uid)
+	m.LoadAndStart()
+	n.mcps = append(n.mcps, m)
+	return m
+}
+
+func (n *testNet) addSwitch(t *testing.T) *fabric.Switch {
+	t.Helper()
+	sw := fabric.NewSwitch(n.eng, fmt.Sprintf("sw%d", len(n.switches)), fabric.DefaultSwitchConfig())
+	n.switches = append(n.switches, sw)
+	return sw
+}
+
+func (n *testNet) cable(t *testing.T, m *mcp.MCP, sw *fabric.Switch, port int) *fabric.Link {
+	t.Helper()
+	l := fabric.NewLink(n.eng, fabric.DefaultLinkConfig(), m.Chip(), sw)
+	if err := sw.AttachLink(port, l); err != nil {
+		t.Fatal(err)
+	}
+	m.Chip().Attach(l.EndFor(m.Chip()))
+	n.links = append(n.links, l)
+	return l
+}
+
+func (n *testNet) trunk(t *testing.T, a, b *fabric.Switch, pa, pb int) *fabric.Link {
+	t.Helper()
+	l := fabric.NewLink(n.eng, fabric.DefaultLinkConfig(), a, b)
+	if err := a.AttachLink(pa, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachLink(pb, l); err != nil {
+		t.Fatal(err)
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+func runMapper(t *testing.T, n *testNet, local *mcp.MCP, cfg Config) Result {
+	t.Helper()
+	var res Result
+	var err error
+	finished := false
+	New(local, cfg).Run(func(r Result, e error) { res, err, finished = r, e, true })
+	n.eng.RunUntil(n.eng.Now() + sim.Second)
+	if !finished {
+		t.Fatal("mapper did not finish")
+	}
+	if err != nil {
+		t.Fatalf("mapper: %v", err)
+	}
+	return res
+}
+
+// verifyAllPairs opens a port on every node and checks a message can travel
+// between every ordered pair using the distributed route tables.
+func verifyAllPairs(t *testing.T, n *testNet) {
+	t.Helper()
+	recvd := make([]map[string]bool, len(n.mcps))
+	for i, m := range n.mcps {
+		i := i
+		recvd[i] = make(map[string]bool)
+		if err := m.HostOpenPort(2, func(ev gmproto.Event) {
+			if ev.Type == gmproto.EvReceived {
+				recvd[i][string(ev.Data)] = true
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < len(n.mcps); j++ {
+			if err := m.HostPostRecvToken(2, gmproto.RecvToken{ID: uint64(100*i + j), Size: 64, Prio: gmproto.PriorityLow}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tid := uint64(1000)
+	for i, src := range n.mcps {
+		for j, dst := range n.mcps {
+			if i == j {
+				continue
+			}
+			tid++
+			tok := gmproto.SendToken{
+				ID: tid, Dest: dst.NodeID(), DestPort: 2, SrcPort: 2,
+				Prio: gmproto.PriorityLow,
+				Data: []byte(fmt.Sprintf("%d->%d", i, j)),
+			}
+			if err := src.HostPostSend(tok); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n.eng.RunUntil(n.eng.Now() + 100*sim.Millisecond)
+	for i := range n.mcps {
+		for j := range n.mcps {
+			if i == j {
+				continue
+			}
+			if !recvd[j][fmt.Sprintf("%d->%d", i, j)] {
+				t.Errorf("message %d->%d not delivered", i, j)
+			}
+		}
+	}
+}
+
+func TestMapSingleSwitch(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 4; i++ {
+		m := n.addNode(t, uint64(0xA0+i))
+		n.cable(t, m, sw, i*2) // spread over ports 0,2,4,6
+	}
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if len(res.IDs) != 4 {
+		t.Fatalf("discovered %d interfaces, want 4", len(res.IDs))
+	}
+	// Deterministic identity assignment by UID order.
+	for i := 0; i < 4; i++ {
+		if res.IDs[uint64(0xA0+i)] != gmproto.NodeID(i+1) {
+			t.Errorf("IDs = %v", res.IDs)
+		}
+	}
+	for i, m := range n.mcps {
+		if m.NodeID() != gmproto.NodeID(i+1) {
+			t.Errorf("node %d got NodeID %d", i, m.NodeID())
+		}
+		if len(m.Routes()) != 3 {
+			t.Errorf("node %d has %d routes, want 3", i, len(m.Routes()))
+		}
+	}
+	verifyAllPairs(t, n)
+}
+
+func TestMapTwoSwitches(t *testing.T) {
+	n := newNet(t)
+	s1 := n.addSwitch(t)
+	s2 := n.addSwitch(t)
+	n.trunk(t, s1, s2, 7, 0)
+	for i := 0; i < 2; i++ {
+		m := n.addNode(t, uint64(0xB0+i))
+		n.cable(t, m, s1, i)
+	}
+	for i := 0; i < 2; i++ {
+		m := n.addNode(t, uint64(0xB8+i))
+		n.cable(t, m, s2, i+3)
+	}
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if len(res.IDs) != 4 {
+		t.Fatalf("discovered %d interfaces, want 4: %v", len(res.IDs), res.IDs)
+	}
+	verifyAllPairs(t, n)
+}
+
+func TestMapThreeSwitchLine(t *testing.T) {
+	n := newNet(t)
+	s1 := n.addSwitch(t)
+	s2 := n.addSwitch(t)
+	s3 := n.addSwitch(t)
+	n.trunk(t, s1, s2, 7, 0)
+	n.trunk(t, s2, s3, 7, 0)
+	a := n.addNode(t, 0xC1)
+	n.cable(t, a, s1, 2)
+	b := n.addNode(t, 0xC2)
+	n.cable(t, b, s2, 3)
+	c := n.addNode(t, 0xC3)
+	n.cable(t, c, s3, 4)
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if len(res.IDs) != 3 {
+		t.Fatalf("discovered %d interfaces, want 3", len(res.IDs))
+	}
+	verifyAllPairs(t, n)
+}
+
+func TestMapperFromNonFirstNode(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 3; i++ {
+		m := n.addNode(t, uint64(0xD0+i))
+		n.cable(t, m, sw, i)
+	}
+	// The mapper runs on the *last* node; identities must still be
+	// assigned by UID order, not mapper position.
+	res := runMapper(t, n, n.mcps[2], DefaultConfig())
+	if res.MapperID != 3 {
+		t.Errorf("MapperID = %d, want 3", res.MapperID)
+	}
+	verifyAllPairs(t, n)
+}
+
+func TestRemapAfterNodeLoss(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 3; i++ {
+		m := n.addNode(t, uint64(0xE0+i))
+		n.cable(t, m, sw, i)
+	}
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if len(res.IDs) != 3 {
+		t.Fatalf("initial map found %d", len(res.IDs))
+	}
+	// Node 2's link dies; remapping must drop it.
+	n.links[2].SetUp(false)
+	res2 := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if len(res2.IDs) != 2 {
+		t.Fatalf("after link loss map found %d, want 2", len(res2.IDs))
+	}
+	if _, gone := res2.IDs[0xE2]; gone {
+		t.Error("dead interface still mapped")
+	}
+}
+
+func TestMapperIsolatedNode(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	m := n.addNode(t, 0xF0)
+	n.cable(t, m, sw, 0)
+	res := runMapper(t, n, m, DefaultConfig())
+	// A lone mapper still produces a one-node map of itself.
+	if len(res.IDs) != 1 || res.IDs[0xF0] != 1 {
+		t.Errorf("IDs = %v, want self only", res.IDs)
+	}
+	if m.NodeID() != 1 {
+		t.Errorf("NodeID = %d, want 1", m.NodeID())
+	}
+}
+
+func TestSpliceRoute(t *testing.T) {
+	cases := []struct {
+		name     string
+		toX, toY []byte
+		want     []byte
+	}{
+		{"from mapper", nil, []byte{2}, []byte{2}},
+		{"to mapper", []byte{2}, nil, []byte{0xFE}},
+		{"siblings one switch", []byte{2}, []byte{5}, []byte{3}},
+		{"two switches diverge at first", []byte{1, 2}, []byte{3}, []byte{0xFE, 2}},
+		{"shared prefix", []byte{1, 2}, []byte{1, 5}, []byte{3}},
+		{"long shared prefix", []byte{1, 4, 2}, []byte{1, 4, 6}, []byte{4}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := SpliceRoute(c.toX, c.toY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, c.want) {
+				t.Errorf("SpliceRoute(%v, %v) = %v, want %v", c.toX, c.toY, got, c.want)
+			}
+		})
+	}
+	if _, err := SpliceRoute(nil, nil); err == nil {
+		t.Error("splice of empty routes succeeded")
+	}
+}
+
+func TestReverseRoute(t *testing.T) {
+	got := gmproto.ReverseRoute([]byte{1, 0xFE, 3}) // +1,-2,+3
+	want := []byte{0xFD, 2, 0xFF}                   // -3,+2,-1
+	if !bytes.Equal(got, want) {
+		t.Errorf("ReverseRoute = %v, want %v", got, want)
+	}
+	if len(gmproto.ReverseRoute(nil)) != 0 {
+		t.Error("reverse of empty route not empty")
+	}
+}

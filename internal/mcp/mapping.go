@@ -1,0 +1,65 @@
+package mcp
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/gmproto"
+)
+
+// MapSink receives mapper replies arriving at the node running the mapper
+// process.
+type MapSink func(payload []byte)
+
+// SetUID burns in the interface's unique hardware identity (analogous to a
+// Myrinet interface's globally unique address), which the mapper uses to
+// recognize interfaces before NodeIDs exist.
+func (m *MCP) SetUID(uid uint64) { m.uid = uid }
+
+// UID returns the burned-in identity.
+func (m *MCP) UID() uint64 { return m.uid }
+
+// SetMapSink installs the local mapper process's reply hook.
+func (m *MCP) SetMapSink(fn MapSink) { m.mapSink = fn }
+
+// RawTransmit injects an arbitrary payload onto the wire along an explicit
+// route; the mapper uses it to launch scouts and distribute configuration.
+func (m *MCP) RawTransmit(route []byte, payload []byte) {
+	m.chip.Exec(m.cfg.AckProc, func() {
+		pkt := &fabric.Packet{
+			Route:    append([]byte(nil), route...),
+			Payload:  append([]byte(nil), payload...),
+			SrcLabel: m.chip.Name(),
+			Injected: m.eng.Now(),
+		}
+		pkt.SealCRC()
+		m.chip.TransmitPacket(pkt)
+	})
+}
+
+// handleMapPacket implements the interface side of the mapping protocol:
+// scouts are answered with the interface identity over the reverse route,
+// replies are handed to the local mapper process, and config installs the
+// NodeID and route table.
+func (m *MCP) handleMapPacket(t gmproto.PacketType, payload []byte) {
+	switch t {
+	case gmproto.PTMapScout:
+		s, err := gmproto.DecodeScout(payload)
+		if err != nil {
+			m.stats.BadHeaderDrops++
+			return
+		}
+		reply := gmproto.ReplyPayload{UID: m.uid, Fwd: s.Fwd}
+		m.RawTransmit(gmproto.ReverseRoute(s.Fwd), reply.Encode())
+	case gmproto.PTMapReply:
+		if m.mapSink != nil {
+			m.mapSink(payload)
+		}
+	case gmproto.PTMapConfig:
+		c, err := gmproto.DecodeConfig(payload)
+		if err != nil {
+			m.stats.BadHeaderDrops++
+			return
+		}
+		m.nodeID = c.ID
+		m.UploadRoutes(c.Routes)
+	}
+}

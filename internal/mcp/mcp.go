@@ -1,0 +1,374 @@
+package mcp
+
+import (
+	"fmt"
+
+	"repro/internal/gmproto"
+	"repro/internal/lanai"
+	"repro/internal/sim"
+)
+
+// EventSink receives events the MCP posts into a port's receive queue,
+// after the event record has been DMAed to host memory. The gm library
+// installs one per open port.
+type EventSink func(ev gmproto.Event)
+
+// MCP is one control-program instance, bound to a chip.
+type MCP struct {
+	eng  *sim.Engine
+	chip *lanai.Chip
+	cfg  Config
+	mode Mode
+
+	nodeID gmproto.NodeID
+	uid    uint64
+	routes map[gmproto.NodeID][]byte
+
+	mapSink MapSink
+
+	// gen invalidates engine-level timers (retransmission) across reloads.
+	gen uint64
+
+	ports [gmproto.MaxPorts]*portState
+
+	tx map[gmproto.StreamID]*txStream
+	rx map[gmproto.StreamID]*rxStream
+
+	nextMsgID uint32
+
+	// host request queue serviced by L_timer(): alarms etc. (§4.2).
+	alarms []alarmReq
+
+	pageTableEntries int // cached page-hash-table registration (§4.3)
+
+	stats Stats
+
+	// recvScheduled coalesces packet-ring service into one queued handler.
+	recvScheduled bool
+	// sendScheduled coalesces doorbell service.
+	sendScheduled bool
+
+	// adoptNackSeq reproduces the Figure 4 vulnerability: after a naive
+	// MCP reload the sender has lost its sequence state, and on a NACK it
+	// adopts the receiver's expected sequence number for its pending
+	// message — which makes the receiver accept a duplicate.
+	adoptNackSeq bool
+
+	// corruptNextSend, when nonzero, flips a payload bit of the next DATA
+	// fragment before the CRC is computed (fault injection: "Messages
+	// Corrupted").
+	corruptNextSend int
+
+	// loaded marks that a control program is present (LoadAndStart ran
+	// after the last reset).
+	loaded bool
+}
+
+type alarmReq struct {
+	port gmproto.PortID
+	at   sim.Time
+}
+
+type portState struct {
+	open       bool
+	sendQ      []gmproto.SendToken
+	recvTokens []gmproto.RecvToken
+	sink       EventSink
+	// regions maps registered-memory ids to their pinned host buffers
+	// (directed-send targets). The byte slices ARE host memory: deposits
+	// into them survive a card reset, and the process re-registers the
+	// same slices during recovery.
+	regions map[uint32][]byte
+}
+
+// New creates a control program for chip. It is inert until LoadAndStart.
+func New(chip *lanai.Chip, cfg Config, mode Mode) *MCP {
+	m := &MCP{
+		eng:    chip.Engine(),
+		chip:   chip,
+		cfg:    cfg,
+		mode:   mode,
+		routes: make(map[gmproto.NodeID][]byte),
+		tx:     make(map[gmproto.StreamID]*txStream),
+		rx:     make(map[gmproto.StreamID]*rxStream),
+	}
+	chip.SetISRHandler(m.onISR)
+	return m
+}
+
+// Chip returns the chip the program runs on.
+func (m *MCP) Chip() *lanai.Chip { return m.chip }
+
+// Mode returns the protocol variant.
+func (m *MCP) Mode() Mode { return m.mode }
+
+// Stats returns protocol counters.
+func (m *MCP) Stats() Stats { return m.stats }
+
+// NodeID returns the interface's mapper-assigned identity.
+func (m *MCP) NodeID() gmproto.NodeID { return m.nodeID }
+
+// SetNodeID assigns the interface identity (mapper/driver).
+func (m *MCP) SetNodeID(id gmproto.NodeID) { m.nodeID = id }
+
+// LoadAndStart models the driver finishing an MCP load: the processor
+// starts, timers are armed, and the protocol state is empty. The time cost
+// of loading lives in the driver/FTD, which calls this at the right moment.
+func (m *MCP) LoadAndStart() {
+	m.gen++
+	m.tx = make(map[gmproto.StreamID]*txStream)
+	m.rx = make(map[gmproto.StreamID]*rxStream)
+	for i := range m.ports {
+		m.ports[i] = nil
+	}
+	m.alarms = nil
+	m.recvScheduled = false
+	m.sendScheduled = false
+	m.pageTableEntries = 0
+	m.loaded = true
+	m.chip.Start()
+	m.armLTimer()
+	if m.mode == ModeFTGM {
+		// The IMR is modified so IT1 expiry raises a host interrupt; the
+		// L_timer routine re-arms IT1 just in time during normal operation
+		// (§4.2).
+		m.chip.SetIMR(m.chip.IMR() | lanai.ISRTimer1)
+		m.chip.SetTimer(1, m.cfg.WatchdogTicks)
+	}
+}
+
+// Loaded reports whether a control program is running (or hung) since the
+// last reset.
+func (m *MCP) Loaded() bool { return m.loaded }
+
+// Routes returns the currently uploaded route table (driver keeps the
+// authoritative copy; this accessor serves tests and the FTD).
+func (m *MCP) Routes() map[gmproto.NodeID][]byte {
+	out := make(map[gmproto.NodeID][]byte, len(m.routes))
+	for k, v := range m.routes {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// UploadRoutes installs the source-route table (mapper or FTD restore).
+func (m *MCP) UploadRoutes(routes map[gmproto.NodeID][]byte) {
+	m.routes = make(map[gmproto.NodeID][]byte, len(routes))
+	for k, v := range routes {
+		m.routes[k] = append([]byte(nil), v...)
+	}
+}
+
+// RegisterPageTable records the host's page-hash-table registration; the
+// MCP caches entries from it on demand (§4.3). Only the registration count
+// is modeled.
+func (m *MCP) RegisterPageTable(entries int) { m.pageTableEntries = entries }
+
+// PageTableEntries reports the registered page-table size.
+func (m *MCP) PageTableEntries() int { return m.pageTableEntries }
+
+// --- Host interface (called by the gm library / driver at host time) ---
+
+// HostOpenPort opens a port and installs its event sink.
+func (m *MCP) HostOpenPort(port gmproto.PortID, sink EventSink) error {
+	if int(port) >= gmproto.MaxPorts {
+		return fmt.Errorf("mcp: no port %d", port)
+	}
+	if m.ports[port] != nil && m.ports[port].open {
+		return fmt.Errorf("mcp: port %d already open", port)
+	}
+	m.ports[port] = &portState{open: true, sink: sink}
+	return nil
+}
+
+// HostClosePort closes a port; pending tokens are dropped.
+func (m *MCP) HostClosePort(port gmproto.PortID) {
+	if ps := m.port(port); ps != nil {
+		ps.open = false
+	}
+}
+
+// PortOpen reports whether a port is open.
+func (m *MCP) PortOpen(port gmproto.PortID) bool {
+	ps := m.port(port)
+	return ps != nil && ps.open
+}
+
+func (m *MCP) port(p gmproto.PortID) *portState {
+	if int(p) >= gmproto.MaxPorts {
+		return nil
+	}
+	return m.ports[p]
+}
+
+// HostPostSend enqueues a send token on a port and rings the doorbell.
+func (m *MCP) HostPostSend(tok gmproto.SendToken) error {
+	ps := m.port(tok.SrcPort)
+	if ps == nil || !ps.open {
+		return fmt.Errorf("mcp: send on closed port %d", tok.SrcPort)
+	}
+	ps.sendQ = append(ps.sendQ, tok)
+	m.chip.RaiseISR(lanai.ISRDoorbell)
+	return nil
+}
+
+// HostPostRecvToken provides a receive buffer on a port.
+func (m *MCP) HostPostRecvToken(port gmproto.PortID, tok gmproto.RecvToken) error {
+	ps := m.port(port)
+	if ps == nil || !ps.open {
+		return fmt.Errorf("mcp: recv token on closed port %d", port)
+	}
+	ps.recvTokens = append(ps.recvTokens, tok)
+	return nil
+}
+
+// HostRegisterRegion registers a pinned host buffer as a directed-send
+// target. The MCP writes deposits straight into buf (modeling DMA into
+// user memory); re-registering an id replaces the mapping.
+func (m *MCP) HostRegisterRegion(port gmproto.PortID, id uint32, buf []byte) error {
+	ps := m.port(port)
+	if ps == nil || !ps.open {
+		return fmt.Errorf("mcp: register region on closed port %d", port)
+	}
+	if ps.regions == nil {
+		ps.regions = make(map[uint32][]byte)
+	}
+	ps.regions[id] = buf
+	return nil
+}
+
+// HostSetAlarm asks the MCP to post an EvAlarm on the port at the given
+// virtual time; serviced by L_timer like other host requests (§4.2).
+func (m *MCP) HostSetAlarm(port gmproto.PortID, at sim.Time) {
+	m.alarms = append(m.alarms, alarmReq{port: port, at: at})
+}
+
+// --- Recovery entry points (FTD / gm library fault handler, §4.3-4.4) ---
+
+// PostFaultDetected places a FAULT_DETECTED event in the receive queue of a
+// port. The FTD calls this for every open port after reloading the MCP.
+func (m *MCP) PostFaultDetected(port gmproto.PortID) {
+	ps := m.port(port)
+	if ps == nil || !ps.open || ps.sink == nil {
+		return
+	}
+	sink := ps.sink
+	m.postEvent(sink, gmproto.Event{Type: gmproto.EvFaultDetected, Port: port})
+}
+
+// ReopenPort re-establishes a port after recovery with its event sink; the
+// LANai "initializes the per-port state and, as usual, starts sending and
+// receiving messages for the port" (§4.4).
+func (m *MCP) ReopenPort(port gmproto.PortID, sink EventSink) {
+	m.ports[port] = &portState{open: true, sink: sink}
+}
+
+// RestoreRxSeqs uploads the last in-order sequence number received on each
+// stream, "one for each (connection, port) pair", so the reloaded MCP "ACKs
+// the right messages and NACKs those that arrive out-of-order" (§4.4).
+func (m *MCP) RestoreRxSeqs(seqs map[gmproto.StreamID]uint32) {
+	for id, seq := range seqs {
+		rs := m.rxStream(id)
+		if seq > rs.arrivedSeq {
+			rs.arrivedSeq = seq
+		}
+		if seq > rs.committedSeq {
+			rs.committedSeq = seq
+		}
+	}
+}
+
+// --- Fault hooks (package fault drives these) ---
+
+// SetAdoptNackSeq toggles the naive-restart vulnerability: a freshly
+// reloaded MCP that lost its sequence state adopts the expected sequence
+// number carried by a NACK, re-stamping its pending messages with it — the
+// exact mechanism by which Figure 4's duplicate message gets accepted.
+func (m *MCP) SetAdoptNackSeq(v bool) { m.adoptNackSeq = v }
+
+// InjectHang stops the network processor (soft hang: timers and interrupt
+// logic stay alive).
+func (m *MCP) InjectHang() { m.chip.Hang() }
+
+// InjectHardHang stops the processor and the timer/interrupt logic.
+func (m *MCP) InjectHardHang() { m.chip.HardHang() }
+
+// InjectSendCorruption makes the next transmitted DATA fragment carry a
+// flipped payload bit. If preSeal, the flip happens before send_chunk
+// computes the CRC — it passes the link-level check and reaches the
+// application undetected (Table 1 "Messages Corrupted"). Otherwise the flip
+// happens on the sealed packet and the receiver's CRC check drops it.
+func (m *MCP) InjectSendCorruption(bit int, preSeal bool) {
+	bit |= 1 // zero would disarm the injection
+	if preSeal {
+		m.corruptNextSend = bit
+	} else {
+		m.corruptNextSend = -bit
+	}
+}
+
+// --- Dispatch ---
+
+func (m *MCP) onISR(bit uint32) {
+	switch bit {
+	case lanai.ISRDoorbell:
+		m.chip.AckISR(lanai.ISRDoorbell)
+		if !m.sendScheduled {
+			m.sendScheduled = true
+			m.chip.Exec(0, func() {
+				m.sendScheduled = false
+				m.serviceSendQueues()
+			})
+		}
+	case lanai.ISRRecvPacket:
+		m.chip.AckISR(lanai.ISRRecvPacket)
+		if !m.recvScheduled {
+			m.recvScheduled = true
+			m.chip.Exec(0, func() {
+				m.recvScheduled = false
+				m.serviceRecvRing()
+			})
+		}
+	case lanai.ISRTimer0:
+		m.chip.AckISR(lanai.ISRTimer0)
+		m.chip.Exec(m.cfg.LTimerProc, m.lTimer)
+	}
+}
+
+// lTimer is the L_timer() routine (§4.2): it services host requests
+// (alarms), clears the FTD's magic word, re-arms the watchdog (FTGM) and
+// finally re-arms IT0.
+func (m *MCP) lTimer() {
+	m.stats.LTimerRuns++
+	now := m.eng.Now()
+	rest := m.alarms[:0]
+	for _, a := range m.alarms {
+		if a.at <= now {
+			if ps := m.port(a.port); ps != nil && ps.open && ps.sink != nil {
+				m.postEvent(ps.sink, gmproto.Event{Type: gmproto.EvAlarm, Port: a.port})
+			}
+			continue
+		}
+		rest = append(rest, a)
+	}
+	m.alarms = rest
+
+	// Liveness handshake: a running MCP clears the magic word (§4.3).
+	if m.chip.ReadWord(lanai.MagicAddr) == lanai.MagicWord {
+		m.chip.WriteWord(lanai.MagicAddr, 0)
+	}
+
+	if m.mode == ModeFTGM {
+		m.chip.SetTimer(1, m.cfg.WatchdogTicks)
+	}
+	m.armLTimer()
+}
+
+func (m *MCP) armLTimer() { m.chip.SetTimer(0, m.cfg.LTimerTicks) }
+
+// postEvent DMAs an event record into the port's host receive queue, then
+// hands it to the host-side sink. The sink call is the commit point: once
+// it runs, the host owns the information.
+func (m *MCP) postEvent(sink EventSink, ev gmproto.Event) {
+	m.chip.HostDMA(m.cfg.EventBytes, func() { sink(ev) })
+}

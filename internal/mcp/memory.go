@@ -1,0 +1,63 @@
+package mcp
+
+import "repro/internal/gmproto"
+
+// MemoryFootprint itemizes the control program's SRAM usage beyond packet
+// buffering, in bytes. The paper reports that FTGM's modifications cost
+// "around 100KB" of extra static LANai memory (§5) — the per-(connection,
+// port) ACK table, the host-sequence bookkeeping and the larger event
+// records. The sizes here are the structural state of this model, sized as
+// the real firmware would lay them out.
+type MemoryFootprint struct {
+	RouteTable   int // route bytes per destination
+	TxStreams    int // per-stream window bookkeeping
+	RxStreams    int // per-stream sequence tracking
+	PortTables   int // per-port queues and token tables
+	AckTable     int // FTGM: per-(connection,port) ACK numbers (§4.1)
+	SeqShadow    int // FTGM: host-sequence consumption state
+	PageHashSlot int // cached page-hash entries
+}
+
+// Total sums the components.
+func (m MemoryFootprint) Total() int {
+	return m.RouteTable + m.TxStreams + m.RxStreams + m.PortTables +
+		m.AckTable + m.SeqShadow + m.PageHashSlot
+}
+
+// Static per-entry sizes, as a real MCP would declare them.
+const (
+	routeEntryBytes  = 16  // route bytes + length + destination id
+	txStreamBytes    = 96  // window descriptors, next-seq, rtx deadline
+	rxStreamBytes    = 24  // expected/committed sequence numbers
+	portTableBytes   = 512 // send queue ring + recv token table + event ring head
+	ackEntryBytes    = 8   // (connection, port) -> last seq
+	seqShadowBytes   = 8   // per-stream host-sequence high-water mark
+	pageCacheEntries = 64  // cached page-hash lines per port
+	pageCacheBytes   = 16
+)
+
+// Footprint reports the current structural SRAM usage. In FTGM mode the
+// receiver tracks one ACK entry per (connection, port) pair — up to
+// 8x the per-connection table of stock GM — and the sender keeps
+// host-sequence state per stream; both are sized at their configured
+// maximums (static allocation, as firmware must).
+func (m *MCP) Footprint(maxNodes int) MemoryFootprint {
+	fp := MemoryFootprint{
+		RouteTable:   maxNodes * routeEntryBytes,
+		PortTables:   gmproto.MaxPorts * portTableBytes,
+		PageHashSlot: gmproto.MaxPorts * pageCacheEntries * pageCacheBytes,
+	}
+	if m.mode == ModeFTGM {
+		// Independent streams per (port, remote node), both directions.
+		streams := maxNodes * gmproto.MaxPorts
+		fp.TxStreams = streams * txStreamBytes
+		fp.RxStreams = streams * rxStreamBytes
+		fp.AckTable = streams * ackEntryBytes
+		fp.SeqShadow = streams * seqShadowBytes
+	} else {
+		// One connection per remote node.
+		fp.TxStreams = maxNodes * txStreamBytes
+		fp.RxStreams = maxNodes * rxStreamBytes
+	}
+	return fp
+}

@@ -1,0 +1,288 @@
+package mcp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gmproto"
+	"repro/internal/sim"
+)
+
+// linkOf returns the link cabled into switch port i of the pair harness.
+func (p *pair) linkOf(i int) interface{ SetUp(bool) } {
+	return p.swch.PortLink(i)
+}
+
+func TestAckLossTriggersRtxAndDupSuppression(t *testing.T) {
+	// Drop the ACK on the wire: the sender must retransmit on timeout, the
+	// receiver must discard the duplicate and re-ACK, and the send must
+	// complete exactly once.
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+		t.Fatal(err)
+	}
+	// Cut B's cable the instant the ACK is emitted; restore it shortly
+	// after so the retransmission flows.
+	linkB := p.linkOf(1)
+	var probe func()
+	probe = func() {
+		if p.b.Stats().AcksSent > 0 {
+			linkB.SetUp(false)
+			p.eng.After(1*sim.Millisecond, func() { linkB.SetUp(true) })
+			return
+		}
+		p.eng.After(50*sim.Nanosecond, probe)
+	}
+	p.eng.After(50*sim.Nanosecond, probe)
+
+	if err := p.a.HostPostSend(sendTok(2, 1, []byte("ack-me"))); err != nil {
+		t.Fatal(err)
+	}
+	p.eng.RunUntil(100 * sim.Millisecond)
+
+	recvd := p.events(p.evB, gmproto.EvReceived)
+	if len(recvd) != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", len(recvd))
+	}
+	if p.a.Stats().Retransmits == 0 {
+		t.Error("sender never retransmitted after the lost ACK")
+	}
+	if p.b.Stats().DupDropped == 0 {
+		t.Error("receiver never saw (and suppressed) the duplicate")
+	}
+	sent := p.events(p.evA, gmproto.EvSent)
+	if len(sent) != 1 {
+		t.Fatalf("sender completed %d times, want 1", len(sent))
+	}
+}
+
+func TestDataLossDuringLinkBlip(t *testing.T) {
+	// The link drops while data is in flight; Go-Back-N redelivers after
+	// it returns.
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	for i := 0; i < 4; i++ {
+		if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linkA := p.linkOf(0)
+	linkA.SetUp(false)
+	p.eng.After(2*sim.Millisecond, func() { linkA.SetUp(true) })
+	for i := 0; i < 3; i++ {
+		if err := p.a.HostPostSend(sendTok(2, 1, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.eng.RunUntil(200 * sim.Millisecond)
+	recvd := p.events(p.evB, gmproto.EvReceived)
+	if len(recvd) != 3 {
+		t.Fatalf("delivered %d/3 after link blip", len(recvd))
+	}
+	for i, ev := range recvd {
+		if ev.Data[0] != byte(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if p.a.Stats().Retransmits == 0 {
+		t.Error("no retransmissions despite a dead link")
+	}
+}
+
+func TestFragmentLossMidMessage(t *testing.T) {
+	// A multi-fragment message loses a middle fragment; the whole message
+	// is retransmitted (message-granularity Go-Back-N) and reassembles.
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	size := 3 * gmproto.MaxPacketPayload
+	if err := p.b.HostPostRecvToken(1, recvTok(uint32(size))); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Blip the link after the first fragment is through.
+	linkA := p.linkOf(0)
+	p.eng.After(30*sim.Microsecond, func() {
+		linkA.SetUp(false)
+		p.eng.After(100*sim.Microsecond, func() { linkA.SetUp(true) })
+	})
+	if err := p.a.HostPostSend(sendTok(2, 1, data)); err != nil {
+		t.Fatal(err)
+	}
+	p.eng.RunUntil(200 * sim.Millisecond)
+	recvd := p.events(p.evB, gmproto.EvReceived)
+	if len(recvd) != 1 {
+		t.Fatalf("delivered %d, want 1", len(recvd))
+	}
+	if !bytes.Equal(recvd[0].Data, data) {
+		t.Fatal("reassembly corrupted after fragment loss")
+	}
+}
+
+func TestCorruptMapConfigDropped(t *testing.T) {
+	p := newPair(t, ModeGM)
+	bad := []byte{byte(gmproto.PTMapConfig), 1} // truncated
+	p.a.RawTransmit([]byte{0x01}, bad)
+	p.eng.RunUntil(1 * sim.Millisecond)
+	if p.b.Stats().BadHeaderDrops == 0 {
+		t.Error("truncated config not counted")
+	}
+	if p.b.NodeID() != 2 {
+		t.Error("truncated config changed the node id")
+	}
+}
+
+func TestRecvTokenReturnedOnSenderRewind(t *testing.T) {
+	// If reassembly is abandoned (sender restarts the message with a new
+	// MsgID after Go-Back-N), the reserved receive token must return to
+	// the pool rather than leak.
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+		t.Fatal(err)
+	}
+	ps := p.b.ports[1]
+	if len(ps.recvTokens) != 1 {
+		t.Fatalf("tokens = %d", len(ps.recvTokens))
+	}
+	// Hand-feed a first fragment of a two-fragment message, then a first
+	// fragment of a different message id on the same seq.
+	h1 := gmproto.DataHeader{
+		Src: 1, Dst: 2, SrcPort: 1, DstPort: 1, Prio: gmproto.PriorityLow,
+		Seq: 100001, MsgID: 7, MsgLen: 10, Offset: 0,
+	}
+	p.b.handleData(h1, []byte("12345"))
+	if len(ps.recvTokens) != 0 {
+		t.Fatal("token not reserved")
+	}
+	h2 := h1
+	h2.MsgID = 9
+	p.b.handleData(h2, []byte("12345"))
+	// The abandoned reservation returned and was immediately re-reserved
+	// by the new message; completing it must deliver.
+	p.b.handleData(gmproto.DataHeader{
+		Src: 1, Dst: 2, SrcPort: 1, DstPort: 1, Prio: gmproto.PriorityLow,
+		Seq: 100001, MsgID: 9, MsgLen: 10, Offset: 5,
+	}, []byte("67890"))
+	p.eng.RunUntil(1 * sim.Millisecond)
+	recvd := p.events(p.evB, gmproto.EvReceived)
+	if len(recvd) != 1 || string(recvd[0].Data) != "1234567890" {
+		t.Fatalf("rewound message not delivered: %+v", recvd)
+	}
+}
+
+func TestMisroutedPacketDropped(t *testing.T) {
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+		t.Fatal(err)
+	}
+	// A DATA packet whose header names another node: hardware-level
+	// misroute (e.g. stale route after remap).
+	h := gmproto.DataHeader{
+		Src: 1, Dst: 9, SrcPort: 1, DstPort: 1, Prio: gmproto.PriorityLow,
+		Seq: 1, MsgID: 1, MsgLen: 1,
+	}
+	p.b.handleData(h, []byte("x"))
+	if p.b.Stats().MisroutedDrops == 0 {
+		t.Error("misrouted packet not dropped")
+	}
+	if len(p.events(p.evB, gmproto.EvReceived)) != 0 {
+		t.Error("misrouted packet delivered")
+	}
+}
+
+func TestInsaneHeadersDropped(t *testing.T) {
+	p := newPair(t, ModeGM)
+	p.openPorts(1)
+	if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []gmproto.DataHeader{
+		{Src: 1, Dst: 2, DstPort: 1, Prio: 0, Seq: 1, MsgLen: 1},                              // bad prio
+		{Src: 1, Dst: 2, DstPort: 1, Prio: gmproto.PriorityLow, Seq: 1, MsgLen: 1 << 30},      // huge
+		{Src: 1, Dst: 2, DstPort: 1, Prio: gmproto.PriorityLow, Seq: 1, MsgLen: 2, Offset: 8}, // overflow
+	}
+	before := p.b.Stats().BadHeaderDrops
+	for _, h := range cases {
+		p.b.handleData(h, []byte("x"))
+	}
+	if got := p.b.Stats().BadHeaderDrops - before; got != uint64(len(cases)) {
+		t.Errorf("BadHeaderDrops advanced by %d, want %d", got, len(cases))
+	}
+}
+
+// Property: any batch of messages with arbitrary small sizes is delivered
+// exactly once, in order, with intact contents.
+func TestPropertyBatchDelivery(t *testing.T) {
+	f := func(sizes []uint16, seed uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		p := newPair(t, ModeGM)
+		p.openPorts(1)
+		var want [][]byte
+		for i, sz := range sizes {
+			n := int(sz % 9000) // spans the 4 KB fragmentation boundary
+			buf := make([]byte, n)
+			for j := range buf {
+				buf[j] = byte(j) ^ byte(i) ^ seed
+			}
+			want = append(want, buf)
+			if err := p.b.HostPostRecvToken(1, recvTok(uint32(n)+1)); err != nil {
+				return false
+			}
+		}
+		for _, buf := range want {
+			if err := p.a.HostPostSend(sendTok(2, 1, buf)); err != nil {
+				return false
+			}
+		}
+		p.eng.RunUntil(500 * sim.Millisecond)
+		recvd := p.events(p.evB, gmproto.EvReceived)
+		if len(recvd) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(recvd[i].Data, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicate injections of the same DATA fragment never produce a
+// second delivery, whatever the fragment's position.
+func TestPropertyDuplicateFragmentsSafe(t *testing.T) {
+	f := func(repeat uint8) bool {
+		p := newPair(t, ModeGM)
+		p.openPorts(1)
+		if err := p.b.HostPostRecvToken(1, recvTok(64)); err != nil {
+			return false
+		}
+		h := gmproto.DataHeader{
+			Src: 1, Dst: 2, SrcPort: 1, DstPort: 1, Prio: gmproto.PriorityLow,
+			Seq: 100001, MsgID: 3, MsgLen: 3,
+		}
+		n := int(repeat%5) + 2
+		for i := 0; i < n; i++ {
+			p.b.handleData(h, []byte("abc"))
+		}
+		p.eng.RunUntil(10 * sim.Millisecond)
+		return len(p.events(p.evB, gmproto.EvReceived)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

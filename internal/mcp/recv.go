@@ -1,0 +1,348 @@
+package mcp
+
+import (
+	"repro/internal/gmproto"
+)
+
+// rxStream is the receiver side of one stream. Two sequence marks matter:
+//
+//   - arrivedSeq: the highest in-order message that has fully arrived. It
+//     governs accept/duplicate/NACK decisions, so later messages keep
+//     flowing while earlier ones are still being DMAed — FTGM delays the
+//     ACK, not acceptance ("several packets ... in-flight at the same
+//     time", §5.1).
+//   - committedSeq: the highest message whose bytes and event record are in
+//     host memory. FTGM ACKs carry this value (the delayed commit point of
+//     §4.1); stock GM ACKs carry arrivedSeq (the Figure 5 vulnerability).
+type rxStream struct {
+	arrivedSeq   uint32
+	committedSeq uint32
+	partial      *partialMsg
+}
+
+// ackValue is the cumulative sequence number this mode may safely ACK.
+func (rs *rxStream) ackValue(mode Mode) uint32 {
+	if mode == ModeFTGM {
+		return rs.committedSeq
+	}
+	return rs.arrivedSeq
+}
+
+type partialMsg struct {
+	hdr       gmproto.DataHeader
+	buf       []byte
+	arrived   uint32
+	dmaDone   uint32
+	tokenID   uint64
+	committed bool
+	directed  bool // deposit into registered memory; no token, no event
+}
+
+// serviceRecvRing drains the packet interface's ring one packet per
+// processor slot.
+func (m *MCP) serviceRecvRing() {
+	pkt := m.chip.PopRecv()
+	if pkt == nil {
+		return
+	}
+	if len(pkt.Route) != 0 {
+		// Route bytes left over at an interface: the packet was launched
+		// with a route that does not terminate here (a mapper scout probing
+		// past a NIC, or a corrupted route). Hardware discards it.
+		m.stats.MisroutedDrops++
+		m.chip.Exec(0, m.serviceRecvRing)
+		return
+	}
+	if !pkt.CRCOk() {
+		// Link-level corruption: GM silently drops; the sender's
+		// Go-Back-N recovers (§2).
+		m.stats.CorruptDropped++
+		m.chip.Exec(0, m.serviceRecvRing)
+		return
+	}
+	t, err := gmproto.PeekType(pkt.Payload)
+	if err != nil {
+		m.stats.BadHeaderDrops++
+		m.chip.Exec(0, m.serviceRecvRing)
+		return
+	}
+	switch t {
+	case gmproto.PTData:
+		h, frag, err := gmproto.DecodeData(pkt.Payload)
+		if err != nil {
+			m.stats.BadHeaderDrops++
+			m.chip.Exec(0, m.serviceRecvRing)
+			return
+		}
+		m.chip.Exec(m.cfg.RecvProcA, func() {
+			m.handleData(h, frag)
+			m.serviceRecvRing()
+		})
+	case gmproto.PTAck:
+		h, err := gmproto.DecodeAck(pkt.Payload)
+		if err != nil {
+			m.stats.BadHeaderDrops++
+			m.chip.Exec(0, m.serviceRecvRing)
+			return
+		}
+		m.chip.Exec(m.cfg.AckProc, func() {
+			m.handleAck(h)
+			m.serviceRecvRing()
+		})
+	case gmproto.PTNack:
+		h, err := gmproto.DecodeAck(pkt.Payload)
+		if err != nil {
+			m.stats.BadHeaderDrops++
+			m.chip.Exec(0, m.serviceRecvRing)
+			return
+		}
+		m.chip.Exec(m.cfg.AckProc, func() {
+			m.handleNack(h)
+			m.serviceRecvRing()
+		})
+	case gmproto.PTMapScout, gmproto.PTMapReply, gmproto.PTMapConfig:
+		m.chip.Exec(m.cfg.AckProc, func() {
+			m.handleMapPacket(t, pkt.Payload)
+			m.serviceRecvRing()
+		})
+	default:
+		m.stats.BadHeaderDrops++
+		m.chip.Exec(0, m.serviceRecvRing)
+	}
+}
+
+// handleData processes one arriving DATA fragment: sequence check against
+// the stream, reassembly, per-fragment DMA to the user buffer, and the
+// mode-dependent commit/ACK point.
+func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
+	m.stats.FragmentsRecvd++
+	if h.Dst != m.nodeID {
+		m.stats.MisroutedDrops++
+		return
+	}
+	// Defensive validation: headers can arrive corrupted-but-CRC-valid
+	// when the damage predates the CRC seal.
+	if !h.Prio.Valid() || h.MsgLen > m.cfg.MaxMsgSize ||
+		uint64(h.Offset)+uint64(len(frag)) > uint64(h.MsgLen) ||
+		(h.MsgLen > 0 && len(frag) == 0) {
+		m.stats.BadHeaderDrops++
+		return
+	}
+	ps := m.port(h.DstPort)
+	if ps == nil || !ps.open {
+		m.stats.ClosedPortDrops++
+		return
+	}
+
+	streamPort := h.SrcPort
+	if m.mode == ModeGM {
+		streamPort = gmproto.ConnectionPort
+	}
+	id := gmproto.StreamID{Node: h.Src, Port: streamPort, Prio: h.Prio}
+	rs, known := m.rx[id]
+	if !known {
+		// First contact on this stream: GM is connectionless, so the
+		// receiver synchronizes to the sender's current sequence number
+		// (connection establishment is implicit). Mid-message fragments
+		// cannot establish a stream; the sender's Go-Back-N resends the
+		// whole message.
+		if h.Offset != 0 {
+			m.stats.BadHeaderDrops++
+			return
+		}
+		rs = &rxStream{arrivedSeq: h.Seq - 1, committedSeq: h.Seq - 1}
+		m.rx[id] = rs
+	}
+	expected := rs.arrivedSeq + 1
+
+	switch {
+	case h.Seq <= rs.arrivedSeq:
+		// Duplicate of a message already held: discard, and re-ACK the
+		// commit mark once per message so the sender stops resending
+		// (§3.1.1).
+		m.stats.DupDropped++
+		if h.Offset == 0 {
+			m.sendControl(gmproto.AckHeader{
+				Src: m.nodeID, Dst: h.Src, SrcPort: streamPort, Prio: h.Prio,
+				AckSeq: rs.ackValue(m.mode),
+			})
+		}
+		return
+	case h.Seq > expected:
+		// Out of order: NACK with the expected sequence number so the
+		// sender goes back (§3.1.1).
+		m.stats.OutOfOrderNack++
+		if h.Offset == 0 {
+			m.sendControl(gmproto.AckHeader{
+				Src: m.nodeID, Dst: h.Src, SrcPort: streamPort, Prio: h.Prio,
+				AckSeq: expected, Nack: true,
+			})
+		}
+		return
+	}
+
+	// h.Seq == expected: fragment of the message being assembled.
+	p := rs.partial
+	if p != nil && (p.hdr.MsgID != h.MsgID || p.hdr.Seq != h.Seq) {
+		// The sender restarted this message (e.g. Go-Back-N rewound mid
+		// message); restart reassembly.
+		if !p.directed {
+			m.returnRecvToken(ps, p)
+		}
+		p = nil
+	}
+	if p == nil {
+		if h.Directed {
+			// Directed send: deposit into the registered region, no
+			// receive token, no event. Out-of-bounds deposits are
+			// protocol violations and are dropped.
+			region, ok := ps.regions[h.RegionID]
+			if !ok || uint64(h.RemoteOffset)+uint64(h.MsgLen) > uint64(len(region)) {
+				m.stats.BadHeaderDrops++
+				return
+			}
+			p = &partialMsg{
+				hdr:      h,
+				buf:      region[h.RemoteOffset : h.RemoteOffset+h.MsgLen],
+				directed: true,
+			}
+			rs.partial = p
+		} else {
+			tok, ok := m.takeRecvToken(ps, h.Prio, h.MsgLen)
+			if !ok {
+				// No receive buffer: drop; the sender's timeout will retry,
+				// and the process learns it is starving the port.
+				m.stats.NoBufferDrops++
+				if ps.sink != nil && h.Offset == 0 {
+					m.postEvent(ps.sink, gmproto.Event{
+						Type: gmproto.EvNoRecvBuffer, Port: h.DstPort,
+						Src: h.Src, SrcPort: h.SrcPort,
+					})
+				}
+				return
+			}
+			p = &partialMsg{hdr: h, buf: make([]byte, h.MsgLen), tokenID: tok.ID}
+			rs.partial = p
+		}
+	}
+	copy(p.buf[h.Offset:], frag)
+	p.arrived += uint32(len(frag))
+
+	if p.arrived >= p.hdr.MsgLen {
+		// Message fully arrived: the stream accepts the next one.
+		rs.arrivedSeq = h.Seq
+		rs.partial = nil
+		if m.mode == ModeGM || m.cfg.ImmediateAck {
+			// Stock GM commit point: ACK as soon as the message has fully
+			// arrived, before the DMA into the user buffer (§3.1.2). This
+			// is the lost-message window of Figure 5. (FTGM reaches this
+			// path only under the ImmediateAck ablation.)
+			m.sendControl(gmproto.AckHeader{
+				Src: m.nodeID, Dst: h.Src, SrcPort: streamPort, Prio: h.Prio, AckSeq: h.Seq,
+			})
+		}
+	}
+
+	// Per-fragment DMA into the pinned user buffer; fragments of one
+	// message pipeline through the DMA engine (§5.1).
+	n := len(frag)
+	if n == 0 {
+		n = 1 // zero-length message still costs a descriptor write
+	}
+	m.chip.HostDMA(n, func() {
+		p.dmaDone += uint32(len(frag))
+		m.maybeCommit(ps, rs, id, p)
+	})
+}
+
+// maybeCommit delivers the message to the host once every byte has both
+// arrived and been DMAed. Commit order matters for fault tolerance: the
+// event (with its sequence number) reaches host memory first, then the ACK
+// is released under FTGM — so a hang between the two can only cause a
+// retransmission, never a loss (§4.1).
+func (m *MCP) maybeCommit(ps *portState, rs *rxStream, id gmproto.StreamID, p *partialMsg) {
+	if p.committed || p.arrived < p.hdr.MsgLen || p.dmaDone < p.hdr.MsgLen {
+		return
+	}
+	p.committed = true
+	proc := m.cfg.RecvProcB
+	if m.mode == ModeFTGM {
+		proc += m.cfg.FTGMRecvExtra
+	}
+	h := p.hdr
+	if p.directed {
+		// Deposit complete: the receiver process is not notified (GM's
+		// directed-send semantics); commit the sequence number and, under
+		// FTGM, release the delayed ACK.
+		m.chip.Exec(proc, func() {
+			m.stats.DirectedDeposits++
+			if h.Seq > rs.committedSeq {
+				rs.committedSeq = h.Seq
+			}
+			if m.mode == ModeFTGM && !m.cfg.ImmediateAck {
+				m.sendControl(gmproto.AckHeader{
+					Src: m.nodeID, Dst: h.Src, SrcPort: id.Port, Prio: id.Prio,
+					AckSeq: rs.committedSeq,
+				})
+			}
+		})
+		return
+	}
+	m.chip.Exec(proc, func() {
+		m.stats.MsgsDelivered++
+		ev := gmproto.Event{
+			Type:    gmproto.EvReceived,
+			Port:    h.DstPort,
+			Src:     h.Src,
+			SrcPort: h.SrcPort,
+			Prio:    h.Prio,
+			Seq:     h.Seq,
+			TokenID: p.tokenID,
+			Data:    p.buf,
+		}
+		if m.mode == ModeFTGM {
+			streamPort := id.Port
+			m.chip.HostDMA(m.cfg.EventBytes, func() {
+				if ps.sink != nil {
+					ps.sink(ev)
+				}
+				// Delayed commit point: the ACK leaves only after the
+				// message and its event are in host memory (§4.1).
+				if h.Seq > rs.committedSeq {
+					rs.committedSeq = h.Seq
+				}
+				if !m.cfg.ImmediateAck {
+					m.sendControl(gmproto.AckHeader{
+						Src: m.nodeID, Dst: h.Src, SrcPort: streamPort, Prio: h.Prio,
+						AckSeq: rs.committedSeq,
+					})
+				}
+			})
+			return
+		}
+		if h.Seq > rs.committedSeq {
+			rs.committedSeq = h.Seq
+		}
+		m.postEvent(ps.sink, ev)
+	})
+}
+
+// takeRecvToken reserves the first receive token matching the message's
+// priority and size. The real MCP hashes by size class; the linear scan is
+// behaviorally identical.
+func (m *MCP) takeRecvToken(ps *portState, prio gmproto.Priority, size uint32) (gmproto.RecvToken, bool) {
+	for i, tok := range ps.recvTokens {
+		if tok.Prio == prio && tok.Size >= size {
+			ps.recvTokens = append(ps.recvTokens[:i], ps.recvTokens[i+1:]...)
+			return tok, true
+		}
+	}
+	return gmproto.RecvToken{}, false
+}
+
+// returnRecvToken puts an abandoned reassembly's token back.
+func (m *MCP) returnRecvToken(ps *portState, p *partialMsg) {
+	ps.recvTokens = append(ps.recvTokens, gmproto.RecvToken{
+		ID: p.tokenID, Size: uint32(len(p.buf)), Prio: p.hdr.Prio,
+	})
+}

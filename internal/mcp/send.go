@@ -1,0 +1,432 @@
+package mcp
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/gmproto"
+	"repro/internal/sim"
+)
+
+// txStream is the sender side of one reliable stream: a Go-Back-N window of
+// messages ordered by sequence number. In stock GM there is one stream per
+// connection (remote node) and the MCP assigns sequence numbers; in FTGM
+// there is one per (local port, remote node) and the host assigns them
+// (§4.1).
+type txStream struct {
+	id      gmproto.StreamID // {remote node, local sending port}
+	nextSeq uint32           // next MCP-assigned seq (GM mode); last+1
+	window  []*txMsg
+	rtx     *sim.Event
+	// txBusy serializes messages onto the wire: fragments of one message
+	// go out back to back, and the next message starts only when the
+	// previous one is fully injected. Go-Back-N at message granularity
+	// requires in-order arrival of message starts; the wire is serial
+	// anyway, so this costs no bandwidth.
+	txBusy bool
+}
+
+type txMsg struct {
+	tok      gmproto.SendToken
+	seq      uint32
+	msgID    uint32
+	inFlight bool // fully transmitted at least once
+	sending  bool // fragment chain in progress
+	needRtx  bool // scheduled for retransmission (NACK or timeout)
+	failed   bool // unroutable; swept out of the window lazily
+}
+
+func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
+	s, ok := m.tx[id]
+	if !ok {
+		s = &txStream{id: id}
+		if m.mode == ModeGM {
+			// Stock GM's MCP picks the connection's initial sequence number
+			// itself; a reloaded MCP starts a fresh sequence space that has
+			// nothing to do with the receiver's expectation — the root of
+			// the Figure 4 duplicate. Each load uses a distinct base
+			// (standing in for the real MCP's arbitrary initialization).
+			s.nextSeq = uint32(m.gen) * 100000
+		}
+		m.tx[id] = s
+	}
+	return s
+}
+
+func (m *MCP) rxStream(id gmproto.StreamID) *rxStream {
+	s, ok := m.rx[id]
+	if !ok {
+		s = &rxStream{}
+		m.rx[id] = s
+	}
+	return s
+}
+
+// serviceSendQueues drains every open port's send queue into the per-stream
+// windows and pumps the touched streams.
+func (m *MCP) serviceSendQueues() {
+	var touched []*txStream // ordered: simulation must be deterministic
+	seen := make(map[gmproto.StreamID]bool)
+	for _, ps := range m.ports {
+		if ps == nil || !ps.open {
+			continue
+		}
+		// High-priority tokens are serviced ahead of queued low-priority
+		// ones (GM's two non-preemptive priority levels, §3.1): an
+		// in-flight low transfer is never preempted, but a waiting one is
+		// overtaken.
+		queue := make([]gmproto.SendToken, 0, len(ps.sendQ))
+		for _, tok := range ps.sendQ {
+			if tok.Prio == gmproto.PriorityHigh {
+				queue = append(queue, tok)
+			}
+		}
+		for _, tok := range ps.sendQ {
+			if tok.Prio != gmproto.PriorityHigh {
+				queue = append(queue, tok)
+			}
+		}
+		for _, tok := range queue {
+			id := gmproto.StreamID{Node: tok.Dest, Port: tok.SrcPort, Prio: tok.Prio}
+			if m.mode == ModeGM {
+				id.Port = gmproto.ConnectionPort
+			}
+			s := m.txStreamFor(id)
+			msg := &txMsg{tok: tok, msgID: m.nextMsgID}
+			m.nextMsgID++
+			if m.mode == ModeFTGM && tok.HasSeq {
+				// Host-generated sequence number travels in the token; the
+				// MCP "simply uses these sequence numbers rather than
+				// generating its own" (§4.1).
+				msg.seq = tok.Seq
+				if tok.Seq >= s.nextSeq {
+					s.nextSeq = tok.Seq + 1
+				}
+			} else {
+				s.nextSeq++
+				msg.seq = s.nextSeq
+			}
+			// Insert in sequence order: restored tokens and fresh sends
+			// can arrive interleaved around a recovery, and Go-Back-N
+			// requires the window sorted by sequence number.
+			pos := len(s.window)
+			for pos > 0 && s.window[pos-1].seq > msg.seq {
+				pos--
+			}
+			s.window = append(s.window, nil)
+			copy(s.window[pos+1:], s.window[pos:])
+			s.window[pos] = msg
+			if !seen[id] {
+				seen[id] = true
+				touched = append(touched, s)
+			}
+		}
+		ps.sendQ = nil
+	}
+	for _, s := range touched {
+		m.pumpStream(s)
+	}
+}
+
+// sweepFailed drops unroutable messages from the window.
+func (s *txStream) sweepFailed() {
+	w := s.window[:0]
+	for _, msg := range s.window {
+		if !msg.failed {
+			w = append(w, msg)
+		}
+	}
+	s.window = w
+}
+
+// pumpStream starts transmission of the first window message that needs
+// the wire (never sent, or marked for retransmission), oldest first.
+func (m *MCP) pumpStream(s *txStream) {
+	s.sweepFailed()
+	if s.txBusy {
+		return
+	}
+	limit := m.cfg.WindowSize
+	for i, msg := range s.window {
+		if i >= limit {
+			break
+		}
+		if msg.failed || msg.sending {
+			continue
+		}
+		if !msg.inFlight || msg.needRtx {
+			s.txBusy = true
+			m.transmitMsg(s, msg, msg.inFlight)
+			return
+		}
+	}
+}
+
+// transmitMsg runs the per-fragment send pipeline: SendProcA (token decode,
+// DMA setup), host DMA of the fragment into SRAM, SendProcB (send_chunk:
+// header build and packet injection). Fragments of one message go back to
+// back; distinct messages pipeline through the window.
+func (m *MCP) transmitMsg(s *txStream, msg *txMsg, isRtx bool) {
+	route, ok := m.routes[s.id.Node]
+	if !ok {
+		// No route: GM reports a failed send to the application. The
+		// window slot is swept on the next pump (callers may be ranging
+		// over the window right now).
+		m.completeSend(msg, gmproto.SendErrorDropped)
+		msg.failed = true
+		s.txBusy = false
+		m.pumpStream(s)
+		return
+	}
+	if isRtx {
+		m.stats.Retransmits++
+	}
+	msg.sending = true
+	msg.needRtx = false
+	total := len(msg.tok.Data)
+	nfrag := (total + gmproto.MaxPacketPayload - 1) / gmproto.MaxPacketPayload
+	if nfrag == 0 {
+		nfrag = 1
+	}
+	var sendFrag func(i int)
+	sendFrag = func(i int) {
+		lo := i * gmproto.MaxPacketPayload
+		hi := lo + gmproto.MaxPacketPayload
+		if hi > total {
+			hi = total
+		}
+		procA := m.cfg.SendProcA
+		if i == 0 && m.mode == ModeFTGM {
+			procA += m.cfg.FTGMSendExtra
+		}
+		m.chip.Exec(procA, func() {
+			m.chip.HostDMA(hi-lo, func() {
+				m.chip.Exec(m.cfg.SendProcB, func() {
+					h := gmproto.DataHeader{
+						Src:          m.nodeID,
+						Dst:          s.id.Node,
+						SrcPort:      msg.tok.SrcPort,
+						DstPort:      msg.tok.DestPort,
+						Prio:         msg.tok.Prio,
+						Seq:          msg.seq,
+						MsgID:        msg.msgID,
+						MsgLen:       uint32(total),
+						Offset:       uint32(lo),
+						Directed:     msg.tok.Directed,
+						RegionID:     msg.tok.RegionID,
+						RemoteOffset: msg.tok.RemoteOffset,
+					}
+					pkt := &fabric.Packet{
+						Route:    append([]byte(nil), route...),
+						Payload:  h.Encode(msg.tok.Data[lo:hi]),
+						SrcLabel: m.chip.Name(),
+						Injected: m.eng.Now(),
+					}
+					switch {
+					case m.corruptNextSend > 0:
+						// Pre-seal fault: the bit flipped while the
+						// fragment sat in SRAM, before send_chunk computed
+						// the CRC — the damage passes the link-level check
+						// and reaches the application (Table 1 "Messages
+						// Corrupted").
+						pkt.CorruptPayload(m.corruptNextSend, false)
+						pkt.SealCRC()
+						m.corruptNextSend = 0
+					case m.corruptNextSend < 0:
+						// Post-seal (wire-level) fault: the receiver's CRC
+						// check catches it and Go-Back-N retransmits.
+						pkt.SealCRC()
+						pkt.CorruptPayload(-m.corruptNextSend, false)
+						m.corruptNextSend = 0
+					default:
+						pkt.SealCRC()
+					}
+					m.stats.FragmentsSent++
+					m.chip.TransmitPacket(pkt)
+					if i+1 < nfrag {
+						sendFrag(i + 1)
+						return
+					}
+					msg.sending = false
+					msg.inFlight = true
+					if !isRtx {
+						m.stats.MsgsSent++
+					}
+					m.armRtx(s)
+					s.txBusy = false
+					m.pumpStream(s)
+				})
+			})
+		})
+	}
+	sendFrag(0)
+}
+
+// armRtx (re)arms the stream's Go-Back-N retransmission timer.
+func (m *MCP) armRtx(s *txStream) {
+	if s.rtx != nil {
+		s.rtx.Cancel()
+	}
+	gen := m.gen
+	s.rtx = m.eng.AfterLabel(m.cfg.RtxTimeout, "rtx", func() {
+		if m.gen != gen || !m.chip.Running() {
+			return
+		}
+		s.rtx = nil
+		m.retransmitWindow(s)
+	})
+}
+
+// retransmitWindow marks every in-flight unacknowledged message of the
+// stream for resend, oldest first (Go-Back-N on timeout).
+func (m *MCP) retransmitWindow(s *txStream) {
+	s.sweepFailed()
+	any := false
+	for i, msg := range s.window {
+		if i >= m.cfg.WindowSize {
+			break
+		}
+		if msg.inFlight && !msg.sending {
+			msg.needRtx = true
+			any = true
+		}
+	}
+	if any {
+		m.pumpStream(s)
+	} else if len(s.window) > 0 {
+		m.armRtx(s)
+	}
+}
+
+// handleAck processes a cumulative ACK: every message with seq <= AckSeq is
+// complete; its send token is passed back to the process via an EvSent
+// event, which triggers the application callback (§3.1).
+func (m *MCP) handleAck(h gmproto.AckHeader) {
+	id := gmproto.StreamID{Node: h.Src, Port: h.SrcPort, Prio: h.Prio}
+	s, ok := m.tx[id]
+	if !ok {
+		return
+	}
+	s.sweepFailed()
+	rest := s.window[:0]
+	for _, msg := range s.window {
+		if msg.seq <= h.AckSeq && msg.inFlight {
+			m.stats.MsgsAcked++
+			m.completeSend(msg, gmproto.SendOK)
+			continue
+		}
+		rest = append(rest, msg)
+	}
+	s.window = rest
+	if len(s.window) == 0 {
+		if s.rtx != nil {
+			s.rtx.Cancel()
+			s.rtx = nil
+		}
+	} else {
+		m.armRtx(s)
+	}
+	m.pumpStream(s)
+}
+
+// handleNack processes a NACK carrying the receiver's expected sequence
+// number. Messages below it are implicitly acknowledged; transmission
+// restarts from the expected message (Go-Back-N).
+//
+// If the expected sequence number is not in the window and adoptNackSeq is
+// set (a naive post-reload MCP that lost its sequence state), the pending
+// messages are renumbered starting at the receiver's expectation — the
+// Figure 4 behavior that delivers a duplicate message.
+func (m *MCP) handleNack(h gmproto.AckHeader) {
+	id := gmproto.StreamID{Node: h.Src, Port: h.SrcPort, Prio: h.Prio}
+	s, ok := m.tx[id]
+	if !ok {
+		return
+	}
+	s.sweepFailed()
+	expected := h.AckSeq
+	// Implicit cumulative ACK below the expectation.
+	rest := s.window[:0]
+	for _, msg := range s.window {
+		if msg.seq < expected && msg.inFlight {
+			m.stats.MsgsAcked++
+			m.completeSend(msg, gmproto.SendOK)
+			continue
+		}
+		rest = append(rest, msg)
+	}
+	s.window = rest
+
+	found := false
+	for _, msg := range s.window {
+		if msg.seq == expected {
+			found = true
+			break
+		}
+	}
+	if !found {
+		if m.adoptNackSeq && len(s.window) > 0 {
+			for i, msg := range s.window {
+				msg.seq = expected + uint32(i)
+				msg.inFlight = false
+			}
+			s.nextSeq = expected + uint32(len(s.window))
+			m.pumpStream(s)
+		}
+		// The expected message is not here (e.g. its token has not been
+		// restored yet after a recovery): retransmitting higher sequence
+		// numbers can only provoke further NACKs, so wait.
+		return
+	}
+	for i, msg := range s.window {
+		if i >= m.cfg.WindowSize {
+			break
+		}
+		if msg.seq >= expected && msg.inFlight && !msg.sending {
+			msg.needRtx = true
+		}
+	}
+	m.pumpStream(s)
+}
+
+// completeSend posts the EvSent/EvSendError event that returns the send
+// token to the process and fires its callback.
+func (m *MCP) completeSend(msg *txMsg, status gmproto.SendStatus) {
+	ps := m.port(msg.tok.SrcPort)
+	if ps == nil || !ps.open || ps.sink == nil {
+		return
+	}
+	ev := gmproto.Event{
+		Port:    msg.tok.SrcPort,
+		TokenID: msg.tok.ID,
+		Seq:     msg.seq,
+		Status:  status,
+	}
+	if status == gmproto.SendOK {
+		ev.Type = gmproto.EvSent
+	} else {
+		ev.Type = gmproto.EvSendError
+	}
+	m.postEvent(ps.sink, ev)
+}
+
+// sendControl emits an ACK or NACK packet toward a node.
+func (m *MCP) sendControl(h gmproto.AckHeader) {
+	route, ok := m.routes[h.Dst]
+	if !ok {
+		return
+	}
+	m.chip.Exec(m.cfg.AckProc, func() {
+		pkt := &fabric.Packet{
+			Route:    append([]byte(nil), route...),
+			Payload:  h.Encode(),
+			SrcLabel: m.chip.Name(),
+			Injected: m.eng.Now(),
+		}
+		pkt.SealCRC()
+		if h.Nack {
+			m.stats.NacksSent++
+		} else {
+			m.stats.AcksSent++
+		}
+		m.chip.TransmitPacket(pkt)
+	})
+}

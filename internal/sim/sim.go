@@ -1,0 +1,257 @@
+// Package sim provides the deterministic discrete-event simulation core on
+// which the Myrinet/GM model runs. All times are virtual: the engine keeps a
+// virtual clock and a priority queue of scheduled events, and advances the
+// clock from event to event. Given the same seed and the same schedule of
+// calls, a simulation is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. Nanosecond granularity comfortably resolves the paper's
+// microsecond-scale timing constants (the LANai interval timers tick every
+// 500 ns).
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring the time package but in virtual units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = math.MaxInt64
+
+// Micros reports t as a floating-point number of microseconds, the unit the
+// paper reports nearly all results in.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "12.5us" or "1.2s".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.1fus", t.Micros())
+	case t < 10*Second:
+		return fmt.Sprintf("%.1fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.At and Engine.After.
+type Event struct {
+	when     Time
+	seq      uint64 // FIFO tiebreak among events at the same instant
+	index    int    // heap index, -1 when not queued
+	canceled bool
+	fn       func()
+	label    string
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// TraceFunc receives a line of simulation trace output.
+type TraceFunc func(t Time, component, format string, args ...any)
+
+// ErrPastTime is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastTime = errors.New("sim: event scheduled in the past")
+
+// Engine is the discrete-event simulation engine. It is not safe for
+// concurrent use: the entire simulation is single-threaded and deterministic.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	rng     *RNG
+	trace   TraceFunc
+	stopped bool
+	// executed counts events that have fired, for diagnostics and runaway
+	// detection in tests.
+	executed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic RNG
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are queued (including canceled ones that
+// have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetTrace installs fn as the trace sink; pass nil to disable tracing.
+func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
+
+// Tracef emits a trace line attributed to component if tracing is enabled.
+func (e *Engine) Tracef(component, format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, component, format, args...)
+	}
+}
+
+// At schedules fn to run at virtual time t and returns a handle that can
+// cancel it. Scheduling at the current time is allowed (the event runs after
+// already-queued events at the same instant). Scheduling in the past panics:
+// it is always a programming error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.AtLabel(t, "", fn)
+}
+
+// AtLabel is At with a label attached for diagnostics.
+func (e *Engine) AtLabel(t Time, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("%v: at %v, now %v", ErrPastTime, t, e.now))
+	}
+	ev := &Event{when: t, seq: e.nextSeq, fn: fn, label: label}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// AfterLabel is After with a label attached for diagnostics.
+func (e *Engine) AfterLabel(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtLabel(e.now+d, label, fn)
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called. It returns the
+// final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// deadline (if it is later than the last event). It returns the final time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		// Discard canceled events at the root before peeking: a canceled
+		// timer with an early timestamp must not let Step() fire a live
+		// event that lies beyond the deadline.
+		for len(e.queue) > 0 && e.queue[0].canceled {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].when > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor advances the simulation by d virtual time.
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + d) }
