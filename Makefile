@@ -1,0 +1,26 @@
+# Tier-1 verification gate. The experiment layer fans out across goroutines
+# (internal/parallel), so the race detector is part of the gate, not an
+# optional extra.
+.PHONY: tier1 build vet test race bench quickbench
+
+tier1: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full benchmark sweep (regenerates every table/figure as metrics).
+bench:
+	go test -bench=. -benchtime=1x -run=^$$ .
+
+# Engine-level microbenchmarks with allocation counts.
+quickbench:
+	go test -bench=BenchmarkEngine -benchmem -run=^$$ ./internal/sim/

@@ -21,6 +21,7 @@ import (
 	"repro/gm"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 )
 
 // BenchmarkTable1FaultInjection reproduces Table 1: 1000 single-bit flips
@@ -45,20 +46,22 @@ func BenchmarkTable1FaultInjection(b *testing.B) {
 // fragmentation dip: bidirectional streaming at 256 KB (asymptotic) for
 // both variants.
 func BenchmarkFigure7Bandwidth(b *testing.B) {
+	modes := []gm.Mode{gm.ModeGM, gm.ModeFTGM}
 	var gmRate, ftRate float64
 	for i := 0; i < b.N; i++ {
-		for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
-			p, err := experiments.NewPair(experiments.PairOptions{Mode: mode})
+		// The two variants are independent simulations: measure them
+		// concurrently, one cluster per worker.
+		rates, err := parallel.Map(len(modes), 0, func(m int) (float64, error) {
+			p, err := experiments.NewPair(experiments.PairOptions{Mode: modes[m]})
 			if err != nil {
-				b.Fatal(err)
+				return 0, err
 			}
-			rate := experiments.BidirectionalRate(p, 256*1024, 40)
-			if mode == gm.ModeGM {
-				gmRate = rate
-			} else {
-				ftRate = rate
-			}
+			return experiments.BidirectionalRate(p, 256*1024, 40), nil
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
+		gmRate, ftRate = rates[0], rates[1]
 	}
 	b.ReportMetric(gmRate, "GM-MB/s")
 	b.ReportMetric(ftRate, "FTGM-MB/s")
@@ -67,20 +70,20 @@ func BenchmarkFigure7Bandwidth(b *testing.B) {
 // BenchmarkFigure8Latency reproduces Figure 8's short-message point: the
 // half round trip at 16 bytes for both variants.
 func BenchmarkFigure8Latency(b *testing.B) {
+	modes := []gm.Mode{gm.ModeGM, gm.ModeFTGM}
 	var gmLat, ftLat float64
 	for i := 0; i < b.N; i++ {
-		for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
-			p, err := experiments.NewPair(experiments.PairOptions{Mode: mode})
+		lats, err := parallel.Map(len(modes), 0, func(m int) (float64, error) {
+			p, err := experiments.NewPair(experiments.PairOptions{Mode: modes[m]})
 			if err != nil {
-				b.Fatal(err)
+				return 0, err
 			}
-			half := experiments.HalfRoundTrip(p, 16, 50).Micros()
-			if mode == gm.ModeGM {
-				gmLat = half
-			} else {
-				ftLat = half
-			}
+			return experiments.HalfRoundTrip(p, 16, 50).Micros(), nil
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
+		gmLat, ftLat = lats[0], lats[1]
 	}
 	b.ReportMetric(gmLat, "GM-us")
 	b.ReportMetric(ftLat, "FTGM-us")

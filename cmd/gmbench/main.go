@@ -4,18 +4,61 @@
 //	gmbench -mode bw      Figure 7  (bidirectional bandwidth vs length)
 //	gmbench -mode lat     Figure 8  (half round-trip latency vs length)
 //	gmbench -mode table2  Table 2   (metric summary, GM vs FTGM)
+//	gmbench -mode table1  Table 1   (fault-injection campaign)
 //	gmbench -mode all     everything
 //
-// The -quick flag shrinks the sweeps for a fast smoke run.
+// The -quick flag shrinks the sweeps for a fast smoke run. The -json flag
+// writes the headline metrics (MB/s asymptote, short-message half-RTT,
+// campaign percentages, wall-clock) to a machine-readable file so successive
+// PRs have a bench trajectory to compare against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/parallel"
 )
+
+// report is the -json output shape. Fields are omitted when their mode did
+// not run.
+type report struct {
+	WallClockSec float64 `json:"wall_clock_sec"`
+	Workers      int     `json:"workers"`
+
+	// Figure 7: bandwidth at the largest swept size (the asymptote).
+	GMBandwidthMBs   float64 `json:"gm_bandwidth_mbs,omitempty"`
+	FTGMBandwidthMBs float64 `json:"ftgm_bandwidth_mbs,omitempty"`
+
+	// Figure 8: half round trip at the smallest swept size.
+	GMHalfRTTUs   float64 `json:"gm_half_rtt_us,omitempty"`
+	FTGMHalfRTTUs float64 `json:"ftgm_half_rtt_us,omitempty"`
+
+	// Table 2 summary rows.
+	Table2 *table2JSON `json:"table2,omitempty"`
+
+	// Table 1 campaign outcome percentages, keyed by category name.
+	CampaignRuns    int                `json:"campaign_runs,omitempty"`
+	CampaignPercent map[string]float64 `json:"campaign_percent,omitempty"`
+}
+
+type table2JSON struct {
+	GM   table2RowJSON `json:"gm"`
+	FTGM table2RowJSON `json:"ftgm"`
+}
+
+type table2RowJSON struct {
+	BandwidthMBs  float64 `json:"bandwidth_mbs"`
+	LatencyUs     float64 `json:"latency_us"`
+	HostSendUs    float64 `json:"host_send_us"`
+	HostRecvUs    float64 `json:"host_recv_us"`
+	LanaiPerMsgUs float64 `json:"lanai_per_msg_us"`
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -25,23 +68,31 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "bw | lat | table2 | all")
+	mode := flag.String("mode", "all", "bw | lat | table2 | table1 | all")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
+	runs := flag.Int("runs", 1000, "fault-injection trials for table1")
+	seed := flag.Uint64("seed", 2003, "campaign seed for table1")
 	quick := flag.Bool("quick", false, "small sweeps for a fast run")
+	jsonPath := flag.String("json", "", "write headline metrics as JSON to this file")
 	flag.Parse()
 
 	if *quick {
 		*msgs = 40
 		*rounds = 20
+		*runs = 200
 	}
 
 	doBW := *mode == "bw" || *mode == "all"
 	doLat := *mode == "lat" || *mode == "all"
 	doT2 := *mode == "table2" || *mode == "all"
-	if !doBW && !doLat && !doT2 {
+	doT1 := *mode == "table1" || *mode == "all"
+	if !doBW && !doLat && !doT2 && !doT1 {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+
+	started := time.Now()
+	rep := report{Workers: parallel.Workers()}
 
 	if doBW {
 		sizes := experiments.Figure7Sizes()
@@ -53,6 +104,8 @@ func run() error {
 			return err
 		}
 		fmt.Println(res.Render())
+		rep.GMBandwidthMBs = res.GM.Points[len(res.GM.Points)-1].Y
+		rep.FTGMBandwidthMBs = res.FTGM.Points[len(res.FTGM.Points)-1].Y
 	}
 	if doLat {
 		sizes := experiments.Figure8Sizes()
@@ -64,6 +117,8 @@ func run() error {
 			return err
 		}
 		fmt.Println(res.Render())
+		rep.GMHalfRTTUs = res.GM.Points[0].Y
+		rep.FTGMHalfRTTUs = res.FTGM.Points[0].Y
 	}
 	if doT2 {
 		res, err := experiments.Table2()
@@ -71,6 +126,35 @@ func run() error {
 			return err
 		}
 		fmt.Println(res.Render())
+		rep.Table2 = &table2JSON{
+			GM:   table2RowJSON(res.GM),
+			FTGM: table2RowJSON(res.FTGM),
+		}
+	}
+	if doT1 {
+		res, err := experiments.Table1(*runs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		rep.CampaignRuns = res.Campaign.Runs
+		rep.CampaignPercent = make(map[string]float64)
+		for _, o := range fault.Outcomes() {
+			rep.CampaignPercent[o.String()] = res.Campaign.Percent(o)
+		}
+	}
+
+	rep.WallClockSec = time.Since(started).Seconds()
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%.1fs wall clock, %d workers)\n",
+			*jsonPath, rep.WallClockSec, rep.Workers)
 	}
 	return nil
 }

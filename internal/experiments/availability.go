@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/gm"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -246,17 +247,15 @@ func Availability(scheme AvailabilityScheme, cfg AvailabilityConfig) (Availabili
 	return res, nil
 }
 
-// AvailabilityComparison runs all three schemes on the same mission.
+// AvailabilityComparison runs all three schemes on the same mission. Each
+// scheme's mission is a full, independent simulation on its own cluster, so
+// the three run concurrently; the result order is fixed (no-recovery, naive
+// restart, FTGM) regardless of which finishes first.
 func AvailabilityComparison(cfg AvailabilityConfig) ([]AvailabilityResult, error) {
-	var out []AvailabilityResult
-	for _, s := range []AvailabilityScheme{SchemeNoRecovery, SchemeNaiveRestart, SchemeFTGM} {
-		r, err := Availability(s, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	schemes := []AvailabilityScheme{SchemeNoRecovery, SchemeNaiveRestart, SchemeFTGM}
+	return parallel.Map(len(schemes), 0, func(i int) (AvailabilityResult, error) {
+		return Availability(schemes[i], cfg)
+	})
 }
 
 // RenderAvailability prints the comparison.

@@ -23,6 +23,28 @@ func TestTable1Experiment(t *testing.T) {
 	}
 }
 
+func TestTable1ParallelDeterminism(t *testing.T) {
+	// Table 1's campaign fans out across GOMAXPROCS workers internally; two
+	// runs from the same seed must produce identical trial lists — same
+	// order, same bits, same outcomes — regardless of scheduling.
+	a, err := Table1(1000, 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(1000, 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Campaign.Trials) != 1000 || len(b.Campaign.Trials) != 1000 {
+		t.Fatalf("trials = %d / %d", len(a.Campaign.Trials), len(b.Campaign.Trials))
+	}
+	for i := range a.Campaign.Trials {
+		if a.Campaign.Trials[i] != b.Campaign.Trials[i] {
+			t.Fatalf("trial %d: %+v != %+v", i, a.Campaign.Trials[i], b.Campaign.Trials[i])
+		}
+	}
+}
+
 func TestBandwidthShape(t *testing.T) {
 	// Figure 7's shape in miniature: FTGM tracks GM closely, the curve
 	// grows with message size, and large messages approach the ~92 MB/s

@@ -4,8 +4,25 @@ import (
 	"fmt"
 
 	"repro/gm"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
+
+// perfModes is the GM/FTGM pair every comparison sweeps, in render order.
+var perfModes = []gm.Mode{gm.ModeGM, gm.ModeFTGM}
+
+// sweepPoints runs measure over the (mode, size) grid — each point on its
+// own freshly booted pair, all points fanned out across workers — and
+// returns the values grid-ordered: all of GM's sizes, then all of FTGM's.
+func sweepPoints(sizes []int, measure func(p *Pair, size int) float64) ([]float64, error) {
+	return parallel.Map(len(perfModes)*len(sizes), 0, func(i int) (float64, error) {
+		p, err := NewPair(PairOptions{Mode: perfModes[i/len(sizes)]})
+		if err != nil {
+			return 0, err
+		}
+		return measure(p, sizes[i%len(sizes)]), nil
+	})
+}
 
 // Figure7Sizes is the message-length sweep for the bandwidth figure:
 // powers of two from 1 B to 512 KB, plus points just past each of the
@@ -53,18 +70,18 @@ type Figure7Result struct {
 // shape).
 func Figure7(sizes []int, msgs int) (Figure7Result, error) {
 	res := Figure7Result{GM: trace.Series{Name: "GM"}, FTGM: trace.Series{Name: "FTGM"}}
-	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
-		for _, size := range sizes {
-			p, err := NewPair(PairOptions{Mode: mode})
-			if err != nil {
-				return res, err
-			}
-			rate := BidirectionalRate(p, size, msgs)
-			if mode == gm.ModeGM {
-				res.GM.Add(float64(size), rate)
-			} else {
-				res.FTGM.Add(float64(size), rate)
-			}
+	rates, err := sweepPoints(sizes, func(p *Pair, size int) float64 {
+		return BidirectionalRate(p, size, msgs)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, rate := range rates {
+		size := float64(sizes[i%len(sizes)])
+		if perfModes[i/len(sizes)] == gm.ModeGM {
+			res.GM.Add(size, rate)
+		} else {
+			res.FTGM.Add(size, rate)
 		}
 	}
 	return res, nil
@@ -86,18 +103,18 @@ type Figure8Result struct {
 // Figure8 measures the ping-pong half round-trip latency across the sweep.
 func Figure8(sizes []int, rounds int) (Figure8Result, error) {
 	res := Figure8Result{GM: trace.Series{Name: "GM"}, FTGM: trace.Series{Name: "FTGM"}}
-	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
-		for _, size := range sizes {
-			p, err := NewPair(PairOptions{Mode: mode})
-			if err != nil {
-				return res, err
-			}
-			half := HalfRoundTrip(p, size, rounds)
-			if mode == gm.ModeGM {
-				res.GM.Add(float64(size), half.Micros())
-			} else {
-				res.FTGM.Add(float64(size), half.Micros())
-			}
+	halves, err := sweepPoints(sizes, func(p *Pair, size int) float64 {
+		return HalfRoundTrip(p, size, rounds).Micros()
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, half := range halves {
+		size := float64(sizes[i%len(sizes)])
+		if perfModes[i/len(sizes)] == gm.ModeGM {
+			res.GM.Add(size, half)
+		} else {
+			res.FTGM.Add(size, half)
 		}
 	}
 	return res, nil
@@ -125,20 +142,17 @@ type Table2Result struct {
 	FTGM Table2Row
 }
 
-// Table2 reproduces the paper's metric summary.
+// Table2 reproduces the paper's metric summary, measuring the GM and FTGM
+// rows concurrently (each on its own set of clusters).
 func Table2() (Table2Result, error) {
 	var res Table2Result
-	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
-		row, err := table2Row(mode)
-		if err != nil {
-			return res, err
-		}
-		if mode == gm.ModeGM {
-			res.GM = row
-		} else {
-			res.FTGM = row
-		}
+	rows, err := parallel.Map(len(perfModes), 0, func(i int) (Table2Row, error) {
+		return table2Row(perfModes[i])
+	})
+	if err != nil {
+		return res, err
 	}
+	res.GM, res.FTGM = rows[0], rows[1]
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -47,17 +48,21 @@ func Table1Exhaustive(seed uint64) (Table1Result, error) {
 // Table1Sections runs the campaign against both MCP sections — the paper's
 // send_chunk plus the receive path it speculates about ("these results
 // could be different if fault injection is carried out on some other
-// section of the code", §2).
+// section of the code", §2). The two campaigns (golden run included) build
+// and run concurrently; each is deterministic in its own seed.
 func Table1Sections(runs int, seed uint64) (send, recv Table1Result, err error) {
-	cs, err := fault.NewSectionCampaign(fault.SectionSend, seed)
+	sections := []fault.Section{fault.SectionSend, fault.SectionRecv}
+	res, err := parallel.Map(len(sections), 0, func(i int) (Table1Result, error) {
+		c, err := fault.NewSectionCampaign(sections[i], seed)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		return Table1Result{Campaign: c.Run(runs)}, nil
+	})
 	if err != nil {
 		return send, recv, err
 	}
-	cr, err := fault.NewSectionCampaign(fault.SectionRecv, seed)
-	if err != nil {
-		return send, recv, err
-	}
-	return Table1Result{Campaign: cs.Run(runs)}, Table1Result{Campaign: cr.Run(runs)}, nil
+	return res[0], res[1], nil
 }
 
 // RenderSections prints the two sections side by side.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -237,8 +238,32 @@ func buildRig(p *isa.Program, section Section) *rig {
 	return r
 }
 
+// reset returns the rig to the given pre-execution SRAM image, making it
+// reusable across trials without reallocating the machine or the pinned
+// host memory. The MMIO handlers installed by buildRig close over the rig
+// itself, so clearing the mutable fields is sufficient.
+func (r *rig) reset(pristine []byte) {
+	copy(r.m.Mem, pristine)
+	r.m.Regs = [32]uint32{}
+	r.m.PC = 0
+	r.m.Cycle = 0
+	r.packet = r.packet[:0]
+	r.committed = false
+	r.hostEvent = 0
+	r.hostStatus = 0
+	for i := range r.hostData {
+		r.hostData[i] = 0
+	}
+	r.hostCrash = false
+	r.timerSet = false
+}
+
 // Campaign runs the Table 1 experiment: single-bit flips uniformly
-// distributed over one MCP section, each against a fresh machine.
+// distributed over one MCP section, each against an isolated machine state.
+// Run and Exhaustive fan trials out across GOMAXPROCS workers; results are
+// bit-for-bit identical at any worker count (see RunWorkers). A Campaign's
+// methods must not be invoked concurrently with each other — the campaign
+// parallelizes internally.
 type Campaign struct {
 	prog      *isa.Program
 	section   Section
@@ -249,6 +274,9 @@ type Campaign struct {
 	goldenHostData []byte
 	goldenEvent    uint32
 	goldenMem      []byte
+	// pristine is the SRAM image before execution: the reset state rigs are
+	// rewound to between trials.
+	pristine []byte
 
 	rng        *sim.RNG
 	execBudget uint64
@@ -279,6 +307,7 @@ func NewSectionCampaign(section Section, seed uint64) (*Campaign, error) {
 		execBudget: 100000,
 	}
 	golden := buildRig(prog, section)
+	c.pristine = golden.m.Snapshot()
 	stop := golden.m.Run(c.execBudget)
 	if stop != isa.StopHalted {
 		return nil, fmt.Errorf("fault: golden %v run stopped with %v", section, stop)
@@ -335,7 +364,14 @@ func (c *Campaign) GoldenPacket() []uint32 { return append([]uint32(nil), c.gold
 // RunTrial executes one injection at the given bit offset within the
 // section.
 func (c *Campaign) RunTrial(bit int) Trial {
-	r := buildRig(c.prog, c.section)
+	return c.runTrialIn(buildRig(c.prog, c.section), bit)
+}
+
+// runTrialIn executes one injection on a reusable rig, rewinding it to the
+// pristine image first. Trials are pure functions of the bit position, so
+// workers can run them in any order on any rig.
+func (c *Campaign) runTrialIn(r *rig, bit int) Trial {
+	r.reset(c.pristine)
 	addr := c.sectionLo + uint32(bit/8)
 	r.m.Mem[addr] ^= 1 << (bit % 8)
 	stop := r.m.Run(c.execBudget)
@@ -441,27 +477,49 @@ func (c *Campaign) architecturalStateClean(r *rig) bool {
 
 // Run executes n trials at uniformly random bit positions (the paper's
 // protocol: "a fault was injected at a random bit location in this section
-// while it was handling some network communication").
-func (c *Campaign) Run(n int) CampaignResult {
-	res := CampaignResult{Runs: n, Counts: make(map[Outcome]int)}
+// while it was handling some network communication"), fanned out across
+// GOMAXPROCS workers.
+func (c *Campaign) Run(n int) CampaignResult { return c.RunWorkers(n, 0) }
+
+// RunWorkers is Run with an explicit worker count (0 selects GOMAXPROCS).
+//
+// Determinism contract: each Run call first advances the campaign's seed
+// stream by one draw to obtain a nonce, and trial i then flips the bit drawn
+// from sim.DeriveRNG(nonce, i). Results are therefore a pure function of
+// (campaign seed, Run-call sequence, n) — bit-for-bit identical between a
+// serial and a parallel run and across any worker count — while successive
+// Run calls on the same campaign still sample fresh positions.
+func (c *Campaign) RunWorkers(n, workers int) CampaignResult {
+	nonce := c.rng.Uint64()
 	bits := c.SectionBits()
-	for i := 0; i < n; i++ {
-		tr := c.RunTrial(c.rng.Intn(bits))
-		res.Counts[tr.Outcome]++
-		res.Trials = append(res.Trials, tr)
-	}
-	return res
+	trials, _ := parallel.MapWorker(n, workers,
+		func(int) (*rig, error) { return buildRig(c.prog, c.section), nil },
+		func(r *rig, i int) (Trial, error) {
+			return c.runTrialIn(r, sim.DeriveRNG(nonce, uint64(i)).Intn(bits)), nil
+		})
+	return c.collect(trials)
 }
 
 // Exhaustive flips every bit of the section exactly once (beyond the
-// paper: a complete census instead of a 1000-run sample).
-func (c *Campaign) Exhaustive() CampaignResult {
-	bits := c.SectionBits()
-	res := CampaignResult{Runs: bits, Counts: make(map[Outcome]int)}
-	for bit := 0; bit < bits; bit++ {
-		tr := c.RunTrial(bit)
+// paper: a complete census instead of a 1000-run sample), fanned out across
+// GOMAXPROCS workers.
+func (c *Campaign) Exhaustive() CampaignResult { return c.ExhaustiveWorkers(0) }
+
+// ExhaustiveWorkers is Exhaustive with an explicit worker count (0 selects
+// GOMAXPROCS). Trial i flips bit i; no randomness is involved, so the census
+// is identical at any worker count.
+func (c *Campaign) ExhaustiveWorkers(workers int) CampaignResult {
+	trials, _ := parallel.MapWorker(c.SectionBits(), workers,
+		func(int) (*rig, error) { return buildRig(c.prog, c.section), nil },
+		func(r *rig, bit int) (Trial, error) { return c.runTrialIn(r, bit), nil })
+	return c.collect(trials)
+}
+
+// collect aggregates ordered trials into a CampaignResult.
+func (c *Campaign) collect(trials []Trial) CampaignResult {
+	res := CampaignResult{Runs: len(trials), Counts: make(map[Outcome]int), Trials: trials}
+	for _, tr := range trials {
 		res.Counts[tr.Outcome]++
-		res.Trials = append(res.Trials, tr)
 	}
 	return res
 }

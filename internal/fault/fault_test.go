@@ -109,6 +109,66 @@ func TestTable1Shape(t *testing.T) {
 	}
 }
 
+func TestCampaignWorkerInvariance(t *testing.T) {
+	// The seed-splitting contract: a campaign's trials — order, bit
+	// positions, and outcomes — are bit-for-bit identical at any worker
+	// count, because trial i draws its stream from (nonce, i) rather than
+	// from whichever worker runs it.
+	ref, err := NewCampaign(2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := ref.RunWorkers(300, 1)
+	for _, workers := range []int{1, 2, 8} {
+		c, err := NewCampaign(2003)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.RunWorkers(300, workers)
+		if len(got.Trials) != len(serial.Trials) {
+			t.Fatalf("workers=%d: %d trials, want %d", workers, len(got.Trials), len(serial.Trials))
+		}
+		for i := range got.Trials {
+			if got.Trials[i] != serial.Trials[i] {
+				t.Fatalf("workers=%d: trial %d = %+v, serial %+v",
+					workers, i, got.Trials[i], serial.Trials[i])
+			}
+		}
+	}
+}
+
+func TestSuccessiveRunsSampleFreshPositions(t *testing.T) {
+	// Each Run call draws a new nonce from the campaign's seed stream, so
+	// back-to-back Runs must not replay the same bit sequence.
+	c := newCampaign(t)
+	r1 := c.Run(50)
+	r2 := c.Run(50)
+	same := 0
+	for i := range r1.Trials {
+		if r1.Trials[i].Bit == r2.Trials[i].Bit {
+			same++
+		}
+	}
+	if same == len(r1.Trials) {
+		t.Fatal("two successive Run calls replayed identical bit positions")
+	}
+}
+
+func TestExhaustiveWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double census")
+	}
+	c1 := newCampaign(t)
+	c2 := newCampaign(t)
+	r1 := c1.ExhaustiveWorkers(1)
+	r2 := c2.ExhaustiveWorkers(4)
+	for i := range r1.Trials {
+		if r1.Trials[i] != r2.Trials[i] {
+			t.Fatalf("census trial %d differs: %+v vs %+v", i, r1.Trials[i], r2.Trials[i])
+		}
+	}
+}
+
 func TestExhaustiveCensus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive census")

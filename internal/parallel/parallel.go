@@ -1,0 +1,99 @@
+// Package parallel provides the deterministic fan-out primitive the
+// experiment layer runs on. Every campaign and benchmark in this repo is a
+// set of independent trials, each against its own isolated simulation; Map
+// spreads those trials across GOMAXPROCS workers while keeping the result
+// slice in trial order, so a parallel run is indistinguishable from the
+// serial one. Randomized campaigns pair this with sim.DeriveRNG's
+// seed-splitting so each trial's random stream is a pure function of
+// (seed, trial index) rather than of worker scheduling: results are
+// bit-for-bit identical at any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers reports the default fan-out width: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Map evaluates fn(0..n-1) across min(workers, n) goroutines and returns the
+// results in index order. workers <= 0 selects Workers(). If any call fails,
+// Map stops handing out further work and returns the error with the lowest
+// index among the calls that ran (never an arbitrary "first observed" error,
+// which would depend on scheduling).
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(n, workers,
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with per-worker state: newState runs once on each worker
+// goroutine before it takes work, and the state it returns is threaded
+// through every fn call that worker executes. Campaigns use this to give
+// each worker one pre-built simulation rig that is reset between trials
+// instead of reallocated per trial.
+//
+// The state must not affect fn's result — determinism requires fn(s, i) to
+// depend only on i, with s serving purely as reusable scratch capacity.
+func MapWorker[S, T any](n, workers int, newState func(w int) (S, error), fn func(s S, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var initMu sync.Mutex
+	var initErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := newState(w)
+			if err != nil {
+				initMu.Lock()
+				if initErr == nil {
+					initErr = err
+				}
+				initMu.Unlock()
+				failed.Store(true)
+				return
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(s, i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if initErr != nil {
+		return nil, initErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

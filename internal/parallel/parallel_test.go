@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Indices 3 and 7 fail; the reported error must be index 3's when both
+	// ran, and never a nil error.
+	boom3 := errors.New("boom 3")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != boom3.Error() {
+		t.Fatalf("serial error = %v, want %v", err, boom3)
+	}
+	_, err = Map(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom3
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom3) {
+		t.Fatalf("parallel error = %v, want %v", err, boom3)
+	}
+}
+
+func TestMapErrorStopsWork(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(1_000_000, 2, func(i int) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := calls.Load(); n > 1000 {
+		t.Fatalf("ran %d tasks after first error", n)
+	}
+}
+
+func TestMapWorkerState(t *testing.T) {
+	// Each worker gets exactly one state; every call sees its own worker's
+	// state; all items are covered exactly once.
+	var states atomic.Int64
+	covered := make([]atomic.Int64, 64)
+	_, err := MapWorker(64, 4,
+		func(w int) (int, error) { states.Add(1); return w, nil },
+		func(s, i int) (struct{}, error) {
+			if s < 0 || s >= 4 {
+				return struct{}{}, fmt.Errorf("bad state %d", s)
+			}
+			covered[i].Add(1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := states.Load(); n < 1 || n > 4 {
+		t.Fatalf("built %d states, want 1..4", n)
+	}
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestMapWorkerInitError(t *testing.T) {
+	boom := errors.New("init boom")
+	_, err := MapWorker(10, 4,
+		func(w int) (int, error) {
+			if w == 0 {
+				return 0, boom
+			}
+			return w, nil
+		},
+		func(s, i int) (int, error) { return i, nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the schedule-then-fire hot path. With the
+// free list in effect, steady state allocates nothing per event.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleDepth measures push/pop against a standing queue of
+// 64 events — closer to a booted cluster's timer population than an empty
+// heap.
+func BenchmarkEngineScheduleDepth(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Duration(1000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineTimerChurn models the watchdog pattern that motivated the
+// compaction pass: a timer re-armed (cancel + reschedule) far more often
+// than it expires.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var timer *Event
+	for i := 0; i < b.N; i++ {
+		if timer != nil {
+			timer.Cancel()
+		}
+		timer = e.After(1000, fn)
+		e.After(1, fn)
+		e.Step()
+	}
+	b.StopTimer()
+	if e.Pending() > b.N/2+2 {
+		b.Fatalf("queue grew to %d: canceled timers not compacted", e.Pending())
+	}
+}

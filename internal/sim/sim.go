@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -58,6 +57,12 @@ func (t Time) String() string {
 
 // Event is a scheduled callback. The zero Event is invalid; events are
 // created through Engine.At and Engine.After.
+//
+// Event objects are recycled through the engine's free list once they fire
+// or are discarded after cancellation, so a handle is only valid until its
+// callback runs. Callers that retain a handle must clear it inside the
+// callback (every caller in this repo does); calling Cancel through a stale
+// handle after the callback ran may cancel an unrelated, later event.
 type Event struct {
 	when     Time
 	seq      uint64 // FIFO tiebreak among events at the same instant
@@ -65,53 +70,36 @@ type Event struct {
 	canceled bool
 	fn       func()
 	label    string
+	eng      *Engine // owner, for cancellation bookkeeping
 }
 
 // When reports the virtual time the event is scheduled for.
 func (e *Event) When() Time { return e.when }
 
 // Cancel prevents a pending event from firing. Canceling an event that has
-// already fired or been canceled is a no-op.
+// already fired or been canceled is a no-op (but see the staleness caveat on
+// Event: a retained handle must be cleared when its callback runs).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.eng != nil && e.index >= 0 {
+		e.eng.noteCanceled()
 	}
 }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// eventBefore is the queue's strict total order: by timestamp, then by
+// scheduling sequence. A total order means any valid heap arrangement pops
+// events in exactly one order, so compaction cannot perturb determinism.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // TraceFunc receives a line of simulation trace output.
@@ -123,9 +111,10 @@ var ErrPastTime = errors.New("sim: event scheduled in the past")
 
 // Engine is the discrete-event simulation engine. It is not safe for
 // concurrent use: the entire simulation is single-threaded and deterministic.
+// (Parallel experiments run one private Engine per worker.)
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event
 	nextSeq uint64
 	rng     *RNG
 	trace   TraceFunc
@@ -133,7 +122,22 @@ type Engine struct {
 	// executed counts events that have fired, for diagnostics and runaway
 	// detection in tests.
 	executed uint64
+	// canceled counts queued events whose Cancel has been called; when they
+	// outnumber the live half of the queue, compact() sweeps them out so
+	// timer churn cannot grow the heap unboundedly.
+	canceled int
+	// free recycles fired/discarded Event objects so scheduling on the hot
+	// path does not allocate.
+	free []*Event
 }
+
+// maxFree bounds the recycling pool; beyond this, fired events are left to
+// the garbage collector.
+const maxFree = 1024
+
+// compactMin is the queue size below which canceled events are not worth
+// sweeping eagerly — the normal discard-at-root path handles them.
+const compactMin = 64
 
 // NewEngine returns an engine with its clock at zero and a deterministic RNG
 // seeded with seed.
@@ -177,10 +181,142 @@ func (e *Engine) AtLabel(t Time, label string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("%v: at %v, now %v", ErrPastTime, t, e.now))
 	}
-	ev := &Event{when: t, seq: e.nextSeq, fn: fn, label: label}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(Event)
+	}
+	*ev = Event{when: t, seq: e.nextSeq, fn: fn, label: label, eng: e}
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.heapPush(ev)
 	return ev
+}
+
+// --- Queue internals: a concrete binary heap on []*Event. The previous
+// container/heap implementation boxed every push/pop through interfaces;
+// scheduling is the simulator's hottest path, so the sift loops are inlined
+// on the concrete type. ---
+
+func (e *Engine) heapPush(ev *Event) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// heapPop removes and returns the earliest event. The caller owns the
+// returned event; its index is -1.
+func (e *Engine) heapPop() *Event {
+	q := e.queue
+	root := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	root.index = -1
+	if n > 0 {
+		e.queue[0] = last
+		e.siftDown(0)
+	}
+	return root
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventBefore(q[r], q[child]) {
+			child = r
+		}
+		if !eventBefore(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = i
+		i = child
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// recycle returns a no-longer-queued event to the allocation pool, dropping
+// its callback reference so captured state can be collected.
+func (e *Engine) recycle(ev *Event) {
+	if len(e.free) >= maxFree {
+		return
+	}
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
+}
+
+// discardCanceledRoot drops canceled events off the front of the queue so
+// that the root, if any, is live. This is the single home of the discard
+// logic Step and RunUntil share: a canceled timer with an early timestamp
+// must neither fire nor mask the deadline check on the first live event.
+func (e *Engine) discardCanceledRoot() {
+	for len(e.queue) > 0 && e.queue[0].canceled {
+		e.canceled--
+		e.recycle(e.heapPop())
+	}
+}
+
+// noteCanceled records a cancellation of a queued event and triggers a
+// compaction sweep once canceled events exceed half of Pending(). The
+// watchdog re-arms a timer every L_timer interval; without this, each re-arm
+// would leave a dead event queued until its (possibly far-future) timestamp.
+func (e *Engine) noteCanceled() {
+	e.canceled++
+	if n := len(e.queue); n >= compactMin && e.canceled*2 > n {
+		e.compact()
+	}
+}
+
+// compact removes every canceled event from the queue and re-establishes the
+// heap invariant. The comparison is a strict total order, so the surviving
+// events still fire in exactly the same sequence.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled {
+			ev.index = -1
+			e.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range live {
+		ev.index = i
+	}
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	e.canceled = 0
 }
 
 // After schedules fn to run d after the current time.
@@ -206,17 +342,16 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.when
-		e.executed++
-		ev.fn()
-		return true
+	e.discardCanceledRoot()
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.heapPop()
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	e.recycle(ev)
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called. It returns the
@@ -233,16 +368,10 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		// Discard canceled events at the root before peeking: a canceled
-		// timer with an early timestamp must not let Step() fire a live
-		// event that lies beyond the deadline.
-		for len(e.queue) > 0 && e.queue[0].canceled {
-			heap.Pop(&e.queue)
-		}
-		if len(e.queue) == 0 {
-			break
-		}
-		if e.queue[0].when > deadline {
+		// Discard before peeking: a canceled timer with an early timestamp
+		// must not let Step() fire a live event beyond the deadline.
+		e.discardCanceledRoot()
+		if len(e.queue) == 0 || e.queue[0].when > deadline {
 			break
 		}
 		e.Step()

@@ -200,6 +200,84 @@ func TestEngineTrace(t *testing.T) {
 	}
 }
 
+func TestCancelCompactsQueue(t *testing.T) {
+	// Regression for the Cancel leak: canceled events used to stay queued
+	// (and counted by Pending()) until their timestamp was reached, so
+	// timer churn grew the heap unboundedly. Canceling must now shrink the
+	// queue once dead events dominate.
+	e := NewEngine(1)
+	keep := e.At(1_000_000, func() {})
+	var timers []*Event
+	for i := 0; i < 10000; i++ {
+		timers = append(timers, e.At(Time(10+i), func() {}))
+	}
+	for _, ev := range timers {
+		ev.Cancel()
+	}
+	// Compaction stops below the compactMin threshold, so a few dead events
+	// may linger — but nothing near the 10k that used to.
+	if p := e.Pending(); p > 2*compactMin {
+		t.Fatalf("Pending() = %d after canceling 10k timers, want < %d", p, 2*compactMin)
+	}
+	if keep.Canceled() {
+		t.Fatal("live event marked canceled")
+	}
+	e.Run()
+	if e.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want only the live event", e.Executed())
+	}
+	if e.Now() != 1_000_000 {
+		t.Fatalf("Now() = %v, want 1000000", e.Now())
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	// Interleave live and canceled events so compaction rebuilds the heap
+	// mid-stream, and check the firing order is untouched.
+	e := NewEngine(1)
+	var fired []Time
+	var doomed []*Event
+	for i := 0; i < 500; i++ {
+		at := Time(1000 - i) // reverse order insertion
+		e.At(at, func() { fired = append(fired, e.Now()) })
+		doomed = append(doomed, e.At(at, func() { t.Error("canceled event fired") }))
+	}
+	for _, ev := range doomed {
+		ev.Cancel()
+	}
+	e.Run()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d live events, want 500", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order after compaction: %v then %v", fired[i-1], fired[i])
+		}
+	}
+}
+
+func TestEventRecycling(t *testing.T) {
+	// The free list must recycle fired events without leaking state into
+	// later schedules.
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 1000; i++ {
+		e.After(1, func() { count++ })
+		if !e.Step() {
+			t.Fatal("Step found no event")
+		}
+	}
+	if count != 1000 {
+		t.Fatalf("count = %d", count)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("free list empty after 1000 fired events")
+	}
+	if len(e.free) > maxFree {
+		t.Fatalf("free list grew to %d, cap is %d", len(e.free), maxFree)
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 1000; i++ {
