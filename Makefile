@@ -1,9 +1,9 @@
 # Tier-1 verification gate. The experiment layer fans out across goroutines
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra.
-.PHONY: tier1 build vet test race bench quickbench
+.PHONY: tier1 build vet fmt test race chaos bench quickbench
 
-tier1: build vet race
+tier1: build vet fmt race
 
 build:
 	go build ./...
@@ -11,11 +11,21 @@ build:
 vet:
 	go vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	go test ./...
 
 race:
 	go test -race ./...
+
+# Short deterministic chaos campaign under the race detector: compound
+# faults (dual hangs, hang-during-recovery, flapping/lossy cables, dead
+# switch ports, failing reloads) with the exactly-once delivery audit.
+chaos:
+	go test -race -short -v -run 'Campaign' ./internal/chaos/
 
 # Full benchmark sweep (regenerates every table/figure as metrics).
 bench:

@@ -5,15 +5,55 @@
 //	faultcampaign -exhaustive         flip every bit of send_chunk once
 //	faultcampaign -ftgm               repeat with FTGM and replay the hangs
 //	                                  against a live cluster (§5.2)
+//	faultcampaign -chaos              chaos campaign: compound faults (dual
+//	                                  hangs, hang-during-recovery, flapping
+//	                                  and lossy cables, dead switch ports,
+//	                                  failing reloads) with an end-to-end
+//	                                  exactly-once delivery audit, GM vs FTGM
+//
+// The -json flag writes the headline numbers to a machine-readable file,
+// matching gmbench's bench-trajectory convention.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/parallel"
 )
+
+// report is the -json output shape. Fields are omitted when their mode did
+// not run.
+type report struct {
+	WallClockSec float64 `json:"wall_clock_sec"`
+	Workers      int     `json:"workers"`
+	Seed         uint64  `json:"seed"`
+
+	// Table 1 campaign outcome percentages, keyed by category name.
+	CampaignRuns    int                `json:"campaign_runs,omitempty"`
+	CampaignPercent map[string]float64 `json:"campaign_percent,omitempty"`
+
+	// Chaos campaign audit totals per scheme.
+	Chaos map[string]*chaosJSON `json:"chaos,omitempty"`
+}
+
+type chaosJSON struct {
+	Trials         int    `json:"trials"`
+	CleanTrials    int    `json:"clean_trials"`
+	Sent           uint64 `json:"sent"`
+	Delivered      uint64 `json:"delivered"`
+	Duplicates     uint64 `json:"duplicates"`
+	OutOfOrder     uint64 `json:"out_of_order"`
+	Lost           uint64 `json:"lost"`
+	Corrupt        uint64 `json:"corrupt"`
+	AllExactlyOnce bool   `json:"all_exactly_once"`
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -29,7 +69,38 @@ func run() error {
 	ftgm := flag.Bool("ftgm", false, "replay hang outcomes against a live FTGM cluster (§5.2)")
 	sample := flag.Int("sample", 20, "hangs to replay with -ftgm (0 = all)")
 	sections := flag.Bool("sections", false, "compare send_chunk vs recv_chunk injection")
+	chaosMode := flag.Bool("chaos", false, "compound-fault chaos campaign with delivery audit, GM vs FTGM")
+	trials := flag.Int("trials", 4, "chaos trials per scheme")
+	jsonPath := flag.String("json", "", "write headline metrics as JSON to this file")
 	flag.Parse()
+
+	started := time.Now()
+	rep := report{Workers: parallel.Workers(), Seed: *seed}
+
+	if *chaosMode {
+		cfg := chaos.DefaultCampaignConfig()
+		cfg.Trials = *trials
+		results, err := experiments.ChaosComparison(*seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderChaos(results))
+		rep.Chaos = make(map[string]*chaosJSON)
+		for _, r := range results {
+			rep.Chaos[r.Mode] = &chaosJSON{
+				Trials:         len(r.Trials),
+				CleanTrials:    r.CleanTrials,
+				Sent:           r.Total.Sent,
+				Delivered:      r.Total.Delivered,
+				Duplicates:     r.Total.Duplicates,
+				OutOfOrder:     r.Total.OutOfOrder,
+				Lost:           r.Total.Lost,
+				Corrupt:        r.Total.Corrupt,
+				AllExactlyOnce: r.AllExactlyOnce,
+			}
+		}
+		return writeJSON(*jsonPath, &rep, started)
+	}
 
 	if *sections {
 		send, recv, err := experiments.Table1Sections(*runs, *seed)
@@ -37,7 +108,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.RenderSections(send, recv))
-		return nil
+		return writeJSON(*jsonPath, &rep, started)
 	}
 
 	var res experiments.Table1Result
@@ -51,6 +122,8 @@ func run() error {
 		return err
 	}
 	fmt.Println(res.Render())
+	rep.CampaignRuns = res.Campaign.Runs
+	rep.CampaignPercent = campaignPercent(res)
 
 	if *ftgm {
 		fmt.Println("Replaying hang outcomes against a live FTGM pair (watchdog detection +")
@@ -65,5 +138,30 @@ func run() error {
 		fmt.Println("left them under investigation; this deterministic reproduction recovers")
 		fmt.Println("every replayed hang, so that residue does not appear here.")
 	}
+	return writeJSON(*jsonPath, &rep, started)
+}
+
+func campaignPercent(res experiments.Table1Result) map[string]float64 {
+	out := make(map[string]float64)
+	for _, o := range fault.Outcomes() {
+		out[o.String()] = res.Campaign.Percent(o)
+	}
+	return out
+}
+
+func writeJSON(path string, rep *report, started time.Time) error {
+	if path == "" {
+		return nil
+	}
+	rep.WallClockSec = time.Since(started).Seconds()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%.1fs wall clock, %d workers)\n",
+		path, rep.WallClockSec, rep.Workers)
 	return nil
 }

@@ -58,6 +58,16 @@ func (s *Switch) Name() string { return s.sw.Name() }
 // NumPorts returns the switch's port count.
 func (s *Switch) NumPorts() int { return s.sw.NumPorts() }
 
+// Stats returns a snapshot of the switch's forwarding counters.
+func (s *Switch) Stats() fabric.SwitchStats { return s.sw.Stats() }
+
+// SetPortDead kills or revives one crossbar port (chaos injection); a dead
+// port neither accepts nor emits packets while the cable stays up.
+func (s *Switch) SetPortDead(port int, dead bool) { s.sw.SetPortDead(port, dead) }
+
+// PortDead reports whether a crossbar port is killed.
+func (s *Switch) PortDead(port int) bool { return s.sw.PortDead(port) }
+
 // NewCluster creates an empty cluster.
 func NewCluster(cfg Config) *Cluster {
 	return &Cluster{cfg: cfg, eng: sim.NewEngine(cfg.Seed)}

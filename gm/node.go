@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/host"
 	"repro/internal/lanai"
 	"repro/internal/mcp"
@@ -23,7 +24,7 @@ type Node struct {
 	m      *mcp.MCP
 	driver *core.Driver
 	ftd    *core.FTD
-	link   interface{ SetUp(bool) }
+	link   *fabric.Link
 
 	cpu    host.CPUAccount
 	rxAcks *core.RxAckTable
@@ -91,11 +92,27 @@ func (n *Node) Driver() *core.Driver { return n.driver }
 // Hung reports whether the interface processor is hung.
 func (n *Node) Hung() bool { return n.chip.Hung() }
 
+// Running reports whether the interface processor is executing the MCP.
+func (n *Node) Running() bool { return n.chip.Running() }
+
 // SetLinkUp raises or cuts the node's cable (topology-change experiments).
 func (n *Node) SetLinkUp(up bool) {
 	if n.link != nil {
 		n.link.SetUp(up)
 	}
+}
+
+// Link returns the node's cable into the fabric (nil before Connect).
+// Chaos schedulers use it to install fault profiles.
+func (n *Node) Link() *fabric.Link { return n.link }
+
+// LinkStats returns a snapshot of the node-to-switch direction's traffic
+// counters (zero value before Connect).
+func (n *Node) LinkStats() fabric.LinkStats {
+	if n.link == nil {
+		return fabric.LinkStats{}
+	}
+	return n.link.Stats(0)
 }
 
 // OpenPort opens a GM port on the node and returns its handle.

@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/fabric"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// ACK-hunt parameters: an armed hang polls its target's AcksSent counter
+// every ackHuntStep and fires on the first increment (or unconditionally
+// after ackHuntWindow of silence), landing the hang in the ACKed-but-not-
+// committed window that Figure 5 exploits.
+const (
+	ackHuntStep   = 500 * sim.Nanosecond
+	ackHuntWindow = 10 * sim.Millisecond
+)
+
+// CampaignConfig shapes a chaos campaign: Trials independent clusters,
+// each living through its own injection plan, fanned out over Workers.
+type CampaignConfig struct {
+	Trials  int
+	Workers int // 0 = GOMAXPROCS
+	Mode    gm.Mode
+	Trial   TrialConfig
+}
+
+// DefaultCampaignConfig is a 4-trial FTGM campaign.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{Trials: 4, Mode: gm.ModeFTGM, Trial: DefaultTrialConfig()}
+}
+
+// TrialResult is one trial's full accounting. Results are pure functions
+// of (campaign seed, trial index): the determinism tests compare them
+// bit-for-bit across worker counts.
+type TrialResult struct {
+	Trial  int
+	Events []Event
+	Audit  AuditReport
+
+	// FTD activity summed over all nodes (zero in GM mode).
+	Recoveries       uint64
+	FalseAlarms      uint64
+	ReloadRetries    uint64
+	RecoveryRestarts uint64
+	RecoveryFailures uint64
+	SuppressedFatals uint64
+	NaiveRestarts    uint64
+
+	// Fabric damage totals.
+	FaultDrops      uint64 // packets eaten by injected link profiles
+	Corruptions     uint64 // payload bit flips injected on links
+	SwitchDeadDrops uint64 // packets into dead ports / downed links
+
+	Retransmits uint64 // Go-Back-N repair work across all nodes
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Seed        uint64
+	Mode        string
+	Trials      []TrialResult
+	Total       AuditReport
+	CleanTrials int
+	// AllExactlyOnce is the campaign verdict: every trial's auditor
+	// reported exactly-once in-order delivery.
+	AllExactlyOnce bool
+}
+
+// Run executes the campaign. Trial i derives its generator from
+// sim.DeriveRNG(seed, i), so results are identical at any worker count.
+func Run(seed uint64, cfg CampaignConfig) (CampaignResult, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	trials, err := parallel.Map(cfg.Trials, cfg.Workers, func(i int) (TrialResult, error) {
+		return RunTrial(seed, i, cfg.Mode, cfg.Trial)
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	res := CampaignResult{Seed: seed, Mode: modeName(cfg.Mode), Trials: trials, AllExactlyOnce: true}
+	for _, tr := range trials {
+		res.Total.merge(tr.Audit)
+		if tr.Audit.ExactlyOnceInOrder {
+			res.CleanTrials++
+		} else {
+			res.AllExactlyOnce = false
+		}
+	}
+	res.Total.ExactlyOnceInOrder = res.AllExactlyOnce && res.Total.Sent > 0
+	return res, nil
+}
+
+func modeName(m gm.Mode) string {
+	if m == gm.ModeFTGM {
+		return "FTGM"
+	}
+	return "GM"
+}
+
+// RunTrial builds one cluster, drives the all-to-all traffic, applies the
+// trial's injection plan, drains, and audits.
+func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResult, error) {
+	tcfg = tcfg.withDefaults()
+	rng := sim.DeriveRNG(seed, uint64(index))
+	res := TrialResult{Trial: index}
+
+	gcfg := gm.DefaultConfig(mode)
+	gcfg.Seed = rng.Uint64() | 1
+	gcfg.Host.SendTokens = tcfg.SendTokens
+	// Deep outages queue thousands of shadow tokens; keep the handler's
+	// per-token cost from dominating the recovery (as the availability
+	// mission does).
+	gcfg.Host.RecoveryPerToken = 0
+
+	cl := gm.NewCluster(gcfg)
+	nodes := make([]*gm.Node, tcfg.Nodes)
+	for i := range nodes {
+		nodes[i] = cl.AddNode(fmt.Sprintf("n%d", i))
+	}
+	sw := cl.AddSwitch("sw")
+	for i, n := range nodes {
+		if err := cl.Connect(n, sw, i); err != nil {
+			return res, err
+		}
+	}
+	if _, err := cl.Boot(); err != nil {
+		return res, fmt.Errorf("chaos: boot: %w", err)
+	}
+
+	aud := NewAuditor()
+	ports := make([]*gm.Port, tcfg.Nodes)
+	for i, n := range nodes {
+		p, err := n.OpenPort(tcfg.Port)
+		if err != nil {
+			return res, err
+		}
+		ports[i] = p
+		self := n.ID()
+		p.SetReceiveHandler(func(ev gm.RecvEvent) {
+			aud.RecordDelivery(self, tcfg.Port, ev)
+			_ = p.ProvideReceiveBuffer(uint32(tcfg.MsgBytes), gm.PriorityLow)
+		})
+		for j := 0; j < 512; j++ {
+			if err := p.ProvideReceiveBuffer(uint32(tcfg.MsgBytes), gm.PriorityLow); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Traffic: each node sends to the other nodes round-robin, staggered
+	// so the pumps don't tick in lockstep.
+	start := cl.Now()
+	stop := start + tcfg.Traffic
+	for i := range nodes {
+		src, port := nodes[i], ports[i]
+		turn := 0
+		var pump func()
+		pump = func() {
+			if cl.Now() >= stop {
+				return
+			}
+			dst := nodes[(i+1+turn%(tcfg.Nodes-1))%tcfg.Nodes]
+			turn++
+			key := StreamKey{Src: src.ID(), SrcPort: tcfg.Port, Dst: dst.ID(), DstPort: tcfg.Port}
+			buf := aud.NewMessage(key, tcfg.MsgBytes)
+			if err := port.Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, nil); err != nil {
+				aud.Unsend(key)
+			}
+			cl.After(tcfg.SendEvery, pump)
+		}
+		cl.After(sim.Duration(i+1)*37*sim.Microsecond, pump)
+	}
+
+	// doHang injects one processor hang right now; in GM mode an external
+	// watchdog notices after NaiveDetection and performs the paper's §3
+	// baseline restart (stock GM itself would just stay down forever).
+	doHang := func(i int) {
+		n := nodes[i]
+		if !n.Running() {
+			return // already hung or mid-reload; the fault folds in
+		}
+		n.InjectHang()
+		if mode != gm.ModeFTGM {
+			cl.After(tcfg.NaiveDetection, func() {
+				if !n.Running() {
+					n.NaiveRestart(nil)
+				}
+			})
+		}
+	}
+	// hang arms a processor hang on the node's next transmitted ACK — the
+	// adversarial instant of Figure 5: stock GM has ACKed arrival but not
+	// yet committed the message to host memory, so the message is lost;
+	// FTGM's delayed ACK (§4.1) makes the same timing a mere
+	// retransmission. If the node stays quiet the hang fires anyway after
+	// a grace window.
+	hang := func(i int) {
+		n := nodes[i]
+		if !n.Running() {
+			return
+		}
+		base := n.MCPStats().AcksSent
+		deadline := cl.Now() + ackHuntWindow
+		var hunt func()
+		hunt = func() {
+			if !n.Running() {
+				return // another event hung it first; the fault folds in
+			}
+			if n.MCPStats().AcksSent != base || cl.Now() >= deadline {
+				doHang(i)
+				return
+			}
+			cl.After(ackHuntStep, hunt)
+		}
+		hunt()
+	}
+
+	plan := PlanEvents(rng, tcfg, start)
+	for _, ev := range plan {
+		ev := ev
+		cl.At(ev.At, func() {
+			switch ev.Kind {
+			case KindHang:
+				hang(ev.Node)
+			case KindDualHang:
+				hang(ev.Node)
+				hang(ev.Node2)
+			case KindHangDuringRecovery:
+				hang(ev.Node)
+				n := nodes[ev.Node]
+				// Wait for the armed hang to land, then for the reloaded
+				// MCP to start running again: the second hang lands inside
+				// the FTD's table-restore window.
+				var waitDown, waitUp func()
+				waitDown = func() {
+					if n.Running() {
+						cl.After(sim.Millisecond, waitDown)
+						return
+					}
+					waitUp()
+				}
+				waitUp = func() {
+					if !n.Running() {
+						cl.After(sim.Millisecond, waitUp)
+						return
+					}
+					doHang(ev.Node)
+				}
+				cl.After(sim.Millisecond, waitDown)
+			case KindLinkFlap:
+				l := nodes[ev.Node].Link()
+				l.SetUp(false)
+				cl.After(ev.Window, func() { l.SetUp(true) })
+			case KindLinkDegrade:
+				l := nodes[ev.Node].Link()
+				l.SetFaults(ev.Profile, ev.Seed)
+				cl.After(ev.Window, func() { l.SetFaults(fabric.FaultProfile{}, 0) })
+			case KindPortDeath:
+				sw.SetPortDead(ev.Node, true)
+				cl.After(ev.Window, func() { sw.SetPortDead(ev.Node, false) })
+			case KindReloadFailure:
+				if mode == gm.ModeFTGM {
+					// Only the FTD has a reload-retry path; the naive
+					// baseline would simply never come back.
+					nodes[ev.Node].Driver().SetMCPLoadFailures(ev.Failures)
+				}
+				hang(ev.Node)
+			}
+		})
+	}
+	res.Events = plan
+
+	cl.RunUntil(stop)
+	// Drain: recoveries and Go-Back-N repair run until the auditor sees
+	// every send delivered, or the settle budget runs out (a broken
+	// scheme never drains — that is the finding, not an error).
+	deadline := stop + tcfg.MaxSettle
+	for !aud.Complete() && cl.Now() < deadline {
+		cl.Run(tcfg.SettleStep)
+	}
+
+	res.Audit = aud.Report()
+	for _, n := range nodes {
+		if f := n.FTD(); f != nil {
+			st := f.Stats()
+			res.Recoveries += st.Recoveries
+			res.FalseAlarms += st.FalseAlarms
+			res.ReloadRetries += st.ReloadRetries
+			res.RecoveryRestarts += st.RecoveryRestarts
+			res.RecoveryFailures += st.Failures
+		}
+		ds := n.Driver().Stats()
+		res.SuppressedFatals += ds.SuppressedFatals
+		res.NaiveRestarts += ds.NaiveRestarts
+		ls := n.LinkStats()
+		res.FaultDrops += ls.FaultDropped
+		res.Corruptions += ls.Corrupted
+		res.Retransmits += n.MCPStats().Retransmits
+		if l := n.Link(); l != nil {
+			// The switch-to-node direction carries injected damage too.
+			ls1 := l.Stats(1)
+			res.FaultDrops += ls1.FaultDropped
+			res.Corruptions += ls1.Corrupted
+		}
+	}
+	res.SwitchDeadDrops = sw.Stats().DroppedDead
+	return res, nil
+}

@@ -1,0 +1,240 @@
+// Package chaos is a deterministic fault-injection layer for the simulated
+// Myrinet/GM cluster: a seed-split scheduler composes hangs, lossy and
+// flapping links, dead switch ports, reload failures, and
+// hang-during-recovery into a live gm.Cluster while a stream auditor
+// records every send and delivery and judges exactly-once, in-order
+// delivery at campaign end. The paper's fault model (§4.3) stops at a
+// single LANai hang; chaos campaigns exercise the compound faults real
+// deployments see, which is exactly where untested recovery paths hide.
+//
+// Everything is a pure function of the campaign seed: trial i draws from
+// sim.DeriveRNG(seed, i), so a campaign fanned out over any number of
+// workers is bit-for-bit identical to the serial run.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// EventKind enumerates the injectable fault classes.
+type EventKind int
+
+// Fault classes. Each composes with the others: the scheduler can hang a
+// node whose link is mid-flap, kill a switch port during a recovery, etc.
+const (
+	// KindHang hangs one node's network processor (the paper's §4.3 path).
+	KindHang EventKind = iota + 1
+	// KindDualHang hangs two distinct nodes at the same instant.
+	KindDualHang
+	// KindHangDuringRecovery hangs a node, waits for its reloaded MCP to
+	// start running again, and hangs it again — landing the second fault
+	// inside the FTD's table-restore window.
+	KindHangDuringRecovery
+	// KindLinkFlap cuts a node's cable and raises it after a window.
+	KindLinkFlap
+	// KindLinkDegrade installs a lossy/corrupting fault profile on a
+	// node's cable for a window (CRC-detectable corruption: Go-Back-N's
+	// job to absorb).
+	KindLinkDegrade
+	// KindPortDeath kills the node's crossbar port for a window.
+	KindPortDeath
+	// KindReloadFailure arranges the next MCP reloads to fail, then hangs
+	// the node, exercising the FTD's retry/backoff path.
+	KindReloadFailure
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindHang:
+		return "hang"
+	case KindDualHang:
+		return "dual-hang"
+	case KindHangDuringRecovery:
+		return "hang-during-recovery"
+	case KindLinkFlap:
+		return "link-flap"
+	case KindLinkDegrade:
+		return "link-degrade"
+	case KindPortDeath:
+		return "port-death"
+	case KindReloadFailure:
+		return "reload-failure"
+	default:
+		return fmt.Sprintf("kind?%d", int(k))
+	}
+}
+
+// AllKinds returns every fault class, in injection-plan order.
+func AllKinds() []EventKind {
+	return []EventKind{
+		KindHang, KindDualHang, KindHangDuringRecovery,
+		KindLinkFlap, KindLinkDegrade, KindPortDeath, KindReloadFailure,
+	}
+}
+
+// Event is one planned fault injection.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// Node is the primary target (index into the trial's node list, which
+	// is also the node's switch port).
+	Node int
+	// Node2 is the second target of a dual hang.
+	Node2 int
+	// Window is how long a flap/degrade/port-death lasts.
+	Window sim.Duration
+	// Profile is the installed link misbehavior for a degrade.
+	Profile fabric.FaultProfile
+	// Seed drives the degrade profile's own fault decisions.
+	Seed uint64
+	// Failures is how many MCP reloads fail for a reload-failure event.
+	Failures int
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %s n%d", e.At, e.Kind, e.Node)
+	switch e.Kind {
+	case KindDualHang:
+		s += fmt.Sprintf("+n%d", e.Node2)
+	case KindLinkFlap, KindLinkDegrade, KindPortDeath:
+		s += fmt.Sprintf(" for %v", e.Window)
+	case KindReloadFailure:
+		s += fmt.Sprintf(" x%d", e.Failures)
+	}
+	return s
+}
+
+// TrialConfig shapes one chaos trial: an all-to-all traffic pattern on a
+// single-switch cluster with Events faults injected into the traffic
+// window.
+type TrialConfig struct {
+	// Nodes is the cluster size (one switch; node i cables into port i).
+	Nodes int
+	// Port is the GM port each node opens.
+	Port gm.PortID
+	// Traffic is the send window; injections land inside it.
+	Traffic sim.Duration
+	// SendEvery is each node's send period (round-robin destinations).
+	SendEvery sim.Duration
+	// MsgBytes is the audited message size (>= MinMsgBytes).
+	MsgBytes int
+	// Events is the number of injections; kinds rotate through Kinds, so
+	// Events >= len(Kinds) guarantees every class occurs.
+	Events int
+	// Kinds are the enabled fault classes (nil = AllKinds).
+	Kinds []EventKind
+	// SettleStep/MaxSettle bound the post-traffic drain loop: the trial
+	// runs until the auditor sees every send delivered or MaxSettle of
+	// virtual time elapses (a broken scheme never drains).
+	SettleStep sim.Duration
+	MaxSettle  sim.Duration
+	// NaiveDetection is the external-watchdog delay assumed for stock GM
+	// (which has no detection of its own): each hang is followed by a
+	// NaiveRestart after this long.
+	NaiveDetection sim.Duration
+	// SendTokens sizes each port's token pool; outages queue sends in the
+	// shadow store, so the pool must cover the deepest backlog.
+	SendTokens int
+}
+
+// DefaultTrialConfig is a 4-node cluster under 2 seconds of all-to-all
+// traffic with one injection of every fault class.
+func DefaultTrialConfig() TrialConfig {
+	return TrialConfig{
+		Nodes:          4,
+		Port:           2,
+		Traffic:        2 * sim.Second,
+		SendEvery:      sim.Millisecond,
+		MsgBytes:       32,
+		Events:         len(AllKinds()),
+		SettleStep:     250 * sim.Millisecond,
+		MaxSettle:      120 * sim.Second,
+		NaiveDetection: 300 * sim.Millisecond,
+		SendTokens:     16384,
+	}
+}
+
+// withDefaults normalizes zero fields.
+func (c TrialConfig) withDefaults() TrialConfig {
+	def := DefaultTrialConfig()
+	if c.Nodes < 2 {
+		c.Nodes = def.Nodes
+	}
+	if c.Traffic <= 0 {
+		c.Traffic = def.Traffic
+	}
+	if c.SendEvery <= 0 {
+		c.SendEvery = def.SendEvery
+	}
+	if c.MsgBytes < MinMsgBytes {
+		c.MsgBytes = def.MsgBytes
+	}
+	if c.Events <= 0 {
+		c.Events = def.Events
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllKinds()
+	}
+	if c.SettleStep <= 0 {
+		c.SettleStep = def.SettleStep
+	}
+	if c.MaxSettle <= 0 {
+		c.MaxSettle = def.MaxSettle
+	}
+	if c.NaiveDetection <= 0 {
+		c.NaiveDetection = def.NaiveDetection
+	}
+	if c.SendTokens <= 0 {
+		c.SendTokens = def.SendTokens
+	}
+	return c
+}
+
+// PlanEvents draws a deterministic injection plan from rng: kinds rotate
+// through cfg.Kinds (so every enabled class occurs when Events >= len),
+// each event jittered inside its own slot of the traffic window. The plan
+// depends only on the generator state and the config — not on the cluster
+// or the mode — so GM and FTGM trials of the same seed face identical
+// fault sequences.
+func PlanEvents(rng *sim.RNG, cfg TrialConfig, start sim.Time) []Event {
+	cfg = cfg.withDefaults()
+	warmup := cfg.Traffic / 10
+	span := cfg.Traffic - 2*warmup
+	slot := span / sim.Duration(cfg.Events)
+	events := make([]Event, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev := Event{
+			Kind: cfg.Kinds[i%len(cfg.Kinds)],
+			At:   start + warmup + slot*sim.Duration(i) + rng.Duration(slot),
+			Node: rng.Intn(cfg.Nodes),
+		}
+		switch ev.Kind {
+		case KindDualHang:
+			ev.Node2 = (ev.Node + 1 + rng.Intn(cfg.Nodes-1)) % cfg.Nodes
+		case KindLinkFlap:
+			ev.Window = 5*sim.Millisecond + rng.Duration(40*sim.Millisecond)
+		case KindLinkDegrade:
+			ev.Window = 50*sim.Millisecond + rng.Duration(200*sim.Millisecond)
+			ev.Profile = fabric.FaultProfile{
+				DropProb:    0.05 + 0.25*rng.Float64(),
+				CorruptProb: 0.05 + 0.15*rng.Float64(),
+				// Post-seal damage only: the receiver's CRC check catches
+				// and drops it, and Go-Back-N retransmits. Pre-seal
+				// (undetectable) corruption is inherently undeliverable-
+				// correctly and is exercised by the fabric tests instead.
+			}
+			ev.Seed = rng.Uint64()
+		case KindPortDeath:
+			ev.Window = 10*sim.Millisecond + rng.Duration(50*sim.Millisecond)
+		case KindReloadFailure:
+			ev.Failures = 1 + rng.Intn(2)
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/gm"
+	"repro/internal/sim"
+)
+
+const testSeed = 20030623 // DSN 2003, San Francisco
+
+func testCampaignConfig(mode gm.Mode) CampaignConfig {
+	cfg := DefaultCampaignConfig()
+	cfg.Mode = mode
+	cfg.Trials = 2
+	// Lighter traffic than the default campaign keeps the test quick; the
+	// injection plan (all seven fault classes per trial) is unchanged.
+	cfg.Trial.SendEvery = 4 * sim.Millisecond
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	return cfg
+}
+
+// The acceptance campaign: hang-during-recovery, dual hangs, link flaps,
+// degraded links, port death and reload failures, with FTGM delivering
+// every message exactly once, in order.
+func TestFTGMCampaignExactlyOnceInOrder(t *testing.T) {
+	res, err := Run(testSeed, testCampaignConfig(gm.ModeFTGM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Sent == 0 {
+		t.Fatal("campaign sent nothing")
+	}
+	if !res.AllExactlyOnce {
+		for _, tr := range res.Trials {
+			t.Logf("trial %d: %v dirty=%v (events: %v)", tr.Trial, tr.Audit, tr.Audit.Dirty, tr.Events)
+		}
+		t.Fatalf("FTGM audit dirty: %v", res.Total)
+	}
+	// The plan must actually have exercised every fault class.
+	kinds := make(map[EventKind]bool)
+	var rec TrialResult
+	for _, tr := range res.Trials {
+		for _, ev := range tr.Events {
+			kinds[ev.Kind] = true
+		}
+		rec.Recoveries += tr.Recoveries
+		rec.RecoveryRestarts += tr.RecoveryRestarts
+		rec.ReloadRetries += tr.ReloadRetries
+		rec.FaultDrops += tr.FaultDrops
+		rec.Corruptions += tr.Corruptions
+		rec.Retransmits += tr.Retransmits
+		rec.RecoveryFailures += tr.RecoveryFailures
+	}
+	for _, k := range AllKinds() {
+		if !kinds[k] {
+			t.Errorf("fault class %v never injected", k)
+		}
+	}
+	if rec.Recoveries == 0 {
+		t.Error("no FTD recoveries despite injected hangs")
+	}
+	if rec.RecoveryRestarts == 0 {
+		t.Error("hang-during-recovery never restarted the FTD sequence")
+	}
+	if rec.ReloadRetries == 0 {
+		t.Error("reload-failure events never exercised the retry path")
+	}
+	if rec.FaultDrops == 0 && rec.Corruptions == 0 {
+		t.Error("link degrade windows injected no damage")
+	}
+	if rec.Retransmits == 0 {
+		t.Error("no Go-Back-N repair despite injected losses")
+	}
+	if rec.RecoveryFailures != 0 {
+		t.Errorf("unexpected terminal recovery failures: %d", rec.RecoveryFailures)
+	}
+}
+
+// The same fault sequences against stock GM (with the §3 naive-restart
+// watchdog) must demonstrably break delivery: duplicates, losses, or
+// reordering.
+func TestGMCampaignBreaksDelivery(t *testing.T) {
+	cfg := testCampaignConfig(gm.ModeGM)
+	cfg.Trial.MaxSettle = 30 * sim.Second
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Sent == 0 {
+		t.Fatal("campaign sent nothing")
+	}
+	if res.AllExactlyOnce {
+		t.Fatalf("stock GM survived the chaos campaign unscathed: %v", res.Total)
+	}
+	if res.Total.Duplicates+res.Total.Lost+res.Total.OutOfOrder+res.Total.Corrupt == 0 {
+		t.Errorf("no delivery defects recorded: %v", res.Total)
+	}
+}
+
+// The seed-split contract: a campaign fanned out over N workers is
+// bit-for-bit identical to the serial run.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	cfg := testCampaignConfig(gm.ModeFTGM)
+	cfg.Workers = 1
+	serial, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	fanned, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("results differ across worker counts:\n 1 worker: %+v\n 4 workers: %+v", serial, fanned)
+	}
+}
+
+// Audit payloads round-trip, and damage is detected.
+func TestAuditPayloadRoundTrip(t *testing.T) {
+	k := StreamKey{Src: 3, SrcPort: 2, Dst: 300, DstPort: 7}
+	buf := make([]byte, MinMsgBytes)
+	encodeAudit(buf, k, 41)
+	got, idx, ok := decodeAudit(buf)
+	if !ok || got != k || idx != 41 {
+		t.Fatalf("round trip = %v %d %v", got, idx, ok)
+	}
+	buf[13]++ // damage the index
+	if _, _, ok := decodeAudit(buf); ok {
+		t.Error("checksum missed damage")
+	}
+	if _, _, ok := decodeAudit(buf[:8]); ok {
+		t.Error("short payload decoded")
+	}
+}
+
+// The auditor's verdict logic: duplicates, reordering, loss and corruption
+// each break exactly-once in-order.
+func TestAuditorVerdicts(t *testing.T) {
+	k := StreamKey{Src: 1, SrcPort: 2, Dst: 2, DstPort: 2}
+	deliver := func(a *Auditor, idx uint32) {
+		buf := make([]byte, MinMsgBytes)
+		encodeAudit(buf, k, idx)
+		a.RecordDelivery(k.Dst, k.DstPort, gm.RecvEvent{Data: buf, Src: k.Src, SrcPort: k.SrcPort})
+	}
+	send := func(a *Auditor, n int) {
+		for i := 0; i < n; i++ {
+			a.NewMessage(k, MinMsgBytes)
+		}
+	}
+
+	a := NewAuditor()
+	send(a, 3)
+	deliver(a, 1)
+	deliver(a, 2)
+	if a.Complete() {
+		t.Error("complete with one message outstanding")
+	}
+	deliver(a, 3)
+	if !a.Complete() {
+		t.Error("not complete after full delivery")
+	}
+	if r := a.Report(); !r.ExactlyOnceInOrder || r.Sent != 3 || r.Unique != 3 {
+		t.Errorf("clean run report = %v", r)
+	}
+
+	a = NewAuditor()
+	send(a, 2)
+	deliver(a, 1)
+	deliver(a, 1)
+	deliver(a, 2)
+	if r := a.Report(); r.ExactlyOnceInOrder || r.Duplicates != 1 {
+		t.Errorf("duplicate report = %v", r)
+	}
+
+	a = NewAuditor()
+	send(a, 2)
+	deliver(a, 2)
+	deliver(a, 1)
+	if r := a.Report(); r.ExactlyOnceInOrder || r.OutOfOrder != 1 {
+		t.Errorf("reorder report = %v", r)
+	}
+
+	a = NewAuditor()
+	send(a, 2)
+	deliver(a, 1)
+	if r := a.Report(); r.ExactlyOnceInOrder || r.Lost != 1 {
+		t.Errorf("loss report = %v", r)
+	}
+
+	a = NewAuditor()
+	send(a, 1)
+	buf := make([]byte, MinMsgBytes)
+	encodeAudit(buf, k, 1)
+	buf[2] ^= 0x40 // break the magic
+	a.RecordDelivery(k.Dst, k.DstPort, gm.RecvEvent{Data: buf, Src: k.Src, SrcPort: k.SrcPort})
+	if r := a.Report(); r.ExactlyOnceInOrder || r.Corrupt != 1 {
+		t.Errorf("corrupt report = %v", r)
+	}
+
+	// Unsend rolls a refused send back out of the books.
+	a = NewAuditor()
+	send(a, 1)
+	a.Unsend(k)
+	if r := a.Report(); r.Sent != 0 {
+		t.Errorf("unsend report = %v", r)
+	}
+}

@@ -46,8 +46,13 @@ type Driver struct {
 	// reopen them.
 	openPorts map[gmproto.PortID]mcp.EventSink
 
-	onFatal func()
-	fataled bool
+	onFatal      func()
+	fataled      bool
+	pendingFatal bool
+
+	// mcpLoadFailures makes the next N MCP loads fail (fault injection:
+	// a reload can be disturbed by the same transient that hung the card).
+	mcpLoadFailures int
 
 	stats DriverStats
 }
@@ -55,8 +60,13 @@ type Driver struct {
 // DriverStats counts driver-level events.
 type DriverStats struct {
 	MCPLoads        uint64
+	MCPLoadFailures uint64
 	FatalInterrupts uint64
-	NaiveRestarts   uint64
+	// SuppressedFatals counts FATAL interrupts that arrived while a
+	// recovery was already in hand; they are coalesced and re-delivered
+	// once ClearFatal re-arms delivery.
+	SuppressedFatals uint64
+	NaiveRestarts    uint64
 }
 
 // NewDriver builds the driver for a node's chip/MCP pair.
@@ -106,19 +116,43 @@ func (d *Driver) NodeID() gmproto.NodeID { return d.nodeID }
 
 // LoadMCP loads and starts the control program, charging the measured load
 // time, then restores identity/routes/page-table registration and calls
-// done.
+// done. Injected load failures are swallowed here; callers that need to
+// react to them use LoadMCPChecked.
 func (d *Driver) LoadMCP(done func()) {
+	d.LoadMCPChecked(func(ok bool) {
+		if ok && done != nil {
+			done()
+		}
+	})
+}
+
+// LoadMCPChecked is LoadMCP with an explicit success report: the full load
+// time is always charged, but an injected failure leaves the chip stopped
+// and reports ok=false so the FTD can retry with backoff.
+func (d *Driver) LoadMCPChecked(done func(ok bool)) {
 	d.stats.MCPLoads++
 	d.eng.After(d.cfg.MCPLoadTime, func() {
+		if d.mcpLoadFailures > 0 {
+			d.mcpLoadFailures--
+			d.stats.MCPLoadFailures++
+			d.eng.Tracef("driver", "mcp load failed (injected)")
+			if done != nil {
+				done(false)
+			}
+			return
+		}
 		d.m.LoadAndStart()
 		if d.routes != nil {
 			d.m.SetNodeID(d.nodeID)
 		}
 		if done != nil {
-			done()
+			done(true)
 		}
 	})
 }
+
+// SetMCPLoadFailures makes the next n MCP loads fail (fault injection).
+func (d *Driver) SetMCPLoadFailures(n int) { d.mcpLoadFailures = n }
 
 // OpenPort opens a GM port through the driver, remembering the sink for
 // recovery-time reopen.
@@ -160,7 +194,12 @@ func (d *Driver) handleInterrupt(isr uint32) {
 		return
 	}
 	if d.fataled {
-		return // already recovering
+		// A recovery is already in hand. Don't wake the FTD again —
+		// remember the report and re-deliver it once delivery is re-armed,
+		// so a hang that lands mid-recovery is never silently lost.
+		d.pendingFatal = true
+		d.stats.SuppressedFatals++
+		return
 	}
 	d.fataled = true
 	d.stats.FatalInterrupts++
@@ -171,8 +210,23 @@ func (d *Driver) handleInterrupt(isr uint32) {
 	})
 }
 
-// ClearFatal re-arms FATAL interrupt delivery (recovery finished).
-func (d *Driver) ClearFatal() { d.fataled = false }
+// ClearFatal re-arms FATAL interrupt delivery (recovery finished). A FATAL
+// that was suppressed during the recovery is re-delivered now; the FTD's
+// magic-word verification then decides whether it still warrants a reset.
+func (d *Driver) ClearFatal() {
+	d.fataled = false
+	if !d.pendingFatal {
+		return
+	}
+	d.pendingFatal = false
+	d.fataled = true
+	d.stats.FatalInterrupts++
+	d.eng.After(d.cfg.InterruptLatency, func() {
+		if d.onFatal != nil {
+			d.onFatal()
+		}
+	})
+}
 
 // NaiveRestart is the baseline recovery the paper shows to be incorrect
 // (§3): reset the card, reload the MCP, restore routes and reopen ports —

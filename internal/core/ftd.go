@@ -28,6 +28,17 @@ type FTDConfig struct {
 	// PostEventPerPort is the cost of posting FAULT_DETECTED into one open
 	// port's receive queue.
 	PostEventPerPort sim.Duration
+
+	// MaxReloadAttempts bounds MCP reload tries within one recovery pass;
+	// retries back off exponentially from ReloadRetryBase, capped at
+	// ReloadRetryCap. Zero values take the defaults.
+	MaxReloadAttempts int
+	ReloadRetryBase   sim.Duration
+	ReloadRetryCap    sim.Duration
+	// MaxRecoveryRestarts bounds how many times the §4.3 sequence restarts
+	// after the LANai hangs again mid-recovery before the FTD gives up
+	// with a terminal RecoveryFailed outcome.
+	MaxRecoveryRestarts int
 }
 
 // DefaultFTDConfig matches the Table 3 breakdown.
@@ -41,6 +52,11 @@ func DefaultFTDConfig() FTDConfig {
 		RestorePageTable:  150 * sim.Millisecond,
 		RestoreRoutes:     45 * sim.Millisecond,
 		PostEventPerPort:  1500 * sim.Microsecond,
+
+		MaxReloadAttempts:   3,
+		ReloadRetryBase:     10 * sim.Millisecond,
+		ReloadRetryCap:      80 * sim.Millisecond,
+		MaxRecoveryRestarts: 3,
 	}
 }
 
@@ -171,6 +187,54 @@ type FTDStats struct {
 	FalseAlarms    uint64 // magic word cleared: the LANai was alive after all
 	Recoveries     uint64
 	PortsRecovered uint64
+	// ReloadRetries counts MCP reload attempts beyond the first.
+	ReloadRetries uint64
+	// RecoveryRestarts counts §4.3 sequence restarts after the LANai hung
+	// again mid-recovery.
+	RecoveryRestarts uint64
+	// Failures counts terminal RecoveryFailed outcomes.
+	Failures uint64
+}
+
+// ftdState tracks where the daemon is in its fault-handling cycle so
+// re-entrant fault reports coalesce into the recovery already underway.
+type ftdState int
+
+const (
+	ftdIdle ftdState = iota
+	ftdVerifying
+	ftdRecovering
+	ftdFailed
+)
+
+// RecoveryOutcome is the disposition of the most recent recovery cycle.
+type RecoveryOutcome int
+
+// Recovery outcomes.
+const (
+	// RecoveryPending: no recovery has concluded (none started, or one is
+	// in flight).
+	RecoveryPending RecoveryOutcome = iota
+	// RecoveryOK: the last recovery completed and re-armed the daemon.
+	RecoveryOK
+	// RecoveryFailed is terminal: reloads or restarts exceeded their
+	// bounds and the FTD stopped rather than loop forever; only Retry
+	// (the operator path) re-enters recovery.
+	RecoveryFailed
+)
+
+// String names the outcome.
+func (o RecoveryOutcome) String() string {
+	switch o {
+	case RecoveryPending:
+		return "pending"
+	case RecoveryOK:
+		return "ok"
+	case RecoveryFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome?%d", int(o))
+	}
 }
 
 // FTD is the fault tolerance daemon of §4.3: a host process that sleeps
@@ -187,13 +251,36 @@ type FTD struct {
 	timeline *Timeline
 	stats    FTDStats
 
+	state          ftdState
+	outcome        RecoveryOutcome
+	failReason     string
+	reloadAttempts int
+	restarts       int
+
 	// OnRecovered runs after FAULT_DETECTED events are posted (tests and
 	// experiment harnesses hook it).
 	OnRecovered func(*Timeline)
+	// OnFailed runs on a terminal RecoveryFailed outcome.
+	OnFailed func(reason string)
 }
 
-// NewFTD builds and arms the daemon on a driver.
+// NewFTD builds and arms the daemon on a driver. Zero retry/restart bounds
+// in cfg are normalized to the defaults, so pre-existing config literals
+// keep their meaning.
 func NewFTD(driver *Driver, cfg FTDConfig) *FTD {
+	def := DefaultFTDConfig()
+	if cfg.MaxReloadAttempts <= 0 {
+		cfg.MaxReloadAttempts = def.MaxReloadAttempts
+	}
+	if cfg.ReloadRetryBase <= 0 {
+		cfg.ReloadRetryBase = def.ReloadRetryBase
+	}
+	if cfg.ReloadRetryCap <= 0 {
+		cfg.ReloadRetryCap = def.ReloadRetryCap
+	}
+	if cfg.MaxRecoveryRestarts <= 0 {
+		cfg.MaxRecoveryRestarts = def.MaxRecoveryRestarts
+	}
 	f := &FTD{
 		eng:      driver.eng,
 		driver:   driver,
@@ -210,16 +297,33 @@ func (f *FTD) Timeline() *Timeline { return f.timeline }
 // Stats returns daemon counters.
 func (f *FTD) Stats() FTDStats { return f.stats }
 
+// Outcome reports the disposition of the most recent recovery cycle.
+func (f *FTD) Outcome() RecoveryOutcome { return f.outcome }
+
+// FailReason describes a RecoveryFailed outcome ("" otherwise).
+func (f *FTD) FailReason() string { return f.failReason }
+
 // MarkFault records the fault-injection instant (experiment harnesses call
-// this when they inject).
+// this when they inject). A fault injected while a recovery is already
+// underway folds into the current cycle and keeps its timeline.
 func (f *FTD) MarkFault() {
+	if f.state != ftdIdle {
+		return
+	}
 	f.timeline = NewTimeline()
 	f.timeline.Mark(PhaseFaultInjected, f.eng.Now())
 }
 
-// wake is the daemon's entry: the driver saw the FATAL interrupt.
+// wake is the daemon's entry: the driver saw the FATAL interrupt. Wakeups
+// while verifying, recovering, or terminally failed coalesce — the driver
+// already suppresses re-entrant FATALs, but a re-delivered pending FATAL
+// can still race a Retry, so the daemon guards its own state too.
 func (f *FTD) wake() {
 	f.stats.Wakeups++
+	if f.state != ftdIdle {
+		return
+	}
+	f.state = ftdVerifying
 	f.timeline.Mark(PhaseFTDWake, f.eng.Now())
 	f.verify()
 }
@@ -232,20 +336,28 @@ func (f *FTD) verify() {
 	chip.WriteWord(lanai.MagicAddr, lanai.MagicWord)
 	f.eng.After(f.cfg.VerifyInterval, func() {
 		if chip.ReadWord(lanai.MagicAddr) != lanai.MagicWord {
-			// The LANai is alive; false alarm. Re-arm and go back to sleep.
+			// The LANai is alive; false alarm. Re-arm and go back to sleep
+			// without resetting anything.
 			f.stats.FalseAlarms++
+			f.state = ftdIdle
 			f.driver.ClearFatal()
 			return
 		}
 		f.timeline.Mark(PhaseVerified, f.eng.Now())
+		f.state = ftdRecovering
+		f.outcome = RecoveryPending
+		f.restarts = 0
 		f.recover()
 	})
 }
 
-// recover executes the §4.3 sequence with the calibrated phase costs.
+// recover executes the §4.3 sequence with the calibrated phase costs. Each
+// pass resets the reload-attempt budget; a restart after a mid-recovery
+// hang re-enters here.
 func (f *FTD) recover() {
 	d := f.driver
 	chip := d.Chip()
+	f.reloadAttempts = 0
 	f.eng.After(f.cfg.DisableInterrupts, func() {
 		// Interrupts disabled, IO unmapped.
 		f.eng.After(f.cfg.UnmapIO, func() {
@@ -257,14 +369,85 @@ func (f *FTD) recover() {
 					chip.ClearSRAM()
 					f.timeline.Mark(PhaseCardReset, f.eng.Now())
 					// Reload the MCP (the dominant cost, ~500 ms).
-					d.LoadMCP(func() {
-						f.timeline.Mark(PhaseMCPReloaded, f.eng.Now())
-						f.restoreTables()
-					})
+					f.reloadMCP()
 				})
 			})
 		})
 	})
+}
+
+// reloadMCP attempts the MCP reload, retrying a failed load with capped
+// exponential backoff before giving up terminally.
+func (f *FTD) reloadMCP() {
+	f.reloadAttempts++
+	f.driver.LoadMCPChecked(func(ok bool) {
+		if !ok {
+			if f.reloadAttempts >= f.cfg.MaxReloadAttempts {
+				f.fail(fmt.Sprintf("mcp reload failed %d times", f.reloadAttempts))
+				return
+			}
+			delay := f.cfg.ReloadRetryBase << uint(f.reloadAttempts-1)
+			if delay > f.cfg.ReloadRetryCap {
+				delay = f.cfg.ReloadRetryCap
+			}
+			f.stats.ReloadRetries++
+			f.eng.Tracef("ftd", "mcp reload attempt %d failed; retrying in %v", f.reloadAttempts, delay)
+			f.eng.After(delay, f.reloadMCP)
+			return
+		}
+		f.timeline.Mark(PhaseMCPReloaded, f.eng.Now())
+		f.restoreTables()
+	})
+}
+
+// alive checks mid-recovery that the freshly reloaded LANai is still
+// running. Chaos can hang the card again while tables are being restored,
+// and the restore operations would silently no-op against a dead chip —
+// producing a "recovered" interface that forwards nothing. A failed check
+// restarts the §4.3 sequence (the fault is assumed transient), bounded by
+// MaxRecoveryRestarts.
+func (f *FTD) alive() bool {
+	if f.driver.Chip().Running() {
+		return true
+	}
+	f.restarts++
+	f.stats.RecoveryRestarts++
+	if f.restarts > f.cfg.MaxRecoveryRestarts {
+		f.fail(fmt.Sprintf("lanai hung %d times during recovery", f.restarts))
+		return false
+	}
+	f.eng.Tracef("ftd", "lanai hung mid-recovery; restarting sequence (%d/%d)",
+		f.restarts, f.cfg.MaxRecoveryRestarts)
+	f.recover()
+	return false
+}
+
+// fail records a terminal RecoveryFailed outcome. FATAL delivery stays
+// disarmed — further watchdog expiries are suppressed and the simulation
+// quiesces instead of looping — until Retry re-enters recovery.
+func (f *FTD) fail(reason string) {
+	f.state = ftdFailed
+	f.outcome = RecoveryFailed
+	f.failReason = reason
+	f.stats.Failures++
+	f.eng.Tracef("ftd", "recovery failed: %s", reason)
+	if f.OnFailed != nil {
+		f.OnFailed(reason)
+	}
+}
+
+// Retry re-enters recovery after a terminal failure (the operator path:
+// clear whatever blocked the reload, run the FTD again). No-op unless the
+// daemon is in the failed state.
+func (f *FTD) Retry() {
+	if f.state != ftdFailed {
+		return
+	}
+	f.state = ftdRecovering
+	f.outcome = RecoveryPending
+	f.failReason = ""
+	f.restarts = 0
+	f.recover()
 }
 
 // restoreTables re-registers the page hash table and re-uploads the
@@ -272,8 +455,14 @@ func (f *FTD) recover() {
 func (f *FTD) restoreTables() {
 	d := f.driver
 	f.eng.After(f.cfg.RestorePageTable, func() {
+		if !f.alive() {
+			return
+		}
 		d.MCP().RegisterPageTable(d.PageTable().Len())
 		f.eng.After(f.cfg.RestoreRoutes, func() {
+			if !f.alive() {
+				return
+			}
 			if d.Routes() != nil {
 				d.MCP().UploadRoutes(d.Routes())
 				d.MCP().SetNodeID(d.NodeID())
@@ -294,6 +483,8 @@ func (f *FTD) postFaultEvents() {
 		if i >= len(ports) {
 			f.timeline.Mark(PhaseEventsPosted, f.eng.Now())
 			f.stats.Recoveries++
+			f.state = ftdIdle
+			f.outcome = RecoveryOK
 			d.ClearFatal()
 			if f.OnRecovered != nil {
 				f.OnRecovered(f.timeline)
@@ -302,6 +493,9 @@ func (f *FTD) postFaultEvents() {
 		}
 		port := ports[i]
 		f.eng.After(f.cfg.PostEventPerPort, func() {
+			if !f.alive() {
+				return
+			}
 			// The port is reopened in a bare state; the process's
 			// FAULT_DETECTED handler restores tokens and sequence state.
 			d.MCP().ReopenPort(port, d.PortSink(port))

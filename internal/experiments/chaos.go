@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/gm"
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
+
+// ChaosComparison runs the same seed-split chaos campaign — compound hangs
+// (including hang-during-recovery and simultaneous dual hangs), flapping
+// and degraded cables, dead crossbar ports, and failing MCP reloads —
+// against stock GM (with the §3 naive-restart watchdog) and against FTGM.
+// The stream auditor's exactly-once in-order verdict is the headline: FTGM
+// must come back clean, and the identical fault plan must visibly break
+// the baseline.
+func ChaosComparison(seed uint64, cfg chaos.CampaignConfig) ([]chaos.CampaignResult, error) {
+	results := make([]chaos.CampaignResult, 0, 2)
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		cfg := cfg
+		cfg.Mode = mode
+		res, err := chaos.Run(seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// RenderChaos prints the campaign comparison.
+func RenderChaos(results []chaos.CampaignResult) string {
+	t := trace.Table{
+		Title: "Chaos campaign: compound faults with end-to-end delivery audit",
+		Headers: []string{"Scheme", "trials", "clean", "sent", "delivered",
+			"dups", "ooo", "lost", "corrupt", "verdict"},
+	}
+	for _, r := range results {
+		verdict := "BROKEN"
+		if r.AllExactlyOnce {
+			verdict = "exactly-once in-order"
+		}
+		t.AddRow(r.Mode,
+			fmt.Sprintf("%d", len(r.Trials)),
+			fmt.Sprintf("%d", r.CleanTrials),
+			fmt.Sprintf("%d", r.Total.Sent),
+			fmt.Sprintf("%d", r.Total.Delivered),
+			fmt.Sprintf("%d", r.Total.Duplicates),
+			fmt.Sprintf("%d", r.Total.OutOfOrder),
+			fmt.Sprintf("%d", r.Total.Lost),
+			fmt.Sprintf("%d", r.Total.Corrupt),
+			verdict)
+	}
+	out := t.Render()
+	for _, r := range results {
+		var rec struct {
+			recov, restarts, retries, fails, naive uint64
+		}
+		for _, tr := range r.Trials {
+			rec.recov += tr.Recoveries
+			rec.restarts += tr.RecoveryRestarts
+			rec.retries += tr.ReloadRetries
+			rec.fails += tr.RecoveryFailures
+			rec.naive += tr.NaiveRestarts
+		}
+		out += fmt.Sprintf("\n%-5s recoveries=%d recovery-restarts=%d reload-retries=%d terminal-failures=%d naive-restarts=%d",
+			r.Mode, rec.recov, rec.restarts, rec.retries, rec.fails, rec.naive)
+	}
+	return out
+}

@@ -51,7 +51,8 @@ func (a *Attachment) Link() *Link { return a.link }
 // behind earlier packets in the same direction (the Myrinet stop/go
 // backpressure collapses to FIFO occupancy at packet granularity) and the
 // packet is delivered after serialization plus propagation. Packets sent on
-// a downed link are silently dropped, as on a cut cable.
+// a downed link are silently dropped, as on a cut cable; an installed fault
+// profile can additionally drop or corrupt packets in flight.
 func (a *Attachment) Send(pkt *Packet) {
 	l := a.link
 	if !l.up {
@@ -69,6 +70,32 @@ func (a *Attachment) Send(pkt *Packet) {
 	st.Packets++
 	st.Bytes += uint64(pkt.WireSize())
 	st.Busy += ser
+	if l.faultRNG != nil {
+		if l.faults.DropProb > 0 && l.faultRNG.Float64() < l.faults.DropProb {
+			// A lossy cable or marginal SerDes eats the packet mid-flight;
+			// the sender's Go-Back-N is what recovers it.
+			st.Dropped++
+			st.FaultDropped++
+			l.eng.Tracef(l.name, "fault drop %v", pkt)
+			return
+		}
+		if l.faults.CorruptProb > 0 && l.faultRNG.Float64() < l.faults.CorruptProb {
+			bit := l.faultRNG.Intn(8 * maxInt(len(pkt.Payload), 1))
+			if l.faults.CorruptPreSeal {
+				// The damage predates the CRC seal (e.g. an upset in the
+				// staging SRAM): reseal so the link-level check passes and
+				// the corruption travels on undetected (Table 1 "Messages
+				// Corrupted").
+				pkt.CorruptPayload(bit, true)
+			} else {
+				// Wire-level bit flip on the sealed packet: the receiver's
+				// CRC check catches and drops it.
+				pkt.CorruptPayload(bit, false)
+			}
+			st.Corrupted++
+			l.eng.Tracef(l.name, "fault corrupt %v bit %d", pkt, bit)
+		}
+	}
 	peer := a.Peer()
 	eng.At(start+ser+l.cfg.PropDelay, func() {
 		if !l.up {
@@ -79,12 +106,38 @@ func (a *Attachment) Send(pkt *Packet) {
 	})
 }
 
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // LinkStats counts traffic in one direction of a link.
 type LinkStats struct {
 	Packets uint64
 	Bytes   uint64
-	Dropped uint64
-	Busy    sim.Duration
+	Dropped uint64 // all losses on this direction (down link + injected)
+	// FaultDropped is the subset of Dropped caused by an injected fault
+	// profile rather than a downed link.
+	FaultDropped uint64
+	// Corrupted counts packets whose payload a fault profile damaged in
+	// flight (whether or not the damage is CRC-detectable).
+	Corrupted uint64
+	Busy      sim.Duration
+}
+
+// FaultProfile describes injected misbehavior of a link. The zero value is
+// a healthy cable.
+type FaultProfile struct {
+	// DropProb is the per-packet probability the link eats the packet.
+	DropProb float64
+	// CorruptProb is the per-packet probability of a payload bit flip.
+	CorruptProb float64
+	// CorruptPreSeal makes flips happen "before" the CRC seal (resealed, so
+	// they pass the link-level check); otherwise the flip damages the sealed
+	// packet and the receiver's CRC check drops it.
+	CorruptPreSeal bool
 }
 
 // Link is a full-duplex point-to-point cable between two devices.
@@ -96,6 +149,9 @@ type Link struct {
 	nextFree [2]sim.Time
 	stats    [2]LinkStats
 	up       bool
+
+	faults   FaultProfile
+	faultRNG *sim.RNG
 }
 
 // NewLink creates a link between devices a and b and returns it. Attachment
@@ -135,7 +191,25 @@ func (l *Link) Up() bool { return l.up }
 // down are dropped.
 func (l *Link) SetUp(up bool) { l.up = up }
 
-// Stats returns the traffic counters for direction end->peer.
+// SetFaults installs (or with a zero profile, removes) a fault profile on
+// the link, using a generator seeded deterministically: fault decisions are
+// then a pure function of the seed and the packet sequence, so chaos
+// campaigns replay bit-for-bit.
+func (l *Link) SetFaults(p FaultProfile, seed uint64) {
+	l.faults = p
+	if p == (FaultProfile{}) {
+		l.faultRNG = nil
+		return
+	}
+	l.faultRNG = sim.NewRNG(seed)
+}
+
+// Faults returns the installed fault profile (zero when healthy).
+func (l *Link) Faults() FaultProfile { return l.faults }
+
+// Stats returns a snapshot of the traffic counters for direction end->peer.
+// The copy-out is deliberate: callers audit counters against each other and
+// must not alias live state.
 func (l *Link) Stats(end int) LinkStats { return l.stats[end] }
 
 // Utilization reports the busy fraction of direction end over elapsed time

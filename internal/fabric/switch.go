@@ -25,7 +25,7 @@ func DefaultSwitchConfig() SwitchConfig {
 type SwitchStats struct {
 	Forwarded     uint64
 	DroppedNoPort uint64
-	DroppedDead   uint64
+	DroppedDead   uint64 // routed into a downed link or a dead port
 }
 
 // Switch is a source-routing crossbar: it consumes the packet's first route
@@ -35,6 +35,7 @@ type Switch struct {
 	cfg   SwitchConfig
 	name  string
 	ports []*Attachment // nil where nothing is cabled
+	dead  []bool        // per-port SerDes death (fault injection)
 	stats SwitchStats
 }
 
@@ -45,6 +46,7 @@ func NewSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
 		cfg:   cfg,
 		name:  name,
 		ports: make([]*Attachment, cfg.Ports),
+		dead:  make([]bool, cfg.Ports),
 	}
 }
 
@@ -54,8 +56,22 @@ func (s *Switch) Name() string { return s.name }
 // NumPorts returns the port count.
 func (s *Switch) NumPorts() int { return len(s.ports) }
 
-// Stats returns the forwarding counters.
+// Stats returns a snapshot of the forwarding counters (copy-out: audits
+// compare counter sets and must not alias live state).
 func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// SetPortDead kills or revives one port's SerDes: a dead port neither
+// accepts nor emits packets, while the cabled link itself stays up (the
+// failure is inside the crossbar, not on the cable).
+func (s *Switch) SetPortDead(i int, dead bool) {
+	if i >= 0 && i < len(s.dead) {
+		s.dead[i] = dead
+		s.eng.Tracef(s.name, "port %d dead=%v", i, dead)
+	}
+}
+
+// PortDead reports whether port i is killed.
+func (s *Switch) PortDead(i int) bool { return i >= 0 && i < len(s.dead) && s.dead[i] }
 
 // AttachLink cables an end of l into port i. The attachment must belong to
 // this switch (create the link with the switch as one of its devices).
@@ -113,12 +129,22 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 		s.stats.DroppedNoPort++
 		return
 	}
+	if s.dead[in] {
+		s.stats.DroppedDead++
+		s.eng.Tracef(s.name, "drop %v: input port %d dead", pkt, in)
+		return
+	}
 	delta := int(int8(pkt.Route[0]))
 	pkt.Route = pkt.Route[1:]
 	out := (in + delta%len(s.ports) + len(s.ports)) % len(s.ports)
 	if out >= len(s.ports) || s.ports[out] == nil {
 		s.stats.DroppedNoPort++
 		s.eng.Tracef(s.name, "drop %v: no port %d", pkt, out)
+		return
+	}
+	if s.dead[out] {
+		s.stats.DroppedDead++
+		s.eng.Tracef(s.name, "drop %v: port %d dead", pkt, out)
 		return
 	}
 	dst := s.ports[out]

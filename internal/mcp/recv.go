@@ -141,16 +141,29 @@ func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
 	id := gmproto.StreamID{Node: h.Src, Port: streamPort, Prio: h.Prio}
 	rs, known := m.rx[id]
 	if !known {
-		// First contact on this stream: GM is connectionless, so the
-		// receiver synchronizes to the sender's current sequence number
-		// (connection establishment is implicit). Mid-message fragments
-		// cannot establish a stream; the sender's Go-Back-N resends the
-		// whole message.
+		// First contact on this stream. Mid-message fragments cannot
+		// establish a stream; the sender's Go-Back-N resends the whole
+		// message.
 		if h.Offset != 0 {
 			m.stats.BadHeaderDrops++
 			return
 		}
-		rs = &rxStream{arrivedSeq: h.Seq - 1, committedSeq: h.Seq - 1}
+		if m.mode == ModeFTGM {
+			// FTGM sequence spaces live in host memory, survive MCP
+			// reloads, and always start at 1, so an unknown stream is
+			// either genuine first contact (Seq 1) or a reloaded MCP
+			// seeing a mid-window retransmit before the FAULT_DETECTED
+			// handler has uploaded the ACK table (§4.4). Adopting a
+			// mid-stream number here would skip — and then dup-ACK away —
+			// the sender's unacknowledged window, so the stream starts at
+			// zero and anything later is NACKed until the restore lands.
+			rs = &rxStream{}
+		} else {
+			// Stock GM is connectionless with MCP-generated sequence
+			// numbers: the receiver synchronizes to the sender's current
+			// number (connection establishment is implicit).
+			rs = &rxStream{arrivedSeq: h.Seq - 1, committedSeq: h.Seq - 1}
+		}
 		m.rx[id] = rs
 	}
 	expected := rs.arrivedSeq + 1
