@@ -1,9 +1,9 @@
 # Tier-1 verification gate. The experiment layer fans out across goroutines
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra.
-.PHONY: tier1 build vet fmt test race chaos bench quickbench
+.PHONY: tier1 build vet fmt static test race chaos netfault bench quickbench
 
-tier1: build vet fmt race
+tier1: build vet fmt static race
 
 build:
 	go build ./...
@@ -14,6 +14,13 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck when available; a bare toolchain passes the gate without it.
+static:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; fi
 
 test:
 	go test ./...
@@ -26,6 +33,11 @@ race:
 # switch ports, failing reloads) with the exactly-once delivery audit.
 chaos:
 	go test -race -short -v -run 'Campaign' ./internal/chaos/
+
+# Network-fault failover suite: dead trunks and partitions on the
+# dual-switch fabric, GM vs FTGM vs FTGM+netwatch.
+netfault:
+	go test -race -v -run 'NetFault|NetworkFault|NetWatch|Remap' ./gm/ ./internal/core/ ./internal/mapper/ ./internal/chaos/ ./internal/experiments/
 
 # Full benchmark sweep (regenerates every table/figure as metrics).
 bench:

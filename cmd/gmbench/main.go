@@ -1,11 +1,12 @@
 // Command gmbench regenerates the paper's performance evaluation on the
 // simulated Myrinet/GM stack:
 //
-//	gmbench -mode bw      Figure 7  (bidirectional bandwidth vs length)
-//	gmbench -mode lat     Figure 8  (half round-trip latency vs length)
-//	gmbench -mode table2  Table 2   (metric summary, GM vs FTGM)
-//	gmbench -mode table1  Table 1   (fault-injection campaign)
-//	gmbench -mode all     everything
+//	gmbench -mode bw        Figure 7  (bidirectional bandwidth vs length)
+//	gmbench -mode lat       Figure 8  (half round-trip latency vs length)
+//	gmbench -mode table2    Table 2   (metric summary, GM vs FTGM)
+//	gmbench -mode table1    Table 1   (fault-injection campaign)
+//	gmbench -mode netfault  network-fault failover (dead trunks/partitions)
+//	gmbench -mode all       everything
 //
 // The -quick flag shrinks the sweeps for a fast smoke run. The -json flag
 // writes the headline metrics (MB/s asymptote, short-message half-RTT,
@@ -20,9 +21,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/parallel"
+	"repro/internal/sim"
 )
 
 // report is the -json output shape. Fields are omitted when their mode did
@@ -45,6 +48,25 @@ type report struct {
 	// Table 1 campaign outcome percentages, keyed by category name.
 	CampaignRuns    int                `json:"campaign_runs,omitempty"`
 	CampaignPercent map[string]float64 `json:"campaign_percent,omitempty"`
+
+	// Network-fault comparison, keyed by scheme (GM, FTGM, FTGM+netwatch).
+	NetFault map[string]netFaultJSON `json:"netfault,omitempty"`
+}
+
+type netFaultJSON struct {
+	Sent          uint64  `json:"sent"`
+	Delivered     uint64  `json:"delivered"`
+	Lost          uint64  `json:"lost"`
+	Failed        uint64  `json:"failed"`
+	DeliveryRate  float64 `json:"delivery_rate"`
+	ExactlyOnce   bool    `json:"exactly_once"`
+	Suspicions    uint64  `json:"suspicions"`
+	Incidents     uint64  `json:"incidents"`
+	Remaps        uint64  `json:"remaps"`
+	RemapFailures uint64  `json:"remap_failures"`
+	Probes        uint64  `json:"probes"`
+	Unreachable   uint64  `json:"unreachable"`
+	Readmissions  uint64  `json:"readmissions"`
 }
 
 type table2JSON struct {
@@ -68,7 +90,7 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "bw | lat | table2 | table1 | all")
+	mode := flag.String("mode", "all", "bw | lat | table2 | table1 | netfault | all")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
 	runs := flag.Int("runs", 1000, "fault-injection trials for table1")
@@ -87,7 +109,8 @@ func run() error {
 	doLat := *mode == "lat" || *mode == "all"
 	doT2 := *mode == "table2" || *mode == "all"
 	doT1 := *mode == "table1" || *mode == "all"
-	if !doBW && !doLat && !doT2 && !doT1 {
+	doNF := *mode == "netfault" || *mode == "all"
+	if !doBW && !doLat && !doT2 && !doT1 && !doNF {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
@@ -141,6 +164,46 @@ func run() error {
 		rep.CampaignPercent = make(map[string]float64)
 		for _, o := range fault.Outcomes() {
 			rep.CampaignPercent[o.String()] = res.Campaign.Percent(o)
+		}
+	}
+
+	if doNF {
+		cfg := chaos.CampaignConfig{
+			Trials: 4,
+			Trial: chaos.TrialConfig{
+				Nodes:     4,
+				Traffic:   sim.Second,
+				SendEvery: 2 * sim.Millisecond,
+				Events:    2,
+				MaxSettle: 15 * sim.Second,
+			},
+		}
+		if *quick {
+			cfg.Trials = 1
+			cfg.Trial.SendEvery = 4 * sim.Millisecond
+		}
+		res, err := experiments.NetworkFaultComparison(*seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderNetFault(res))
+		rep.NetFault = make(map[string]netFaultJSON)
+		for _, r := range res {
+			rep.NetFault[r.Label] = netFaultJSON{
+				Sent:          r.Campaign.Total.Sent,
+				Delivered:     r.Campaign.Total.Unique,
+				Lost:          r.Campaign.Total.Lost,
+				Failed:        r.Campaign.Total.Failed,
+				DeliveryRate:  r.DeliveryRate(),
+				ExactlyOnce:   r.Campaign.AllExactlyOnce,
+				Suspicions:    r.Counters.Suspicions,
+				Incidents:     r.Counters.Incidents,
+				Remaps:        r.Counters.Remaps,
+				RemapFailures: r.Counters.RemapFailures,
+				Probes:        r.Counters.Probes,
+				Unreachable:   r.Counters.Unreachable,
+				Readmissions:  r.Counters.Readmissions,
+			}
 		}
 	}
 

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/gmproto"
 	"repro/internal/mapper"
 	"repro/internal/sim"
 )
@@ -32,6 +34,10 @@ var (
 	ErrNoSendTokens = errors.New("gm: no send tokens available")
 	ErrPortClosed   = errors.New("gm: port closed")
 	ErrBadArgument  = errors.New("gm: bad argument")
+	// ErrPeerUnreachable rejects a send to a peer the network watchdog has
+	// declared unreachable (no surviving route). The peer is readmitted
+	// automatically if a later remap finds it again.
+	ErrPeerUnreachable = errors.New("gm: peer unreachable")
 )
 
 // Cluster is a simulated Myrinet network: nodes (host + interface card),
@@ -45,6 +51,23 @@ type Cluster struct {
 	links    []*fabric.Link
 	booted   bool
 	mapRes   mapper.Result
+
+	// netwatch is the network watchdog daemon (nil unless cfg.NetWatch is
+	// enabled and the cluster booted).
+	netwatch *core.NetWatch
+	// knownIDs is the accumulated UID -> NodeID assignment across maps; it
+	// seeds the mapper's prior so survivors keep their identity (streams are
+	// keyed by NodeID).
+	knownIDs map[uint64]gmproto.NodeID
+	// missingSince records when each known interface first went missing
+	// from a map. Interfaces within the UnreachableGrace window keep their
+	// old routes installed (they may be mid-FTD-recovery, which makes a node
+	// invisible to scouts); past it they are expelled.
+	missingSince map[uint64]sim.Time
+	// expelled marks interfaces declared unreachable.
+	expelled map[uint64]bool
+	// remapBusy guards against overlapping watchdog remap attempts.
+	remapBusy bool
 }
 
 // Switch wraps a crossbar switch in the cluster.
@@ -70,7 +93,13 @@ func (s *Switch) PortDead(port int) bool { return s.sw.PortDead(port) }
 
 // NewCluster creates an empty cluster.
 func NewCluster(cfg Config) *Cluster {
-	return &Cluster{cfg: cfg, eng: sim.NewEngine(cfg.Seed)}
+	return &Cluster{
+		cfg:          cfg,
+		eng:          sim.NewEngine(cfg.Seed),
+		knownIDs:     make(map[uint64]gmproto.NodeID),
+		missingSince: make(map[uint64]sim.Time),
+		expelled:     make(map[uint64]bool),
+	}
 }
 
 // Engine exposes the simulation engine (experiment harnesses schedule
@@ -140,18 +169,25 @@ func (c *Cluster) Connect(n *Node, s *Switch, port int) error {
 
 // ConnectSwitches cables two switches together (a trunk).
 func (c *Cluster) ConnectSwitches(a, b *Switch, portA, portB int) error {
+	_, err := c.ConnectSwitchesLink(a, b, portA, portB)
+	return err
+}
+
+// ConnectSwitchesLink is ConnectSwitches returning the trunk's cable, so
+// fault-injection harnesses can cut it.
+func (c *Cluster) ConnectSwitchesLink(a, b *Switch, portA, portB int) (*fabric.Link, error) {
 	if a == nil || b == nil {
-		return fmt.Errorf("%w: nil switch", ErrBadArgument)
+		return nil, fmt.Errorf("%w: nil switch", ErrBadArgument)
 	}
 	l := fabric.NewLink(c.eng, c.cfg.Link, a.sw, b.sw)
 	if err := a.sw.AttachLink(portA, l); err != nil {
-		return err
+		return nil, err
 	}
 	if err := b.sw.AttachLink(portB, l); err != nil {
-		return err
+		return nil, err
 	}
 	c.links = append(c.links, l)
-	return nil
+	return l, nil
 }
 
 // Boot brings the cluster up: it loads the MCP into every interface, runs
@@ -173,35 +209,24 @@ func (c *Cluster) Boot() (mapper.Result, error) {
 		return mapper.Result{}, fmt.Errorf("gm: %d/%d MCP loads finished", loaded, len(c.nodes))
 	}
 
-	var res mapper.Result
-	var mapErr error
-	finished := false
-	mapper.New(c.nodes[0].m, c.cfg.Mapper).Run(func(r mapper.Result, err error) {
-		res, mapErr, finished = r, err, true
-	})
-	// The mapping protocol is timeout-driven; give it ample virtual time.
-	for i := 0; i < 1000 && !finished; i++ {
-		c.eng.RunFor(10 * sim.Millisecond)
-	}
-	if !finished {
-		return mapper.Result{}, errors.New("gm: mapper did not converge")
-	}
-	if mapErr != nil {
-		return mapper.Result{}, mapErr
+	res, err := c.runMapperSync()
+	if err != nil {
+		return mapper.Result{}, err
 	}
 	if len(res.IDs) != len(c.nodes) {
 		return res, fmt.Errorf("gm: mapper found %d interfaces, cluster has %d",
 			len(res.IDs), len(c.nodes))
 	}
 
-	// Authoritative host copies for recovery (§4.3: the FTD restores "the
-	// mapping and routing table information").
-	for _, n := range c.nodes {
-		id := res.IDs[n.m.UID()]
-		n.driver.SetRoutes(id, res.Routes[id])
-	}
-	c.mapRes = res
+	c.applyMapResult(res)
 	c.booted = true
+	if c.cfg.NetWatch.Enabled {
+		c.netwatch = core.NewNetWatch(c.eng, c.cfg.NetWatch)
+		c.netwatch.SetRemap(c.netwatchRemap)
+		for _, n := range c.nodes {
+			n.driver.SetOnNetFault(func(target NodeID) { c.netwatch.Suspect(target) })
+		}
+	}
 	// Let the config packets and any stragglers settle.
 	c.eng.RunFor(2 * c.cfg.Mapper.RoundTimeout)
 	return res, nil
@@ -214,31 +239,212 @@ func (c *Cluster) Booted() bool { return c.booted }
 func (c *Cluster) MapResult() mapper.Result { return c.mapRes }
 
 // Remap re-runs the mapper (e.g. after a topology change) and refreshes
-// every reachable driver's authoritative copy.
+// every reachable driver's authoritative copy. Surviving nodes keep their
+// identities (the prior assignment seeds the mapper).
 func (c *Cluster) Remap() (mapper.Result, error) {
 	if !c.booted {
 		return mapper.Result{}, ErrNotBooted
 	}
+	res, err := c.runMapperSync()
+	if err != nil {
+		return mapper.Result{}, err
+	}
+	c.applyMapResult(res)
+	return res, nil
+}
+
+// NetWatch returns the network watchdog daemon (nil unless enabled in the
+// configuration and the cluster booted).
+func (c *Cluster) NetWatch() *core.NetWatch { return c.netwatch }
+
+// mapperCap returns the configured convergence cap.
+func (c *Cluster) mapperCap() sim.Duration {
+	if c.cfg.MapperConvergeTimeout > 0 {
+		return c.cfg.MapperConvergeTimeout
+	}
+	return 10 * sim.Second
+}
+
+// runMapperSync runs one mapping pass from the first node, pumping the
+// engine until it converges or the cap expires. Used by Boot and Remap; the
+// network watchdog, which lives *inside* simulation callbacks and cannot
+// pump the engine, uses netwatchRemap instead.
+func (c *Cluster) runMapperSync() (mapper.Result, error) {
+	mp := mapper.New(c.nodes[0].m, c.cfg.Mapper)
+	if len(c.knownIDs) > 0 {
+		mp.SetPrior(c.knownIDs)
+	}
 	var res mapper.Result
 	var mapErr error
 	finished := false
-	mapper.New(c.nodes[0].m, c.cfg.Mapper).Run(func(r mapper.Result, err error) {
-		res, mapErr, finished = r, err, true
-	})
-	for i := 0; i < 1000 && !finished; i++ {
+	mp.Run(func(r mapper.Result, err error) { res, mapErr, finished = r, err, true })
+	deadline := c.eng.Now() + c.mapperCap()
+	for !finished && c.eng.Now() < deadline {
 		c.eng.RunFor(10 * sim.Millisecond)
 	}
 	if !finished {
+		mp.Abort()
 		return mapper.Result{}, errors.New("gm: mapper did not converge")
 	}
 	if mapErr != nil {
 		return mapper.Result{}, mapErr
 	}
+	return res, nil
+}
+
+// netwatchRemap is the watchdog's remap trigger: one asynchronous mapping
+// pass, applied on completion, aborted at the convergence cap. It never
+// pumps the engine (it runs inside a simulation callback).
+func (c *Cluster) netwatchRemap(done func(ok bool)) {
+	if c.remapBusy || len(c.nodes) == 0 {
+		done(false)
+		return
+	}
+	c.remapBusy = true
+	mp := mapper.New(c.nodes[0].m, c.cfg.Mapper)
+	mp.SetPrior(c.knownIDs)
+	finished := false
+	mp.Run(func(r mapper.Result, err error) {
+		if finished {
+			return
+		}
+		finished = true
+		c.remapBusy = false
+		if err != nil {
+			done(false)
+			return
+		}
+		c.applyMapResult(r)
+		done(true)
+	})
+	c.eng.AfterLabel(c.mapperCap(), "netwatch-remap-cap", func() {
+		if finished {
+			return
+		}
+		finished = true
+		c.remapBusy = false
+		mp.Abort()
+		done(false)
+	})
+}
+
+// applyMapResult installs a mapping into the cluster: driver authoritative
+// copies and MCP tables for every mapped node, identity bookkeeping, and the
+// unreachable/readmission state machine for nodes the map lost or regained.
+func (c *Cluster) applyMapResult(res mapper.Result) {
+	now := c.eng.Now()
+	for uid, id := range res.IDs {
+		c.knownIDs[uid] = id
+	}
+
+	// Classify this cluster's nodes against the map. Slice iteration keeps
+	// event order deterministic.
+	var toExpel, toReadmit []*Node
 	for _, n := range c.nodes {
-		if id, ok := res.IDs[n.m.UID()]; ok {
-			n.driver.SetRoutes(id, res.Routes[id])
+		uid := n.m.UID()
+		if _, present := res.IDs[uid]; present {
+			delete(c.missingSince, uid)
+			if c.expelled[uid] {
+				toReadmit = append(toReadmit, n)
+			}
+			continue
+		}
+		if c.expelled[uid] {
+			continue
+		}
+		if _, known := c.knownIDs[uid]; !known {
+			continue // never mapped; not our member (or pre-boot)
+		}
+		first, tracked := c.missingSince[uid]
+		if !tracked {
+			c.missingSince[uid] = now
+			continue
+		}
+		if now-first >= c.cfg.NetWatch.UnreachableGrace {
+			toExpel = append(toExpel, n)
 		}
 	}
+
+	// Install the tables. A missing-but-in-grace peer (possibly mid-FTD-
+	// recovery, invisible to scouts) keeps its old route in every table so
+	// traffic toward it resumes the moment it comes back — the mapper's
+	// in-band config replaced the MCP tables wholesale, so the merged table
+	// is re-uploaded directly.
+	for _, n := range c.nodes {
+		uid := n.m.UID()
+		id, present := res.IDs[uid]
+		if !present {
+			continue
+		}
+		tbl := make(map[NodeID][]byte, len(res.Routes[id]))
+		for dest, r := range res.Routes[id] {
+			tbl[dest] = r
+		}
+		old := n.driver.Routes()
+		for guid := range c.missingSince {
+			gid, known := c.knownIDs[guid]
+			if !known || gid == id {
+				continue
+			}
+			if _, have := tbl[gid]; have {
+				continue
+			}
+			if r, ok := old[gid]; ok {
+				tbl[gid] = r
+			}
+		}
+		n.driver.SetRoutes(id, tbl)
+		n.m.SetNodeID(id)
+		n.m.UploadRoutes(tbl)
+	}
+
+	for _, n := range toExpel {
+		c.expelNode(n)
+	}
+	for _, n := range toReadmit {
+		c.readmitNode(n)
+	}
 	c.mapRes = res
-	return res, nil
+}
+
+// expelNode declares a node unreachable: every peer's pending and future
+// sends toward it fail terminally (ErrPeerUnreachable / SendErrorUnreachable)
+// instead of retransmitting forever, and symmetrically its own sends fail.
+func (c *Cluster) expelNode(x *Node) {
+	uid := x.m.UID()
+	c.expelled[uid] = true
+	delete(c.missingSince, uid)
+	xid := c.knownIDs[uid]
+	c.eng.Tracef("cluster", "node %s (id %d) declared unreachable", x.name, xid)
+	for _, n := range c.nodes {
+		if n == x {
+			continue
+		}
+		n.setPeerUnreachable(xid)
+		x.setPeerUnreachable(c.knownIDs[n.m.UID()])
+	}
+	if c.netwatch != nil {
+		c.netwatch.NoteUnreachable()
+	}
+}
+
+// readmitNode welcomes an expelled node back: the unreachable marks clear
+// and the sequence streams between it and every peer reset in both
+// directions — its terminal failures left gaps in the old streams, so
+// first contact restarts each stream at sequence 1.
+func (c *Cluster) readmitNode(x *Node) {
+	uid := x.m.UID()
+	delete(c.expelled, uid)
+	xid := c.knownIDs[uid]
+	c.eng.Tracef("cluster", "node %s (id %d) readmitted", x.name, xid)
+	for _, n := range c.nodes {
+		if n == x {
+			continue
+		}
+		n.resetPeer(xid)
+		x.resetPeer(c.knownIDs[n.m.UID()])
+	}
+	if c.netwatch != nil {
+		c.netwatch.NoteReadmitted()
+	}
 }

@@ -46,6 +46,11 @@ const (
 	PriorityHigh = gmproto.PriorityHigh
 	SendOK       = gmproto.SendOK
 	MaxPorts     = gmproto.MaxPorts
+
+	// Terminal send statuses a callback may observe.
+	SendErrorDropped     = gmproto.SendErrorDropped
+	SendErrorClosed      = gmproto.SendErrorClosed
+	SendErrorUnreachable = gmproto.SendErrorUnreachable
 )
 
 // Mode selects stock GM or the paper's FTGM.
@@ -134,6 +139,16 @@ type Config struct {
 	Driver core.DriverConfig
 	FTD    core.FTDConfig
 	Mapper mapper.Config
+
+	// NetWatch configures the network watchdog daemon (path-failure
+	// detection, autonomous remap, alternate-route failover). Disabled by
+	// default: stock GM/FTGM has no network-fault recovery.
+	NetWatch core.NetWatchConfig
+
+	// MapperConvergeTimeout caps how much virtual time Boot, Remap and the
+	// network watchdog give the mapping protocol to converge before
+	// declaring failure. <= 0 means the 10 s default.
+	MapperConvergeTimeout sim.Duration
 }
 
 // DefaultConfig returns the full calibrated stack in the given mode.
@@ -150,5 +165,8 @@ func DefaultConfig(mode Mode) Config {
 		Driver: core.DefaultDriverConfig(),
 		FTD:    core.DefaultFTDConfig(),
 		Mapper: mapper.DefaultConfig(),
+
+		NetWatch:              core.DefaultNetWatchConfig(),
+		MapperConvergeTimeout: 10 * sim.Second,
 	}
 }

@@ -1,0 +1,257 @@
+package gm
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// bootDualSwitch builds and boots a dual-switch FTGM cluster, with or
+// without the network watchdog.
+func bootDualSwitch(t *testing.T, nodes, trunks int, watch bool) (*Cluster, *DualSwitch) {
+	t.Helper()
+	cfg := DefaultConfig(ModeFTGM)
+	cfg.NetWatch.Enabled = watch
+	c := NewCluster(cfg)
+	d, err := BuildDualSwitch(c, nodes, trunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+// openPair opens port 2 on src and dst, with dst counting deliveries and
+// checking exactly-once-in-order per source.
+func openPair(t *testing.T, src, dst *Node) (ps *Port, delivered *int) {
+	t.Helper()
+	ps, err := src.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := dst.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	seen := make(map[string]bool)
+	pd.SetReceiveHandler(func(ev RecvEvent) {
+		key := string(ev.Data)
+		if seen[key] {
+			t.Errorf("duplicate delivery of %q", key)
+		}
+		seen[key] = true
+		count++
+	})
+	for i := 0; i < 64; i++ {
+		if err := pd.ProvideReceiveBuffer(256, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps, &count
+}
+
+// routeTrunk finds which trunk of the dual-switch topology carries src's
+// route to dst (src must hang off S1 at port < trunk ports).
+func routeTrunk(t *testing.T, d *DualSwitch, src *Node, dst NodeID) *fabric.Link {
+	t.Helper()
+	route := src.Driver().Routes()[dst]
+	if len(route) == 0 {
+		t.Fatalf("no route from %s to node %d", src.Name(), dst)
+	}
+	// src sits on S1 port 0; exit port = (0 + delta) mod NumPorts.
+	n := d.S1.NumPorts()
+	exit := ((int(int8(route[0])) % n) + n) % n
+	idx := n - 1 - exit
+	if idx < 0 || idx >= len(d.Trunks) {
+		t.Fatalf("route %v exits port %d, not a trunk", route, exit)
+	}
+	return d.Trunks[idx]
+}
+
+// TestNetFaultTrunkFailover is the tentpole scenario: a dead trunk on a
+// dual-trunk fabric. With the watchdog, the stalled streams raise
+// NET_FAULT_SUSPECTED, the watchdog remaps, the mapper finds the surviving
+// trunk, and every message — including the ones in flight at the kill — is
+// delivered exactly once. Nothing is lost, nothing duplicated.
+func TestNetFaultTrunkFailover(t *testing.T) {
+	c, d := bootDualSwitch(t, 4, 2, true)
+	src, dst := d.Nodes[0], d.Nodes[1] // cross-switch pair
+	ps, delivered := openPair(t, src, dst)
+
+	statuses := make(map[SendStatus]int)
+	send := func(msg string) {
+		if err := ps.Send(dst.ID(), 2, PriorityLow, []byte(msg), func(st SendStatus) {
+			statuses[st]++
+		}); err != nil {
+			t.Fatalf("send %q: %v", msg, err)
+		}
+	}
+
+	for _, m := range []string{"a0", "a1", "a2", "a3", "a4"} {
+		send(m)
+	}
+	c.Run(50 * Millisecond)
+	if *delivered != 5 {
+		t.Fatalf("pre-fault: delivered %d/5", *delivered)
+	}
+
+	// Kill the trunk the route actually rides.
+	routeTrunk(t, d, src, dst.ID()).SetUp(false)
+	for _, m := range []string{"b0", "b1", "b2", "b3", "b4"} {
+		send(m)
+	}
+	c.Run(5 * sim.Second)
+
+	if *delivered != 10 {
+		t.Fatalf("post-failover: delivered %d/10", *delivered)
+	}
+	if statuses[SendOK] != 10 || len(statuses) != 1 {
+		t.Fatalf("send statuses = %v, want 10x ok", statuses)
+	}
+	st := c.NetWatch().Stats()
+	if st.Suspicions == 0 || st.Remaps == 0 {
+		t.Fatalf("netwatch stats = %+v, want suspicions and a remap", st)
+	}
+	if st.Unreachable != 0 {
+		t.Fatalf("netwatch declared %d peers unreachable on a survivable fault", st.Unreachable)
+	}
+	if src.Driver().Stats().NetFaultReports == 0 {
+		t.Fatal("driver forwarded no NET_FAULT_SUSPECTED reports")
+	}
+	// Identities must not have moved across the remap.
+	for i, n := range d.Nodes {
+		if n.ID() != NodeID(i+1) {
+			t.Fatalf("node %d identity moved to %d after remap", i, n.ID())
+		}
+	}
+}
+
+// TestNetFaultTrunkStallWithoutWatchdog is the contrast: same dead trunk,
+// watchdog disabled — plain FTGM retransmits into the void forever and the
+// post-kill messages never arrive.
+func TestNetFaultTrunkStallWithoutWatchdog(t *testing.T) {
+	c, d := bootDualSwitch(t, 4, 2, false)
+	src, dst := d.Nodes[0], d.Nodes[1]
+	ps, delivered := openPair(t, src, dst)
+
+	ok := 0
+	if err := ps.Send(dst.ID(), 2, PriorityLow, []byte("pre"), func(SendStatus) { ok++ }); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * Millisecond)
+
+	routeTrunk(t, d, src, dst.ID()).SetUp(false)
+	if err := ps.Send(dst.ID(), 2, PriorityLow, []byte("post"), func(SendStatus) { ok++ }); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * sim.Second)
+
+	if *delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (the post-kill message must stall)", *delivered)
+	}
+	if ok != 1 {
+		t.Fatalf("%d send callbacks fired, want 1", ok)
+	}
+	if s := src.MCPStats(); s.NetFaultSuspicions == 0 {
+		t.Fatal("MCP raised no suspicions (detection should run even without the daemon)")
+	}
+}
+
+// TestNetFaultPartitionUnreachable is the graceful-degradation scenario: one
+// node's cable dies with no alternate path. After the grace period the
+// watchdog expels it — pending sends complete with SendErrorUnreachable, new
+// sends are rejected with ErrPeerUnreachable, and traffic to every other
+// peer is unaffected. When the cable comes back, a readmission probe remaps
+// and traffic to the peer flows again.
+func TestNetFaultPartitionUnreachable(t *testing.T) {
+	c, d := bootDualSwitch(t, 4, 2, true)
+	src, victim, other := d.Nodes[0], d.Nodes[3], d.Nodes[1]
+	psVictim, deliveredVictim := openPair(t, src, victim)
+	psOther, err := src.OpenPort(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOther, err := other.OpenPort(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCount := 0
+	pOther.SetReceiveHandler(func(RecvEvent) { otherCount++ })
+	for i := 0; i < 64; i++ {
+		if err := pOther.ProvideReceiveBuffer(256, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victimStatuses := make(map[SendStatus]int)
+	sendVictim := func() error {
+		return psVictim.Send(victim.ID(), 2, PriorityLow, []byte{byte(victimStatuses[SendOK])},
+			func(st SendStatus) { victimStatuses[st]++ })
+	}
+	if err := sendVictim(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50 * Millisecond)
+	if *deliveredVictim != 1 {
+		t.Fatalf("pre-fault: delivered %d/1 to victim", *deliveredVictim)
+	}
+
+	// Partition the victim; one send is posted into the partition.
+	victim.SetLinkUp(false)
+	if err := sendVictim(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep unrelated traffic flowing throughout.
+	sentOther := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(Duration(i)*sim.Second, func() {
+			sentOther++
+			if err := psOther.Send(other.ID(), 3, PriorityLow, []byte{byte(i)}, nil); err != nil {
+				t.Errorf("send to healthy peer during partition: %v", err)
+			}
+		})
+	}
+	c.Run(10 * sim.Second)
+
+	if got := victimStatuses[SendErrorUnreachable]; got != 1 {
+		t.Fatalf("victim statuses = %v, want 1 unreachable", victimStatuses)
+	}
+	if !src.PeerUnreachable(victim.ID()) {
+		t.Fatal("src does not see victim as unreachable")
+	}
+	if err := sendVictim(); err != ErrPeerUnreachable {
+		t.Fatalf("send to expelled peer: err = %v, want ErrPeerUnreachable", err)
+	}
+	if otherCount != sentOther {
+		t.Fatalf("healthy-peer traffic: %d/%d delivered during partition", otherCount, sentOther)
+	}
+	st := c.NetWatch().Stats()
+	if st.Unreachable != 1 {
+		t.Fatalf("netwatch stats = %+v, want exactly 1 unreachable verdict", st)
+	}
+
+	// The cable comes back; a readmission probe must remap and readmit.
+	victim.SetLinkUp(true)
+	c.Run(8 * sim.Second)
+	if src.PeerUnreachable(victim.ID()) {
+		t.Fatal("victim still marked unreachable after repair")
+	}
+	if st := c.NetWatch().Stats(); st.Readmissions != 1 {
+		t.Fatalf("netwatch stats = %+v, want 1 readmission", st)
+	}
+	if err := sendVictim(); err != nil {
+		t.Fatalf("send after readmission: %v", err)
+	}
+	c.Run(100 * Millisecond)
+	if *deliveredVictim != 2 {
+		t.Fatalf("post-readmission: delivered %d/2 to victim", *deliveredVictim)
+	}
+	if victimStatuses[SendOK] != 2 {
+		t.Fatalf("victim statuses = %v, want 2 ok", victimStatuses)
+	}
+}

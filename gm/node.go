@@ -31,6 +31,10 @@ type Node struct {
 
 	ports map[PortID]*Port
 
+	// unreachable marks peers the network watchdog declared dead: Send
+	// rejects them synchronously (ErrPeerUnreachable) until readmission.
+	unreachable map[NodeID]bool
+
 	// pendingRecoveries counts ports whose FAULT_DETECTED handler has not
 	// finished yet; when it returns to zero the recovery timeline's
 	// processes-done phase is marked.
@@ -48,11 +52,12 @@ type Node struct {
 
 func newNode(c *Cluster, name string, index int) *Node {
 	n := &Node{
-		cluster: c,
-		name:    name,
-		index:   index,
-		rxAcks:  core.NewRxAckTable(),
-		ports:   make(map[PortID]*Port),
+		cluster:     c,
+		name:        name,
+		index:       index,
+		rxAcks:      core.NewRxAckTable(),
+		ports:       make(map[PortID]*Port),
+		unreachable: make(map[NodeID]bool),
 	}
 	n.pci = host.NewPCIBus(c.eng, name+"/pci", c.cfg.PCI)
 	n.chip = lanai.New(c.eng, name+"/lanai", c.cfg.Lanai, n.pci)
@@ -147,6 +152,37 @@ func (n *Node) ClosePort(id PortID) {
 		p.open = false
 		n.driver.ClosePort(id)
 		delete(n.ports, id)
+	}
+}
+
+// PeerUnreachable reports whether the network watchdog has declared a peer
+// unreachable from this node.
+func (n *Node) PeerUnreachable(peer NodeID) bool { return n.unreachable[peer] }
+
+// setPeerUnreachable marks a peer dead: the MCP terminally fails every
+// pending send toward it and rejects new ones; the library rejects sends at
+// the API boundary.
+func (n *Node) setPeerUnreachable(peer NodeID) {
+	if peer == 0 || n.unreachable[peer] {
+		return
+	}
+	n.unreachable[peer] = true
+	n.m.FailPeer(peer)
+}
+
+// resetPeer clears a peer's unreachable state and forgets the sequence
+// streams between the two nodes in both directions (MCP streams, shadow
+// sequence generators, receive ACK table): the peer's expulsion left gaps in
+// the old streams, so first contact after readmission restarts at 1.
+func (n *Node) resetPeer(peer NodeID) {
+	if peer == 0 {
+		return
+	}
+	delete(n.unreachable, peer)
+	n.m.ResetPeerStreams(peer)
+	n.rxAcks.Forget(peer)
+	for _, p := range n.ports {
+		p.shadow.ResetPeerSeqs(peer)
 	}
 }
 

@@ -113,6 +113,9 @@ func (p *Port) Send(dest NodeID, destPort PortID, prio Priority, data []byte, cb
 	if !prio.Valid() {
 		return fmt.Errorf("%w: priority %d", ErrBadArgument, prio)
 	}
+	if p.node.unreachable[dest] {
+		return ErrPeerUnreachable
+	}
 	if p.sendTokens <= 0 {
 		return ErrNoSendTokens
 	}

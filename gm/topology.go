@@ -1,0 +1,60 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// DualSwitch is a two-switch fabric with redundant trunks: the canonical
+// topology for alternate-route failover experiments. Each trunk is a
+// link-disjoint path between the switch halves, so killing any one trunk
+// leaves every node pair connected.
+type DualSwitch struct {
+	// Nodes in creation order; even indices hang off S1, odd off S2.
+	Nodes []*Node
+	// S1 and S2 are the two crossbar switches.
+	S1, S2 *Switch
+	// Trunks are the inter-switch cables, highest switch ports first:
+	// trunk t occupies port (NumPorts-1-t) on both switches.
+	Trunks []*fabric.Link
+}
+
+// BuildDualSwitch assembles the topology on an empty cluster: two switches,
+// the given number of trunks between them, and the given number of nodes
+// dealt alternately across the switches. Call before Boot.
+func BuildDualSwitch(c *Cluster, nodes, trunks int) (*DualSwitch, error) {
+	if nodes < 2 || trunks < 1 {
+		return nil, fmt.Errorf("%w: need >= 2 nodes and >= 1 trunk", ErrBadArgument)
+	}
+	d := &DualSwitch{
+		S1: c.AddSwitch("s1"),
+		S2: c.AddSwitch("s2"),
+	}
+	numPorts := d.S1.NumPorts()
+	perSwitch := (nodes + 1) / 2
+	if perSwitch+trunks > numPorts {
+		return nil, fmt.Errorf("%w: %d nodes + %d trunks exceed %d-port switches",
+			ErrBadArgument, nodes, trunks, numPorts)
+	}
+	for t := 0; t < trunks; t++ {
+		p := numPorts - 1 - t
+		l, err := c.ConnectSwitchesLink(d.S1, d.S2, p, p)
+		if err != nil {
+			return nil, err
+		}
+		d.Trunks = append(d.Trunks, l)
+	}
+	for i := 0; i < nodes; i++ {
+		n := c.AddNode(fmt.Sprintf("n%d", i))
+		sw := d.S1
+		if i%2 == 1 {
+			sw = d.S2
+		}
+		if err := c.Connect(n, sw, i/2); err != nil {
+			return nil, err
+		}
+		d.Nodes = append(d.Nodes, n)
+	}
+	return d, nil
+}

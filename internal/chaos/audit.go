@@ -86,9 +86,25 @@ type streamAudit struct {
 	sent    uint32
 	lastIdx uint32
 	seen    map[uint32]bool
+	failed  map[uint32]bool
 	unique  uint64
 	dups    uint64
 	ooo     uint64
+}
+
+// failedUndelivered counts messages whose send failed terminally and which
+// never arrived: excused from loss accounting (at-most-once is the contract
+// once the library reports failure). A failed-but-delivered message — a
+// failover race can deliver what the callback disowned — simply counts as
+// delivered.
+func (s *streamAudit) failedUndelivered() uint64 {
+	n := uint64(0)
+	for idx := range s.failed {
+		if !s.seen[idx] {
+			n++
+		}
+	}
+	return n
 }
 
 // AuditReport aggregates delivery accounting over every stream of a trial
@@ -101,7 +117,8 @@ type AuditReport struct {
 	Unique     uint64 // distinct message indices delivered
 	Duplicates uint64
 	OutOfOrder uint64
-	Lost       uint64 // sent but never delivered
+	Lost       uint64 // sent but never delivered (and not excused by Failed)
+	Failed     uint64 // sends that completed with a terminal error status
 	Corrupt    uint64 // unbranded/damaged payloads or sender identity mismatch
 	// ExactlyOnceInOrder is the tentpole assertion: every sent message
 	// delivered exactly once, in per-stream order, undamaged.
@@ -112,8 +129,8 @@ type AuditReport struct {
 }
 
 func (r AuditReport) String() string {
-	return fmt.Sprintf("streams=%d sent=%d delivered=%d dups=%d ooo=%d lost=%d corrupt=%d exactly-once=%v",
-		r.Streams, r.Sent, r.Delivered, r.Duplicates, r.OutOfOrder, r.Lost, r.Corrupt,
+	return fmt.Sprintf("streams=%d sent=%d delivered=%d dups=%d ooo=%d lost=%d failed=%d corrupt=%d exactly-once=%v",
+		r.Streams, r.Sent, r.Delivered, r.Duplicates, r.OutOfOrder, r.Lost, r.Failed, r.Corrupt,
 		r.ExactlyOnceInOrder)
 }
 
@@ -127,6 +144,7 @@ func (r *AuditReport) merge(o AuditReport) {
 	r.Duplicates += o.Duplicates
 	r.OutOfOrder += o.OutOfOrder
 	r.Lost += o.Lost
+	r.Failed += o.Failed
 	r.Corrupt += o.Corrupt
 	r.Dirty = append(r.Dirty, o.Dirty...)
 }
@@ -171,6 +189,22 @@ func (a *Auditor) NewMessage(k StreamKey, size int) []byte {
 // refused and the message never entered the system).
 func (a *Auditor) Unsend(k StreamKey) { a.stream(k).sent-- }
 
+// RecordSendFailure accounts a terminal send failure the library reported
+// through the message's callback (e.g. SendErrorUnreachable after the
+// network watchdog expelled the destination). The message is excused from
+// loss accounting unless it was in fact delivered.
+func (a *Auditor) RecordSendFailure(data []byte) {
+	k, idx, ok := decodeAudit(data)
+	if !ok {
+		return
+	}
+	s := a.stream(k)
+	if s.failed == nil {
+		s.failed = make(map[uint32]bool)
+	}
+	s.failed[idx] = true
+}
+
 // RecordDelivery accounts one delivery at the receiver. The receiver
 // passes its own identity; a payload whose embedded stream disagrees with
 // the wire's source, or whose checksum fails, counts as corrupt.
@@ -202,12 +236,12 @@ func (a *Auditor) RecordDelivery(self gm.NodeID, selfPort gm.PortID, ev gm.RecvE
 }
 
 // Complete reports whether every recorded send has been delivered at least
-// once (the settle loop's drain condition).
+// once or excused by a terminal failure (the settle loop's drain condition).
 func (a *Auditor) Complete() bool {
 	any := false
 	for _, s := range a.streams {
 		any = true
-		if s.unique < uint64(s.sent) {
+		if s.unique+s.failedUndelivered() < uint64(s.sent) {
 			return false
 		}
 	}
@@ -225,15 +259,16 @@ func (a *Auditor) Report() AuditReport {
 		r.Unique += s.unique
 		r.Duplicates += s.dups
 		r.OutOfOrder += s.ooo
+		r.Failed += uint64(len(s.failed))
 		lost := uint64(0)
-		if u := uint64(s.sent); s.unique < u {
-			lost = u - s.unique
+		if u := uint64(s.sent); s.unique+s.failedUndelivered() < u {
+			lost = u - s.unique - s.failedUndelivered()
 			r.Lost += lost
 		}
 		if lost > 0 || s.dups > 0 || s.ooo > 0 {
 			var missing []uint32
 			for idx := uint32(1); idx <= s.sent && len(missing) < 32; idx++ {
-				if !s.seen[idx] {
+				if !s.seen[idx] && !s.failed[idx] {
 					missing = append(missing, idx)
 				}
 			}

@@ -55,6 +55,19 @@ type TrialResult struct {
 	SwitchDeadDrops uint64 // packets into dead ports / downed links
 
 	Retransmits uint64 // Go-Back-N repair work across all nodes
+
+	// Network-fault activity: detection counters are live in every FTGM
+	// trial; the watchdog counters are zero unless TrialConfig.NetWatch.
+	NetFaultSuspicions uint64 // MCP path-health reports raised to hosts
+	NetFaultReports    uint64 // NET_FAULT_SUSPECTED interrupts drivers forwarded
+	UnreachableFails   uint64 // sends terminally failed against expelled peers
+	NetSuspicions      uint64 // watchdog: suspicion reports received
+	NetIncidents       uint64 // watchdog: debounce windows opened
+	NetRemaps          uint64 // watchdog: successful automatic remaps
+	NetRemapFailures   uint64 // watchdog: remap attempts that failed
+	NetProbes          uint64 // watchdog: readmission probes while peers expelled
+	NetUnreachable     uint64 // watchdog: peers expelled as unreachable
+	NetReadmissions    uint64 // watchdog: expelled peers readmitted
 }
 
 // CampaignResult aggregates a campaign.
@@ -115,17 +128,41 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	// per-token cost from dominating the recovery (as the availability
 	// mission does).
 	gcfg.Host.RecoveryPerToken = 0
+	gcfg.NetWatch.Enabled = tcfg.NetWatch
 
 	cl := gm.NewCluster(gcfg)
-	nodes := make([]*gm.Node, tcfg.Nodes)
-	for i := range nodes {
-		nodes[i] = cl.AddNode(fmt.Sprintf("n%d", i))
-	}
-	sw := cl.AddSwitch("sw")
-	for i, n := range nodes {
-		if err := cl.Connect(n, sw, i); err != nil {
+	var (
+		nodes    []*gm.Node
+		switches []*gm.Switch
+		trunks   []*fabric.Link
+		nodePort func(i int) (*gm.Switch, int)
+	)
+	if tcfg.DualSwitch {
+		d, err := gm.BuildDualSwitch(cl, tcfg.Nodes, tcfg.Trunks)
+		if err != nil {
 			return res, err
 		}
+		nodes, trunks = d.Nodes, d.Trunks
+		switches = []*gm.Switch{d.S1, d.S2}
+		nodePort = func(i int) (*gm.Switch, int) {
+			if i%2 == 1 {
+				return d.S2, i / 2
+			}
+			return d.S1, i / 2
+		}
+	} else {
+		nodes = make([]*gm.Node, tcfg.Nodes)
+		for i := range nodes {
+			nodes[i] = cl.AddNode(fmt.Sprintf("n%d", i))
+		}
+		sw := cl.AddSwitch("sw")
+		for i, n := range nodes {
+			if err := cl.Connect(n, sw, i); err != nil {
+				return res, err
+			}
+		}
+		switches = []*gm.Switch{sw}
+		nodePort = func(i int) (*gm.Switch, int) { return sw, i }
 	}
 	if _, err := cl.Boot(); err != nil {
 		return res, fmt.Errorf("chaos: boot: %w", err)
@@ -167,7 +204,19 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 			turn++
 			key := StreamKey{Src: src.ID(), SrcPort: tcfg.Port, Dst: dst.ID(), DstPort: tcfg.Port}
 			buf := aud.NewMessage(key, tcfg.MsgBytes)
-			if err := port.Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, nil); err != nil {
+			var cb gm.SendCallback
+			if tcfg.DualSwitch || tcfg.NetWatch {
+				// Network-fault trials can fail sends terminally (expelled
+				// peers); the auditor excuses what the library disowned.
+				// Single-switch trials keep the historical nil callback so
+				// their accounting is bit-identical to earlier campaigns.
+				cb = func(st gm.SendStatus) {
+					if st != gm.SendOK {
+						aud.RecordSendFailure(buf)
+					}
+				}
+			}
+			if err := port.Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, cb); err != nil {
 				aud.Unsend(key)
 			}
 			cl.After(tcfg.SendEvery, pump)
@@ -260,8 +309,26 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 				l.SetFaults(ev.Profile, ev.Seed)
 				cl.After(ev.Window, func() { l.SetFaults(fabric.FaultProfile{}, 0) })
 			case KindPortDeath:
-				sw.SetPortDead(ev.Node, true)
-				cl.After(ev.Window, func() { sw.SetPortDead(ev.Node, false) })
+				s, p := nodePort(ev.Node)
+				s.SetPortDead(p, true)
+				cl.After(ev.Window, func() { s.SetPortDead(p, false) })
+			case KindTrunkDeath:
+				if ev.Node >= len(trunks) {
+					return
+				}
+				live := 0
+				for _, l := range trunks {
+					if l.Up() {
+						live++
+					}
+				}
+				// Never sever the last live trunk: that is a full partition
+				// of half the cluster, not an alternate-route scenario.
+				if trunks[ev.Node].Up() && live > 1 {
+					trunks[ev.Node].SetUp(false)
+				}
+			case KindPartition:
+				nodes[ev.Node].Link().SetUp(false)
 			case KindReloadFailure:
 				if mode == gm.ModeFTGM {
 					// Only the FTD has a reload-retry path; the naive
@@ -296,10 +363,14 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 		ds := n.Driver().Stats()
 		res.SuppressedFatals += ds.SuppressedFatals
 		res.NaiveRestarts += ds.NaiveRestarts
+		res.NetFaultReports += ds.NetFaultReports
 		ls := n.LinkStats()
 		res.FaultDrops += ls.FaultDropped
 		res.Corruptions += ls.Corrupted
-		res.Retransmits += n.MCPStats().Retransmits
+		ms := n.MCPStats()
+		res.Retransmits += ms.Retransmits
+		res.NetFaultSuspicions += ms.NetFaultSuspicions
+		res.UnreachableFails += ms.UnreachableFails
 		if l := n.Link(); l != nil {
 			// The switch-to-node direction carries injected damage too.
 			ls1 := l.Stats(1)
@@ -307,6 +378,18 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 			res.Corruptions += ls1.Corrupted
 		}
 	}
-	res.SwitchDeadDrops = sw.Stats().DroppedDead
+	if nw := cl.NetWatch(); nw != nil {
+		st := nw.Stats()
+		res.NetSuspicions = st.Suspicions
+		res.NetIncidents = st.Incidents
+		res.NetRemaps = st.Remaps
+		res.NetRemapFailures = st.RemapFailures
+		res.NetProbes = st.Probes
+		res.NetUnreachable = st.Unreachable
+		res.NetReadmissions = st.Readmissions
+	}
+	for _, s := range switches {
+		res.SwitchDeadDrops += s.Stats().DroppedDead
+	}
 	return res, nil
 }

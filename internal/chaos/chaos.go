@@ -45,6 +45,15 @@ const (
 	// KindReloadFailure arranges the next MCP reloads to fail, then hangs
 	// the node, exercising the FTD's retry/backoff path.
 	KindReloadFailure
+	// KindTrunkDeath permanently kills one inter-switch trunk of a
+	// dual-switch topology, forcing the network watchdog to remap onto the
+	// surviving trunk (requires TrialConfig.DualSwitch). The injector skips
+	// the kill if it would sever the last live trunk.
+	KindTrunkDeath
+	// KindPartition permanently cuts one node's cable (never node 0, which
+	// hosts the mapper): with no alternate path the watchdog must expel the
+	// node and fail its traffic terminally instead of stalling.
+	KindPartition
 )
 
 // String names the kind.
@@ -64,17 +73,29 @@ func (k EventKind) String() string {
 		return "port-death"
 	case KindReloadFailure:
 		return "reload-failure"
+	case KindTrunkDeath:
+		return "trunk-death"
+	case KindPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("kind?%d", int(k))
 	}
 }
 
-// AllKinds returns every fault class, in injection-plan order.
+// AllKinds returns every fault class injectable on a single-switch
+// topology, in injection-plan order. KindTrunkDeath and KindPartition need
+// TrialConfig.DualSwitch and are opted into explicitly.
 func AllKinds() []EventKind {
 	return []EventKind{
 		KindHang, KindDualHang, KindHangDuringRecovery,
 		KindLinkFlap, KindLinkDegrade, KindPortDeath, KindReloadFailure,
 	}
+}
+
+// NetFaultKinds returns the network-fault classes exercised on dual-switch
+// topologies.
+func NetFaultKinds() []EventKind {
+	return []EventKind{KindTrunkDeath, KindPartition}
 }
 
 // Event is one planned fault injection.
@@ -105,6 +126,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" for %v", e.Window)
 	case KindReloadFailure:
 		s += fmt.Sprintf(" x%d", e.Failures)
+	case KindTrunkDeath:
+		s = fmt.Sprintf("%v %s t%d", e.At, e.Kind, e.Node)
 	}
 	return s
 }
@@ -140,6 +163,14 @@ type TrialConfig struct {
 	// SendTokens sizes each port's token pool; outages queue sends in the
 	// shadow store, so the pool must cover the deepest backlog.
 	SendTokens int
+	// DualSwitch builds the redundant two-switch topology (gm.BuildDualSwitch)
+	// instead of the single crossbar, enabling KindTrunkDeath/KindPartition.
+	DualSwitch bool
+	// Trunks is the inter-switch trunk count in dual-switch trials (0 = 2).
+	Trunks int
+	// NetWatch enables the network watchdog daemon (detection always runs;
+	// this controls whether anything acts on the suspicion reports).
+	NetWatch bool
 }
 
 // DefaultTrialConfig is a 4-node cluster under 2 seconds of all-to-all
@@ -192,6 +223,9 @@ func (c TrialConfig) withDefaults() TrialConfig {
 	if c.SendTokens <= 0 {
 		c.SendTokens = def.SendTokens
 	}
+	if c.DualSwitch && c.Trunks <= 0 {
+		c.Trunks = 2
+	}
 	return c
 }
 
@@ -233,6 +267,17 @@ func PlanEvents(rng *sim.RNG, cfg TrialConfig, start sim.Time) []Event {
 			ev.Window = 10*sim.Millisecond + rng.Duration(50*sim.Millisecond)
 		case KindReloadFailure:
 			ev.Failures = 1 + rng.Intn(2)
+		case KindTrunkDeath:
+			// Node is a trunk index here; the injector refuses to sever
+			// the last live trunk.
+			if cfg.Trunks > 0 {
+				ev.Node = rng.Intn(cfg.Trunks)
+			}
+		case KindPartition:
+			// Never partition node 0: it hosts the mapper, and a fabric
+			// with no mapper cannot remap at all (a different failure mode
+			// than the one under test).
+			ev.Node = 1 + rng.Intn(cfg.Nodes-1)
 		}
 		events = append(events, ev)
 	}

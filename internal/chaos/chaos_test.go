@@ -209,4 +209,103 @@ func TestAuditorVerdicts(t *testing.T) {
 	if r := a.Report(); r.Sent != 0 {
 		t.Errorf("unsend report = %v", r)
 	}
+
+	// A terminally-failed undelivered send is excused from loss; a failed
+	// send that arrived anyway simply counts as delivered.
+	a = NewAuditor()
+	send(a, 2)
+	deliver(a, 1)
+	fail := make([]byte, MinMsgBytes)
+	encodeAudit(fail, k, 2)
+	a.RecordSendFailure(fail)
+	if !a.Complete() {
+		t.Error("not complete with the outstanding send excused")
+	}
+	if r := a.Report(); !r.ExactlyOnceInOrder || r.Lost != 0 || r.Failed != 1 {
+		t.Errorf("excused-failure report = %v", r)
+	}
+	deliver(a, 2)
+	if r := a.Report(); !r.ExactlyOnceInOrder || r.Unique != 2 || r.Duplicates != 0 {
+		t.Errorf("failed-but-delivered report = %v", r)
+	}
+}
+
+func netFaultTrialConfig() TrialConfig {
+	cfg := DefaultTrialConfig()
+	cfg.DualSwitch = true
+	cfg.NetWatch = true
+	cfg.Traffic = sim.Second
+	cfg.SendEvery = 4 * sim.Millisecond
+	cfg.Events = 2
+	cfg.Kinds = NetFaultKinds()
+	cfg.MaxSettle = 30 * sim.Second
+	return cfg
+}
+
+// The network-fault acceptance campaign: dead trunks and a full node
+// partition on the dual-switch fabric, with the watchdog remapping onto the
+// surviving trunk. Everything the library accepted and did not terminally
+// fail is delivered exactly once, in order.
+func TestNetFaultCampaignFailoverExactlyOnce(t *testing.T) {
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: netFaultTrialConfig()}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Sent == 0 {
+		t.Fatal("campaign sent nothing")
+	}
+	if !res.AllExactlyOnce {
+		for _, tr := range res.Trials {
+			t.Logf("trial %d: %v dirty=%v (events: %v)", tr.Trial, tr.Audit, tr.Audit.Dirty, tr.Events)
+		}
+		t.Fatalf("netfault audit dirty: %v", res.Total)
+	}
+	var sum TrialResult
+	for _, tr := range res.Trials {
+		sum.NetFaultSuspicions += tr.NetFaultSuspicions
+		sum.NetSuspicions += tr.NetSuspicions
+		sum.NetRemaps += tr.NetRemaps
+		sum.NetUnreachable += tr.NetUnreachable
+		sum.UnreachableFails += tr.UnreachableFails
+	}
+	if sum.NetFaultSuspicions == 0 || sum.NetSuspicions == 0 {
+		t.Errorf("no path-fault suspicions raised: %+v", sum)
+	}
+	if sum.NetRemaps == 0 {
+		t.Error("the watchdog never remapped")
+	}
+	if sum.NetUnreachable == 0 {
+		t.Error("the partition never produced an unreachable verdict")
+	}
+}
+
+// The contrast: the same trunk kill without the watchdog leaves plain FTGM
+// retransmitting into the void — the trial never drains and the auditor
+// records losses.
+func TestNetFaultCampaignStallsWithoutWatchdog(t *testing.T) {
+	cfg := CampaignConfig{Trials: 1, Mode: gm.ModeFTGM, Trial: netFaultTrialConfig()}
+	cfg.Trial.NetWatch = false
+	cfg.Trial.Events = 1
+	cfg.Trial.Kinds = []EventKind{KindTrunkDeath}
+	cfg.Trial.MaxSettle = 10 * sim.Second
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllExactlyOnce {
+		t.Fatalf("plain FTGM survived a trunk death it cannot route around: %v", res.Total)
+	}
+	if res.Total.Lost == 0 {
+		t.Errorf("no losses recorded on a stalled fabric: %v", res.Total)
+	}
+	if res.Trials[0].NetFaultSuspicions == 0 {
+		t.Error("detection did not fire (it should run even without the daemon)")
+	}
+	if res.Trials[0].NetRemaps != 0 {
+		t.Errorf("remaps without a watchdog: %+v", res.Trials[0])
+	}
 }

@@ -50,6 +50,11 @@ type Driver struct {
 	fataled      bool
 	pendingFatal bool
 
+	// onNetFault forwards the MCP's NET_FAULT_SUSPECTED reports (a stream
+	// stalled through consecutive silent retransmit timeouts) to the network
+	// watchdog, after the usual interrupt delivery latency.
+	onNetFault func(gmproto.NodeID)
+
 	// mcpLoadFailures makes the next N MCP loads fail (fault injection:
 	// a reload can be disturbed by the same transient that hung the card).
 	mcpLoadFailures int
@@ -67,6 +72,9 @@ type DriverStats struct {
 	// once ClearFatal re-arms delivery.
 	SuppressedFatals uint64
 	NaiveRestarts    uint64
+	// NetFaultReports counts NET_FAULT_SUSPECTED interrupts delivered to the
+	// host (path-health suspicions raised by the MCP's send streams).
+	NetFaultReports uint64
 }
 
 // NewDriver builds the driver for a node's chip/MCP pair.
@@ -80,6 +88,7 @@ func NewDriver(m *mcp.MCP, cfg DriverConfig) *Driver {
 		openPorts: make(map[gmproto.PortID]mcp.EventSink),
 	}
 	d.chip.SetHostInterrupt(d.handleInterrupt)
+	m.SetNetFaultSink(d.handleNetFault)
 	return d
 }
 
@@ -97,6 +106,22 @@ func (d *Driver) Stats() DriverStats { return d.stats }
 
 // SetOnFatal installs the FTD wakeup hook.
 func (d *Driver) SetOnFatal(fn func()) { d.onFatal = fn }
+
+// SetOnNetFault installs the network-watchdog wakeup hook: fn receives the
+// NodeID of the suspected-dead destination after the interrupt latency.
+func (d *Driver) SetOnNetFault(fn func(target gmproto.NodeID)) { d.onNetFault = fn }
+
+// handleNetFault receives the MCP's path-health report. Like the FATAL
+// interrupt, the handler itself cannot run a remap (not in process
+// context), so it only forwards to the daemon.
+func (d *Driver) handleNetFault(target gmproto.NodeID) {
+	d.stats.NetFaultReports++
+	d.eng.After(d.cfg.InterruptLatency, func() {
+		if d.onNetFault != nil {
+			d.onNetFault(target)
+		}
+	})
+}
 
 // SetRoutes stores the authoritative route table (mapper output); the FTD
 // restores it into a recovering LANai.

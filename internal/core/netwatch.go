@@ -1,0 +1,267 @@
+package core
+
+import (
+	"repro/internal/gmproto"
+	"repro/internal/sim"
+)
+
+// NetWatchConfig tunes the network watchdog daemon.
+type NetWatchConfig struct {
+	// Enabled turns the daemon on. The detection counters in the MCP run
+	// regardless; without the daemon the reports go nowhere (stock FTGM).
+	Enabled bool
+
+	// DebounceWindow is how long the daemon coalesces suspicion reports
+	// before triggering a remap: one dead trunk stalls many streams at once,
+	// and one remap repairs them all.
+	DebounceWindow sim.Duration
+	// DebounceCap bounds the escalated debounce delay (see QuietPeriod).
+	DebounceCap sim.Duration
+	// QuietPeriod separates incidents: suspicions arriving within this span
+	// of the previous incident escalate the debounce delay (doubling, capped
+	// at DebounceCap) instead of triggering back-to-back remaps — a peer
+	// mid-FTD-recovery stalls its senders for over a second, and remapping
+	// every few tens of milliseconds through that would be churn.
+	QuietPeriod sim.Duration
+
+	// RemapBackoffBase/RemapBackoffCap shape the retry delay after a failed
+	// remap (the mapper did not converge — the fabric is still flapping):
+	// capped exponential backoff, retried indefinitely.
+	RemapBackoffBase sim.Duration
+	RemapBackoffCap  sim.Duration
+
+	// ProbeInterval is how often the daemon re-runs the mapper while any
+	// peer stands expelled, so a repaired partition readmits automatically.
+	// 0 disables probing.
+	ProbeInterval sim.Duration
+
+	// UnreachableGrace is how long an interface must stay missing from
+	// successive maps before it is declared unreachable. It must comfortably
+	// exceed one FTD recovery (~1.7 s virtual), which also makes a node
+	// invisible to scouts; expelling a peer that is merely mid-recovery
+	// would fail sends that recovery was about to deliver.
+	UnreachableGrace sim.Duration
+}
+
+// DefaultNetWatchConfig returns the calibrated policy, disabled.
+func DefaultNetWatchConfig() NetWatchConfig {
+	return NetWatchConfig{
+		Enabled:          false,
+		DebounceWindow:   50 * sim.Millisecond,
+		DebounceCap:      sim.Second,
+		QuietPeriod:      sim.Second,
+		RemapBackoffBase: 100 * sim.Millisecond,
+		RemapBackoffCap:  2 * sim.Second,
+		ProbeInterval:    2 * sim.Second,
+		UnreachableGrace: 5 * sim.Second,
+	}
+}
+
+// NetWatchStats counts the daemon's activity.
+type NetWatchStats struct {
+	// Suspicions counts NET_FAULT_SUSPECTED reports received.
+	Suspicions uint64
+	// Incidents counts debounced suspicion bursts that opened a remap cycle.
+	Incidents uint64
+	// Remaps counts successfully installed remaps.
+	Remaps uint64
+	// RemapFailures counts remap attempts that did not converge.
+	RemapFailures uint64
+	// Probes counts readmission probes (remaps run with no fresh suspicion,
+	// looking for expelled peers that came back).
+	Probes uint64
+	// Unreachable counts terminal unreachable verdicts declared.
+	Unreachable uint64
+	// Readmissions counts expelled peers welcomed back by a later map.
+	Readmissions uint64
+}
+
+// netwatch states.
+const (
+	nwIdle = iota
+	nwDebouncing
+	nwRemapping
+	nwBackoff
+)
+
+// NetWatch is the network watchdog daemon — the FTD's sibling for fabric
+// faults. The driver feeds it the MCP's path-health suspicions; it debounces
+// them, triggers an automatic remap through the hook the cluster installs,
+// retries with capped backoff while the fabric is flapping, and, while any
+// peer stands expelled, probes periodically so repaired links readmit the
+// peer without operator action.
+//
+// Like every daemon here it is single-threaded in virtual time: all methods
+// run inside simulation callbacks.
+type NetWatch struct {
+	eng *sim.Engine
+	cfg NetWatchConfig
+
+	// remap runs one asynchronous remap attempt and reports success. The
+	// cluster installs it; it must not pump the engine.
+	remap func(done func(ok bool))
+
+	state        int
+	failures     int // consecutive remap failures, for backoff
+	streak       int // incidents without a QuietPeriod of calm, for debounce escalation
+	pending      bool
+	lastIncident sim.Time
+	// expelled tracks how many peers currently stand unreachable (the
+	// cluster reports verdicts and readmissions); probing runs while > 0.
+	expelled     int
+	probePending bool
+
+	stats NetWatchStats
+}
+
+// NewNetWatch builds the daemon; the cluster must SetRemap before the first
+// suspicion arrives.
+func NewNetWatch(eng *sim.Engine, cfg NetWatchConfig) *NetWatch {
+	def := DefaultNetWatchConfig()
+	if cfg.DebounceWindow <= 0 {
+		cfg.DebounceWindow = def.DebounceWindow
+	}
+	if cfg.DebounceCap <= 0 {
+		cfg.DebounceCap = def.DebounceCap
+	}
+	if cfg.QuietPeriod <= 0 {
+		cfg.QuietPeriod = def.QuietPeriod
+	}
+	if cfg.RemapBackoffBase <= 0 {
+		cfg.RemapBackoffBase = def.RemapBackoffBase
+	}
+	if cfg.RemapBackoffCap <= 0 {
+		cfg.RemapBackoffCap = def.RemapBackoffCap
+	}
+	if cfg.UnreachableGrace <= 0 {
+		cfg.UnreachableGrace = def.UnreachableGrace
+	}
+	return &NetWatch{eng: eng, cfg: cfg}
+}
+
+// SetRemap installs the remap trigger.
+func (nw *NetWatch) SetRemap(fn func(done func(ok bool))) { nw.remap = fn }
+
+// Stats returns a snapshot of the daemon's counters.
+func (nw *NetWatch) Stats() NetWatchStats { return nw.stats }
+
+// Suspect receives one NET_FAULT_SUSPECTED report (target is the peer whose
+// stream stalled). Reports landing during a debounce window coalesce;
+// reports landing mid-remap mark the cycle dirty so another remap follows.
+func (nw *NetWatch) Suspect(target gmproto.NodeID) {
+	nw.stats.Suspicions++
+	switch nw.state {
+	case nwIdle:
+		now := nw.eng.Now()
+		if nw.lastIncident != 0 && now-nw.lastIncident > sim.Duration(nw.cfg.QuietPeriod) {
+			nw.streak = 0
+		}
+		nw.openIncident(target)
+	case nwDebouncing:
+		// Coalesced into the open window.
+	default:
+		nw.pending = true
+	}
+}
+
+func (nw *NetWatch) openIncident(target gmproto.NodeID) {
+	nw.streak++
+	nw.lastIncident = nw.eng.Now()
+	nw.stats.Incidents++
+	nw.state = nwDebouncing
+	delay := nw.escalatedDebounce()
+	nw.eng.Tracef("netwatch", "suspicion about node %d: remap in %v", target, delay)
+	nw.eng.AfterLabel(delay, "netwatch-debounce", nw.startRemap)
+}
+
+// escalatedDebounce doubles the debounce delay per incident in a streak,
+// capped: a peer stalling its senders for a long stretch (e.g. mid-FTD-
+// recovery) triggers a handful of escalating remaps, not hundreds.
+func (nw *NetWatch) escalatedDebounce() sim.Duration {
+	d := nw.cfg.DebounceWindow
+	for i := 1; i < nw.streak && d < nw.cfg.DebounceCap; i++ {
+		d *= 2
+	}
+	if d > nw.cfg.DebounceCap {
+		d = nw.cfg.DebounceCap
+	}
+	return d
+}
+
+func (nw *NetWatch) startRemap() {
+	nw.state = nwRemapping
+	nw.pending = false
+	if nw.remap == nil {
+		nw.remapDone(false)
+		return
+	}
+	nw.remap(nw.remapDone)
+}
+
+func (nw *NetWatch) remapDone(ok bool) {
+	if ok {
+		nw.stats.Remaps++
+		nw.failures = 0
+		nw.lastIncident = nw.eng.Now()
+		if nw.pending {
+			// Suspicions kept arriving while the remap ran: the fault is
+			// not (fully) repaired — go around again, escalated.
+			nw.pending = false
+			nw.streak++
+			nw.state = nwDebouncing
+			nw.eng.AfterLabel(nw.escalatedDebounce(), "netwatch-debounce", nw.startRemap)
+		} else {
+			nw.state = nwIdle
+		}
+	} else {
+		nw.stats.RemapFailures++
+		nw.failures++
+		delay := nw.cfg.RemapBackoffBase
+		for i := 1; i < nw.failures && delay < nw.cfg.RemapBackoffCap; i++ {
+			delay *= 2
+		}
+		if delay > nw.cfg.RemapBackoffCap {
+			delay = nw.cfg.RemapBackoffCap
+		}
+		nw.eng.Tracef("netwatch", "remap failed; retry in %v", delay)
+		nw.state = nwBackoff
+		nw.eng.AfterLabel(delay, "netwatch-backoff", nw.startRemap)
+	}
+	nw.maybeScheduleProbe()
+}
+
+// NoteUnreachable records a terminal unreachable verdict (the cluster calls
+// this when it expels a peer) and starts readmission probing.
+func (nw *NetWatch) NoteUnreachable() {
+	nw.stats.Unreachable++
+	nw.expelled++
+	nw.maybeScheduleProbe()
+}
+
+// NoteReadmitted records that an expelled peer rejoined the map.
+func (nw *NetWatch) NoteReadmitted() {
+	nw.stats.Readmissions++
+	if nw.expelled > 0 {
+		nw.expelled--
+	}
+}
+
+func (nw *NetWatch) maybeScheduleProbe() {
+	if nw.cfg.ProbeInterval <= 0 || nw.probePending || nw.expelled <= 0 {
+		return
+	}
+	nw.probePending = true
+	nw.eng.AfterLabel(nw.cfg.ProbeInterval, "netwatch-probe", func() {
+		nw.probePending = false
+		if nw.expelled <= 0 {
+			return
+		}
+		if nw.state != nwIdle {
+			// A remap cycle is in hand; it doubles as the probe.
+			nw.maybeScheduleProbe()
+			return
+		}
+		nw.stats.Probes++
+		nw.startRemap()
+	})
+}

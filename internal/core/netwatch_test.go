@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// nwHarness wires a NetWatch to a scripted remap function.
+type nwHarness struct {
+	eng *sim.Engine
+	nw  *NetWatch
+
+	// results is popped once per remap attempt; empty means succeed.
+	results []bool
+	// attempts records the virtual times remaps were triggered.
+	attempts []sim.Time
+	// remapDelay is charged before each attempt reports its result.
+	remapDelay sim.Duration
+}
+
+func newNWHarness(t *testing.T, cfg NetWatchConfig) *nwHarness {
+	t.Helper()
+	h := &nwHarness{eng: sim.NewEngine(1), remapDelay: 10 * sim.Millisecond}
+	h.nw = NewNetWatch(h.eng, cfg)
+	h.nw.SetRemap(func(done func(ok bool)) {
+		h.attempts = append(h.attempts, h.eng.Now())
+		ok := true
+		if len(h.results) > 0 {
+			ok = h.results[0]
+			h.results = h.results[1:]
+		}
+		h.eng.After(h.remapDelay, func() { done(ok) })
+	})
+	return h
+}
+
+func TestNetWatchDebounceCoalesces(t *testing.T) {
+	h := newNWHarness(t, DefaultNetWatchConfig())
+
+	// A burst of suspicions from many stalled streams within the debounce
+	// window must trigger exactly one remap.
+	for i := 0; i < 8; i++ {
+		d := sim.Duration(i) * sim.Millisecond
+		h.eng.After(d, func() { h.nw.Suspect(2) })
+	}
+	h.eng.RunUntil(sim.Second)
+
+	if got := len(h.attempts); got != 1 {
+		t.Fatalf("remap attempts = %d, want 1 (burst must coalesce)", got)
+	}
+	// First suspicion at t=0, default debounce 50 ms.
+	if h.attempts[0] != 50*sim.Millisecond {
+		t.Fatalf("remap at %v, want 50ms", h.attempts[0])
+	}
+	st := h.nw.Stats()
+	if st.Suspicions != 8 || st.Incidents != 1 || st.Remaps != 1 {
+		t.Fatalf("stats = %+v, want 8 suspicions / 1 incident / 1 remap", st)
+	}
+}
+
+func TestNetWatchSuspicionDuringRemapTriggersAnother(t *testing.T) {
+	h := newNWHarness(t, DefaultNetWatchConfig())
+
+	h.eng.After(0, func() { h.nw.Suspect(2) })
+	// Lands at t=55ms, while the remap started at t=50ms is in flight.
+	h.eng.After(55*sim.Millisecond, func() { h.nw.Suspect(3) })
+	h.eng.RunUntil(5 * sim.Second)
+
+	if got := len(h.attempts); got != 2 {
+		t.Fatalf("remap attempts = %d, want 2 (dirty cycle must rerun)", got)
+	}
+	if st := h.nw.Stats(); st.Remaps != 2 {
+		t.Fatalf("Remaps = %d, want 2", st.Remaps)
+	}
+}
+
+func TestNetWatchBackoffOnFailure(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+	h.results = []bool{false, false, false, true}
+
+	h.eng.After(0, func() { h.nw.Suspect(2) })
+	h.eng.RunUntil(30 * sim.Second)
+
+	if got := len(h.attempts); got != 4 {
+		t.Fatalf("remap attempts = %d, want 4 (3 failures then success)", got)
+	}
+	// Gaps between retries: remapDelay + base, then doubled base.
+	gap1 := h.attempts[1] - h.attempts[0]
+	gap2 := h.attempts[2] - h.attempts[1]
+	gap3 := h.attempts[3] - h.attempts[2]
+	want1 := h.remapDelay + cfg.RemapBackoffBase
+	if gap1 != want1 {
+		t.Fatalf("first retry gap = %v, want %v", gap1, want1)
+	}
+	if gap2 != h.remapDelay+2*cfg.RemapBackoffBase {
+		t.Fatalf("second retry gap = %v, want %v", gap2, h.remapDelay+2*cfg.RemapBackoffBase)
+	}
+	if gap3 != h.remapDelay+4*cfg.RemapBackoffBase {
+		t.Fatalf("third retry gap = %v, want %v", gap3, h.remapDelay+4*cfg.RemapBackoffBase)
+	}
+	st := h.nw.Stats()
+	if st.RemapFailures != 3 || st.Remaps != 1 {
+		t.Fatalf("stats = %+v, want 3 failures / 1 remap", st)
+	}
+}
+
+func TestNetWatchBackoffCapped(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+	// Fail 8 times; the retry delay must cap at RemapBackoffCap.
+	h.results = []bool{false, false, false, false, false, false, false, false}
+
+	h.eng.After(0, func() { h.nw.Suspect(2) })
+	h.eng.RunUntil(60 * sim.Second)
+
+	if got := len(h.attempts); got < 8 {
+		t.Fatalf("remap attempts = %d, want >= 8", got)
+	}
+	for i := 6; i < 8; i++ {
+		gap := h.attempts[i] - h.attempts[i-1]
+		want := h.remapDelay + cfg.RemapBackoffCap
+		if gap != want {
+			t.Fatalf("retry gap %d = %v, want capped %v", i, gap, want)
+		}
+	}
+}
+
+func TestNetWatchStreakEscalatesDebounce(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+
+	// Three incidents in quick succession (each new suspicion lands after
+	// the previous cycle finished but within QuietPeriod): debounce doubles.
+	h.eng.After(0, func() { h.nw.Suspect(2) })                   // incident 1: debounce 50ms
+	h.eng.After(100*sim.Millisecond, func() { h.nw.Suspect(2) }) // incident 2: 100ms
+	h.eng.After(300*sim.Millisecond, func() { h.nw.Suspect(2) }) // incident 3: 200ms
+	h.eng.RunUntil(5 * sim.Second)
+
+	if got := len(h.attempts); got != 3 {
+		t.Fatalf("remap attempts = %d, want 3", got)
+	}
+	if h.attempts[0] != 50*sim.Millisecond {
+		t.Fatalf("incident 1 remap at %v, want 50ms", h.attempts[0])
+	}
+	if h.attempts[1] != 200*sim.Millisecond {
+		t.Fatalf("incident 2 remap at %v, want 200ms (100ms debounce)", h.attempts[1])
+	}
+	if h.attempts[2] != 500*sim.Millisecond {
+		t.Fatalf("incident 3 remap at %v, want 500ms (200ms debounce)", h.attempts[2])
+	}
+
+	// After a QuietPeriod of calm the streak resets to the base window.
+	h.nw.Suspect(2)
+	h.eng.RunUntil(h.eng.Now() + sim.Second)
+	if got := len(h.attempts); got != 4 {
+		t.Fatalf("remap attempts = %d, want 4", got)
+	}
+	gap := h.attempts[3] - (5 * sim.Second)
+	if gap != cfg.DebounceWindow {
+		t.Fatalf("post-calm debounce = %v, want base %v", gap, cfg.DebounceWindow)
+	}
+}
+
+func TestNetWatchProbesWhileExpelled(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+
+	h.eng.After(0, func() { h.nw.NoteUnreachable() })
+	h.eng.RunUntil(3 * cfg.ProbeInterval)
+
+	st := h.nw.Stats()
+	if st.Probes < 2 {
+		t.Fatalf("Probes = %d, want >= 2 while a peer stands expelled", st.Probes)
+	}
+	if len(h.attempts) != int(st.Probes) {
+		t.Fatalf("attempts = %d, want one per probe (%d)", len(h.attempts), st.Probes)
+	}
+
+	// Readmission stops the probing.
+	h.nw.NoteReadmitted()
+	before := h.nw.Stats().Probes
+	h.eng.RunUntil(h.eng.Now() + 5*cfg.ProbeInterval)
+	if after := h.nw.Stats().Probes; after > before+1 {
+		t.Fatalf("probes kept firing after readmission: %d -> %d", before, after)
+	}
+	if st := h.nw.Stats(); st.Unreachable != 1 || st.Readmissions != 1 {
+		t.Fatalf("stats = %+v, want 1 unreachable / 1 readmission", st)
+	}
+}

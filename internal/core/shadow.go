@@ -66,6 +66,15 @@ func (s *ShadowStore) NextSeq(dest gmproto.NodeID, prio gmproto.Priority) uint32
 	return s.txSeq[k]
 }
 
+// ResetPeerSeqs forgets the sequence streams toward one remote node, both
+// priorities. Used when a peer expelled as unreachable is readmitted: its
+// terminal send failures left gaps in the old streams, so both sides restart
+// at sequence 1 (the receive side forgets via RxAckTable.Forget).
+func (s *ShadowStore) ResetPeerSeqs(node gmproto.NodeID) {
+	delete(s.txSeq, seqKey{node: node, prio: gmproto.PriorityLow})
+	delete(s.txSeq, seqKey{node: node, prio: gmproto.PriorityHigh})
+}
+
 // AddSendToken records a token handed to the LANai; "when a call to any of
 // the gm_send() functions is made, a copy of the send token is added to the
 // queue" (§4.1). Re-adding an id that was removed places it at the back of
@@ -201,6 +210,16 @@ func (t *RxAckTable) Snapshot() map[gmproto.StreamID]uint32 {
 		out[k] = v
 	}
 	return out
+}
+
+// Forget drops every stream originating at one remote node. Used on
+// readmission of an expelled peer, whose streams restart at sequence 1.
+func (t *RxAckTable) Forget(node gmproto.NodeID) {
+	for id := range t.last {
+		if id.Node == node {
+			delete(t.last, id)
+		}
+	}
 }
 
 // Len reports how many streams are tracked.

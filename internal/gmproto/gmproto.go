@@ -277,6 +277,10 @@ const (
 	SendOK SendStatus = iota + 1
 	SendErrorDropped
 	SendErrorClosed
+	// SendErrorUnreachable is terminal: the network watchdog declared the
+	// destination unreachable (no surviving route after remap attempts), so
+	// the message will not be retransmitted further.
+	SendErrorUnreachable
 )
 
 // String names the send status.
@@ -288,6 +292,8 @@ func (s SendStatus) String() string {
 		return "dropped"
 	case SendErrorClosed:
 		return "closed"
+	case SendErrorUnreachable:
+		return "unreachable"
 	default:
 		return fmt.Sprintf("status?%d", uint8(s))
 	}

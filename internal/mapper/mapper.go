@@ -80,6 +80,14 @@ type Mapper struct {
 	scouts   int
 	started  sim.Time
 	done     func(Result, error)
+
+	// prior is the previous map's UID->NodeID assignment. Interfaces found
+	// again keep their prior identity; only newcomers get fresh IDs. The
+	// protocol stack keys its streams by NodeID, so an identity that moved
+	// between nodes across a remap would silently cross-wire sequence spaces.
+	prior map[uint64]gmproto.NodeID
+
+	aborted bool
 }
 
 // New prepares a mapper on the given (local) interface.
@@ -90,6 +98,23 @@ func New(local *mcp.MCP, cfg Config) *Mapper {
 		cfg:   cfg,
 		found: make(map[uint64][]byte),
 	}
+}
+
+// SetPrior installs the previous map's UID->NodeID assignment; re-found
+// interfaces keep those identities (see the prior field). Call before Run.
+func (mp *Mapper) SetPrior(prior map[uint64]gmproto.NodeID) {
+	mp.prior = make(map[uint64]gmproto.NodeID, len(prior))
+	for uid, id := range prior {
+		mp.prior[uid] = id
+	}
+}
+
+// Abort cancels a run in flight: the map sink is released and no further
+// rounds, configuration distribution, or done callback will happen. Used by
+// the network watchdog when a remap overruns its convergence cap.
+func (mp *Mapper) Abort() {
+	mp.aborted = true
+	mp.local.SetMapSink(nil)
 }
 
 // Run starts the mapping protocol; done is invoked (in virtual time) with
@@ -110,6 +135,9 @@ func (mp *Mapper) runRound(depth int) {
 	for i, route := range mp.frontier {
 		route := route
 		mp.eng.After(sim.Duration(i)*mp.cfg.ScoutGap, func() {
+			if mp.aborted {
+				return
+			}
 			scout := gmproto.ScoutPayload{Fwd: route}
 			mp.local.RawTransmit(route, scout.Encode())
 		})
@@ -117,6 +145,9 @@ func (mp *Mapper) runRound(depth int) {
 	}
 	sendSpan := sim.Duration(len(mp.frontier)) * mp.cfg.ScoutGap
 	mp.eng.After(sendSpan+mp.cfg.RoundTimeout, func() {
+		if mp.aborted {
+			return
+		}
 		if depth >= mp.cfg.MaxDepth {
 			mp.finish()
 			return
@@ -171,11 +202,16 @@ func (mp *Mapper) onReply(payload []byte) {
 // finish assigns identities, computes all-pairs routes, distributes the
 // configuration, and reports the result.
 func (mp *Mapper) finish() {
+	if mp.aborted {
+		return
+	}
 	mp.local.SetMapSink(nil)
 	// A mapper that found nothing still configures itself: a one-node map
 	// (the rest of the fabric may be down or absent).
 
-	// Deterministic identity assignment: UIDs sorted, mapper first.
+	// Deterministic identity assignment over sorted UIDs: interfaces present
+	// in the prior map keep their identity, newcomers fill the smallest
+	// unused IDs from 1 up.
 	uids := make([]uint64, 0, len(mp.found)+1)
 	uids = append(uids, mp.local.UID())
 	for uid := range mp.found {
@@ -183,8 +219,23 @@ func (mp *Mapper) finish() {
 	}
 	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
 	ids := make(map[uint64]gmproto.NodeID, len(uids))
-	for i, uid := range uids {
-		ids[uid] = gmproto.NodeID(i + 1)
+	used := make(map[gmproto.NodeID]bool, len(uids))
+	for _, uid := range uids {
+		if id, ok := mp.prior[uid]; ok && id != 0 && !used[id] {
+			ids[uid] = id
+			used[id] = true
+		}
+	}
+	next := gmproto.NodeID(1)
+	for _, uid := range uids {
+		if _, ok := ids[uid]; ok {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		ids[uid] = next
+		used[next] = true
 	}
 	mapperID := ids[mp.local.UID()]
 
@@ -233,7 +284,12 @@ func (mp *Mapper) finish() {
 		Elapsed:    mp.eng.Now() - mp.started,
 	}
 	// Give the config packets time to land before reporting completion.
-	mp.eng.After(mp.cfg.RoundTimeout, func() { mp.done(res, nil) })
+	mp.eng.After(mp.cfg.RoundTimeout, func() {
+		if mp.aborted {
+			return
+		}
+		mp.done(res, nil)
+	})
 }
 
 // SpliceRoute builds a route X->Y out of the mapper's routes M->X and M->Y.

@@ -296,3 +296,148 @@ func TestReverseRoute(t *testing.T) {
 		t.Error("reverse of empty route not empty")
 	}
 }
+
+// runMapperPrior is runMapper with a prior identity assignment installed.
+func runMapperPrior(t *testing.T, n *testNet, local *mcp.MCP, cfg Config, prior map[uint64]gmproto.NodeID) Result {
+	t.Helper()
+	var res Result
+	var err error
+	finished := false
+	mp := New(local, cfg)
+	mp.SetPrior(prior)
+	mp.Run(func(r Result, e error) { res, err, finished = r, e, true })
+	n.eng.RunUntil(n.eng.Now() + sim.Second)
+	if !finished {
+		t.Fatal("mapper did not finish")
+	}
+	if err != nil {
+		t.Fatalf("mapper: %v", err)
+	}
+	return res
+}
+
+// TestRemapKeepsSurvivorIDs is the NodeID-stability regression test: when a
+// node disappears and the fabric is remapped with the prior assignment
+// installed, every survivor keeps its identity. (Without SetPrior the mapper
+// reassigns 1..n over the sorted survivors, silently renaming nodes whose
+// UID sorts after the casualty — and the protocol stack keys its sequence
+// streams by NodeID.)
+func TestRemapKeepsSurvivorIDs(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 3; i++ {
+		m := n.addNode(t, uint64(0xE0+i))
+		n.cable(t, m, sw, i)
+	}
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+	if res.IDs[0xE0] != 1 || res.IDs[0xE1] != 2 || res.IDs[0xE2] != 3 {
+		t.Fatalf("initial IDs = %v", res.IDs)
+	}
+
+	// The middle node's link dies; the survivor with the larger UID must
+	// keep NodeID 3, not slide down to 2.
+	n.links[1].SetUp(false)
+	res2 := runMapperPrior(t, n, n.mcps[0], DefaultConfig(), res.IDs)
+	if len(res2.IDs) != 2 {
+		t.Fatalf("after link loss map found %d, want 2", len(res2.IDs))
+	}
+	if res2.IDs[0xE0] != 1 || res2.IDs[0xE2] != 3 {
+		t.Fatalf("survivor IDs moved: %v, want 0xE0->1 0xE2->3", res2.IDs)
+	}
+	if n.mcps[2].NodeID() != 3 {
+		t.Fatalf("node 0xE2 reconfigured to NodeID %d, want 3", n.mcps[2].NodeID())
+	}
+}
+
+// TestRemapNewcomerFillsGap checks a node joining after a loss takes the
+// smallest unused identity rather than colliding with a survivor.
+func TestRemapNewcomerFillsGap(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 3; i++ {
+		m := n.addNode(t, uint64(0xE0+i))
+		n.cable(t, m, sw, i)
+	}
+	res := runMapper(t, n, n.mcps[0], DefaultConfig())
+
+	// 0xE1 (NodeID 2) leaves; a brand-new interface appears.
+	n.links[1].SetUp(false)
+	nu := n.addNode(t, 0xEE)
+	n.cable(t, nu, sw, 5)
+	res2 := runMapperPrior(t, n, n.mcps[0], DefaultConfig(), res.IDs)
+	if res2.IDs[0xE0] != 1 || res2.IDs[0xE2] != 3 {
+		t.Fatalf("survivor IDs moved: %v", res2.IDs)
+	}
+	if res2.IDs[0xEE] != 2 {
+		t.Fatalf("newcomer got NodeID %d, want the vacated 2 (IDs=%v)", res2.IDs[0xEE], res2.IDs)
+	}
+}
+
+// TestMapDualTrunkFailover proves the dual-trunk topology offers two
+// link-disjoint routes between the switches: killing either trunk alone, a
+// remap (with prior identities) still reaches every interface through the
+// surviving trunk, with spliced all-pairs routes that deliver.
+func TestMapDualTrunkFailover(t *testing.T) {
+	for kill := 0; kill < 2; kill++ {
+		t.Run(fmt.Sprintf("kill-trunk-%d", kill), func(t *testing.T) {
+			n := newNet(t)
+			s1 := n.addSwitch(t)
+			s2 := n.addSwitch(t)
+			trunks := []*fabric.Link{
+				n.trunk(t, s1, s2, 6, 6),
+				n.trunk(t, s1, s2, 7, 7),
+			}
+			for i := 0; i < 2; i++ {
+				m := n.addNode(t, uint64(0xB0+i))
+				n.cable(t, m, s1, i)
+			}
+			for i := 0; i < 2; i++ {
+				m := n.addNode(t, uint64(0xB8+i))
+				n.cable(t, m, s2, i)
+			}
+			res := runMapper(t, n, n.mcps[0], DefaultConfig())
+			if len(res.IDs) != 4 {
+				t.Fatalf("initial map found %d interfaces, want 4", len(res.IDs))
+			}
+			verifyAllPairs(t, n)
+			for _, m := range n.mcps {
+				m.HostClosePort(2)
+			}
+
+			trunks[kill].SetUp(false)
+			res2 := runMapperPrior(t, n, n.mcps[0], DefaultConfig(), res.IDs)
+			if len(res2.IDs) != 4 {
+				t.Fatalf("after trunk %d death map found %d interfaces, want 4", kill, len(res2.IDs))
+			}
+			for uid, id := range res.IDs {
+				if res2.IDs[uid] != id {
+					t.Fatalf("IDs moved across trunk failover: %v -> %v", res.IDs, res2.IDs)
+				}
+			}
+			verifyAllPairs(t, n)
+		})
+	}
+}
+
+// TestMapperAbort checks an aborted run goes quiet: no completion callback,
+// no configuration distribution.
+func TestMapperAbort(t *testing.T) {
+	n := newNet(t)
+	sw := n.addSwitch(t)
+	for i := 0; i < 2; i++ {
+		m := n.addNode(t, uint64(0xA0+i))
+		n.cable(t, m, sw, i)
+	}
+	mp := New(n.mcps[0], DefaultConfig())
+	finished := false
+	mp.Run(func(Result, error) { finished = true })
+	// Abort almost immediately, well before any round completes.
+	n.eng.After(sim.Microsecond, mp.Abort)
+	n.eng.RunUntil(n.eng.Now() + sim.Second)
+	if finished {
+		t.Fatal("aborted mapper still reported completion")
+	}
+	if n.mcps[1].NodeID() != 0 {
+		t.Fatalf("aborted mapper still configured a node (NodeID %d)", n.mcps[1].NodeID())
+	}
+}

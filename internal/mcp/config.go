@@ -82,6 +82,12 @@ type Config struct {
 
 	// RtxTimeout is the Go-Back-N retransmission timeout per stream.
 	RtxTimeout sim.Duration
+	// NetFaultThreshold is the number of consecutive timeout-retransmit
+	// rounds of one stream with no ACK/NACK heard before the MCP raises a
+	// NET_FAULT_SUSPECTED report to the host (a likely dead path, as opposed
+	// to ordinary loss, which produces control traffic). 0 disables path
+	// health reporting.
+	NetFaultThreshold int
 	// WindowSize is the maximum number of unacknowledged messages per
 	// stream.
 	WindowSize int
@@ -99,20 +105,21 @@ type Config struct {
 // DefaultConfig returns the calibrated parameters.
 func DefaultConfig() Config {
 	return Config{
-		SendProcA:     1500 * sim.Nanosecond,
-		SendProcB:     1500 * sim.Nanosecond,
-		RecvProcA:     2000 * sim.Nanosecond,
-		RecvProcB:     1000 * sim.Nanosecond,
-		AckProc:       300 * sim.Nanosecond,
-		FTGMSendExtra: 400 * sim.Nanosecond,
-		FTGMRecvExtra: 400 * sim.Nanosecond,
-		EventBytes:    64,
-		LTimerTicks:   1400, // 700 µs; serialization stretches gaps toward 800 µs
-		LTimerProc:    2 * sim.Microsecond,
-		WatchdogTicks: 2000, // 1000 µs, slightly above the 800 µs worst case
-		RtxTimeout:    10 * sim.Millisecond,
-		WindowSize:    16,
-		MaxMsgSize:    16 << 20,
+		SendProcA:         1500 * sim.Nanosecond,
+		SendProcB:         1500 * sim.Nanosecond,
+		RecvProcA:         2000 * sim.Nanosecond,
+		RecvProcB:         1000 * sim.Nanosecond,
+		AckProc:           300 * sim.Nanosecond,
+		FTGMSendExtra:     400 * sim.Nanosecond,
+		FTGMRecvExtra:     400 * sim.Nanosecond,
+		EventBytes:        64,
+		LTimerTicks:       1400, // 700 µs; serialization stretches gaps toward 800 µs
+		LTimerProc:        2 * sim.Microsecond,
+		WatchdogTicks:     2000, // 1000 µs, slightly above the 800 µs worst case
+		RtxTimeout:        10 * sim.Millisecond,
+		NetFaultThreshold: 3,
+		WindowSize:        16,
+		MaxMsgSize:        16 << 20,
 	}
 }
 
@@ -135,4 +142,10 @@ type Stats struct {
 	MisroutedDrops   uint64
 	ClosedPortDrops  uint64
 	LTimerRuns       uint64
+	// NetFaultSuspicions counts path-health reports raised to the host:
+	// streams that hit NetFaultThreshold consecutive silent timeout rounds.
+	NetFaultSuspicions uint64
+	// UnreachableFails counts sends terminally failed because their
+	// destination was declared unreachable.
+	UnreachableFails uint64
 }

@@ -26,6 +26,15 @@ type MCP struct {
 
 	mapSink MapSink
 
+	// onNetFault is the host-side sink for NET_FAULT_SUSPECTED reports
+	// (the driver wires it to the network watchdog).
+	onNetFault func(gmproto.NodeID)
+
+	// deadPeers marks destinations the watchdog declared unreachable: sends
+	// toward them complete immediately with SendErrorUnreachable instead of
+	// entering a retransmit loop. Cleared per peer by ResetPeerStreams.
+	deadPeers map[gmproto.NodeID]bool
+
 	// gen invalidates engine-level timers (retransmission) across reloads.
 	gen uint64
 
@@ -84,13 +93,14 @@ type portState struct {
 // New creates a control program for chip. It is inert until LoadAndStart.
 func New(chip *lanai.Chip, cfg Config, mode Mode) *MCP {
 	m := &MCP{
-		eng:    chip.Engine(),
-		chip:   chip,
-		cfg:    cfg,
-		mode:   mode,
-		routes: make(map[gmproto.NodeID][]byte),
-		tx:     make(map[gmproto.StreamID]*txStream),
-		rx:     make(map[gmproto.StreamID]*rxStream),
+		eng:       chip.Engine(),
+		chip:      chip,
+		cfg:       cfg,
+		mode:      mode,
+		routes:    make(map[gmproto.NodeID][]byte),
+		tx:        make(map[gmproto.StreamID]*txStream),
+		rx:        make(map[gmproto.StreamID]*rxStream),
+		deadPeers: make(map[gmproto.NodeID]bool),
 	}
 	chip.SetISRHandler(m.onISR)
 	return m
@@ -277,6 +287,13 @@ func (m *MCP) RestoreRxSeqs(seqs map[gmproto.StreamID]uint32) {
 		}
 	}
 }
+
+// --- Network-fault entry points (driver / network watchdog) ---
+
+// SetNetFaultSink installs the host callback for NET_FAULT_SUSPECTED
+// reports. The sink survives MCP reloads (it models the interrupt vector
+// the driver owns, not LANai state).
+func (m *MCP) SetNetFaultSink(fn func(target gmproto.NodeID)) { m.onNetFault = fn }
 
 // --- Fault hooks (package fault drives these) ---
 

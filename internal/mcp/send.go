@@ -1,6 +1,8 @@
 package mcp
 
 import (
+	"sort"
+
 	"repro/internal/fabric"
 	"repro/internal/gmproto"
 	"repro/internal/sim"
@@ -16,6 +18,11 @@ type txStream struct {
 	nextSeq uint32           // next MCP-assigned seq (GM mode); last+1
 	window  []*txMsg
 	rtx     *sim.Event
+	// stalls counts consecutive timeout-retransmit rounds with no ACK or
+	// NACK heard: ordinary loss produces control traffic, a dead path
+	// produces silence. At Config.NetFaultThreshold the MCP raises a
+	// NET_FAULT_SUSPECTED report to the host.
+	stalls int
 	// txBusy serializes messages onto the wire: fragments of one message
 	// go out back to back, and the next message starts only when the
 	// previous one is fully injected. Go-Back-N at message granularity
@@ -85,6 +92,11 @@ func (m *MCP) serviceSendQueues() {
 			}
 		}
 		for _, tok := range queue {
+			if m.deadPeers[tok.Dest] {
+				m.stats.UnreachableFails++
+				m.completeToken(tok, tok.Seq, gmproto.SendErrorUnreachable)
+				continue
+			}
 			id := gmproto.StreamID{Node: tok.Dest, Port: tok.SrcPort, Prio: tok.Prio}
 			if m.mode == ModeGM {
 				id.Port = gmproto.ConnectionPort
@@ -167,10 +179,24 @@ func (m *MCP) pumpStream(s *txStream) {
 func (m *MCP) transmitMsg(s *txStream, msg *txMsg, isRtx bool) {
 	route, ok := m.routes[s.id.Node]
 	if !ok {
+		if !m.deadPeers[s.id.Node] && isRtx {
+			// An in-flight message had a route once; losing it transiently
+			// (a remap just replaced the table) is not grounds for a
+			// terminal drop. Park the message until the next timeout round.
+			msg.needRtx = true
+			s.txBusy = false
+			m.armRtx(s)
+			return
+		}
 		// No route: GM reports a failed send to the application. The
 		// window slot is swept on the next pump (callers may be ranging
 		// over the window right now).
-		m.completeSend(msg, gmproto.SendErrorDropped)
+		status := gmproto.SendErrorDropped
+		if m.deadPeers[s.id.Node] {
+			status = gmproto.SendErrorUnreachable
+			m.stats.UnreachableFails++
+		}
+		m.completeSend(msg, status)
 		msg.failed = true
 		s.txBusy = false
 		m.pumpStream(s)
@@ -290,6 +316,17 @@ func (m *MCP) retransmitWindow(s *txStream) {
 		}
 	}
 	if any {
+		s.stalls++
+		if t := m.cfg.NetFaultThreshold; t > 0 && s.stalls >= t {
+			// Consecutive silent timeouts: the path is likely dead, not
+			// lossy. Report and re-arm so a still-dead path keeps reporting
+			// (the watchdog debounces on its side).
+			s.stalls = 0
+			m.stats.NetFaultSuspicions++
+			if m.onNetFault != nil {
+				m.onNetFault(s.id.Node)
+			}
+		}
 		m.pumpStream(s)
 	} else if len(s.window) > 0 {
 		m.armRtx(s)
@@ -305,6 +342,7 @@ func (m *MCP) handleAck(h gmproto.AckHeader) {
 	if !ok {
 		return
 	}
+	s.stalls = 0 // control traffic heard: the path is alive
 	s.sweepFailed()
 	rest := s.window[:0]
 	for _, msg := range s.window {
@@ -341,6 +379,7 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 	if !ok {
 		return
 	}
+	s.stalls = 0 // control traffic heard: the path is alive
 	s.sweepFailed()
 	expected := h.AckSeq
 	// Implicit cumulative ACK below the expectation.
@@ -390,14 +429,19 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 // completeSend posts the EvSent/EvSendError event that returns the send
 // token to the process and fires its callback.
 func (m *MCP) completeSend(msg *txMsg, status gmproto.SendStatus) {
-	ps := m.port(msg.tok.SrcPort)
+	m.completeToken(msg.tok, msg.seq, status)
+}
+
+// completeToken is completeSend for a token that never got a window slot.
+func (m *MCP) completeToken(tok gmproto.SendToken, seq uint32, status gmproto.SendStatus) {
+	ps := m.port(tok.SrcPort)
 	if ps == nil || !ps.open || ps.sink == nil {
 		return
 	}
 	ev := gmproto.Event{
-		Port:    msg.tok.SrcPort,
-		TokenID: msg.tok.ID,
-		Seq:     msg.seq,
+		Port:    tok.SrcPort,
+		TokenID: tok.ID,
+		Seq:     seq,
 		Status:  status,
 	}
 	if status == gmproto.SendOK {
@@ -407,6 +451,107 @@ func (m *MCP) completeSend(msg *txMsg, status gmproto.SendStatus) {
 	}
 	m.postEvent(ps.sink, ev)
 }
+
+// streamIDsToward collects the stream identities involving node from ids,
+// sorted — callers iterate them to post events, and event order must not
+// depend on Go map iteration (the determinism contract).
+func streamIDsToward(node gmproto.NodeID, ids []gmproto.StreamID) []gmproto.StreamID {
+	out := ids[:0]
+	for _, id := range ids {
+		if id.Node == node {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.Prio < b.Prio
+	})
+	return out
+}
+
+func txStreamIDs(m map[gmproto.StreamID]*txStream) []gmproto.StreamID {
+	out := make([]gmproto.StreamID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+func rxStreamIDs(m map[gmproto.StreamID]*rxStream) []gmproto.StreamID {
+	out := make([]gmproto.StreamID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FailPeer terminally fails all pending traffic toward node and marks it
+// unreachable: queued send tokens and window messages complete with
+// SendErrorUnreachable, their tx streams are dropped, and later sends to
+// node fail immediately — the graceful-degradation half of the network
+// watchdog's verdict. ResetPeerStreams readmits the peer.
+func (m *MCP) FailPeer(node gmproto.NodeID) {
+	m.deadPeers[node] = true
+	// Queued tokens that never reached a window.
+	for _, ps := range m.ports {
+		if ps == nil || !ps.open {
+			continue
+		}
+		keep := ps.sendQ[:0]
+		for _, tok := range ps.sendQ {
+			if tok.Dest == node {
+				m.stats.UnreachableFails++
+				m.completeToken(tok, tok.Seq, gmproto.SendErrorUnreachable)
+				continue
+			}
+			keep = append(keep, tok)
+		}
+		ps.sendQ = keep
+	}
+	// Window messages, in sorted stream order for determinism.
+	for _, id := range streamIDsToward(node, txStreamIDs(m.tx)) {
+		s := m.tx[id]
+		if s.rtx != nil {
+			s.rtx.Cancel()
+			s.rtx = nil
+		}
+		for _, msg := range s.window {
+			if msg.failed {
+				continue
+			}
+			msg.failed = true
+			m.stats.UnreachableFails++
+			m.completeSend(msg, gmproto.SendErrorUnreachable)
+		}
+		s.window = nil
+		delete(m.tx, id)
+	}
+}
+
+// ResetPeerStreams clears every piece of protocol state shared with node —
+// tx windows, rx reassembly and sequence expectations, the unreachable mark
+// — so a readmitted peer and this node meet again on fresh streams (both
+// sides restart at sequence 1 via the FTGM first-contact path).
+func (m *MCP) ResetPeerStreams(node gmproto.NodeID) {
+	delete(m.deadPeers, node)
+	for _, id := range streamIDsToward(node, txStreamIDs(m.tx)) {
+		s := m.tx[id]
+		if s.rtx != nil {
+			s.rtx.Cancel()
+			s.rtx = nil
+		}
+		delete(m.tx, id)
+	}
+	for _, id := range streamIDsToward(node, rxStreamIDs(m.rx)) {
+		delete(m.rx, id)
+	}
+}
+
+// PeerUnreachable reports whether node is currently marked unreachable.
+func (m *MCP) PeerUnreachable(node gmproto.NodeID) bool { return m.deadPeers[node] }
 
 // sendControl emits an ACK or NACK packet toward a node.
 func (m *MCP) sendControl(h gmproto.AckHeader) {
