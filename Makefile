@@ -1,9 +1,10 @@
 # Tier-1 verification gate. The experiment layer fans out across goroutines
 # (internal/parallel), so the race detector is part of the gate, not an
-# optional extra.
-.PHONY: tier1 build vet fmt static test race chaos netfault bench quickbench
+# optional extra; bench-short smoke-runs every benchmark once so a broken
+# bench path cannot land.
+.PHONY: tier1 build vet fmt static test race chaos netfault bench bench-short benchdiff quickbench
 
-tier1: build vet fmt static race
+tier1: build vet fmt static race bench-short
 
 build:
 	go build ./...
@@ -39,9 +40,22 @@ chaos:
 netfault:
 	go test -race -v -run 'NetFault|NetworkFault|NetWatch|Remap' ./gm/ ./internal/core/ ./internal/mapper/ ./internal/chaos/ ./internal/experiments/
 
-# Full benchmark sweep (regenerates every table/figure as metrics).
+# Full harness benchmark: regenerates the Figure 7/8 and netfault metrics
+# with per-section wall-clock/allocation accounting and the Figure 7 speedup
+# against the committed pre-zero-copy baseline. Rewrites BENCH_4.json.
 bench:
+	go run ./cmd/gmbench -mode bw,lat,netfault \
+		-benchjson BENCH_4.json -baseline BENCH_BASELINE.json
+
+# Bench smoke gate (tier1): every go-test benchmark runs once.
+bench-short:
 	go test -bench=. -benchtime=1x -run=^$$ .
+
+# Regression gate: compare two -benchjson files, fail on >10% ns/op or
+# allocs/op regression in any shared section.
+# Usage: make benchdiff OLD=BENCH_4.json NEW=/tmp/new.json
+benchdiff:
+	go run ./cmd/gmbench -mode benchdiff $(OLD) $(NEW)
 
 # Engine-level microbenchmarks with allocation counts.
 quickbench:

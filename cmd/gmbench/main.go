@@ -8,10 +8,28 @@
 //	gmbench -mode netfault  network-fault failover (dead trunks/partitions)
 //	gmbench -mode all       everything
 //
+// -mode also accepts a comma-separated list (e.g. -mode bw,lat,netfault).
 // The -quick flag shrinks the sweeps for a fast smoke run. The -json flag
 // writes the headline metrics (MB/s asymptote, short-message half-RTT,
 // campaign percentages, wall-clock) to a machine-readable file so successive
 // PRs have a bench trajectory to compare against.
+//
+// Harness-performance instrumentation:
+//
+//	-cpuprofile f   write a pprof CPU profile of the run
+//	-memprofile f   write a pprof heap profile at exit
+//	-benchjson f    write per-section wall-clock/allocation metrics
+//	                (ns/op, allocs/op, simulated MB per wall-second)
+//	-baseline f     embed a prior -benchjson file (or a legacy -json file
+//	                from a bandwidth-only run) in the -benchjson output and
+//	                report the Figure 7 wall-clock speedup against it
+//
+// and a regression gate for CI:
+//
+//	gmbench -mode benchdiff old.json new.json
+//
+// which exits nonzero when any section shared by the two -benchjson files
+// regressed by more than 10% in ns/op or allocs/op.
 package main
 
 import (
@@ -19,6 +37,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -82,6 +103,131 @@ type table2RowJSON struct {
 	LanaiPerMsgUs float64 `json:"lanai_per_msg_us"`
 }
 
+// benchSection is one measured section of a -benchjson report. Ops are
+// simulated messages (or ping-pong rounds); ns/op and allocs/op are the
+// harness's real cost to simulate each, which is what the zero-copy work
+// optimizes. MBPerWallSec is simulated payload bytes moved per wall-clock
+// second — a harness-throughput figure, not the simulated link bandwidth.
+type benchSection struct {
+	WallNs       int64   `json:"wall_ns"`
+	Ops          int64   `json:"ops"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	MBPerWallSec float64 `json:"mb_per_wall_sec,omitempty"`
+}
+
+// benchReport is the -benchjson output shape.
+type benchReport struct {
+	GoVersion  string                  `json:"go_version"`
+	GoMaxProcs int                     `json:"gomaxprocs"`
+	Workers    int                     `json:"workers"`
+	Sections   map[string]benchSection `json:"sections"`
+
+	// Baseline comparison, present when -baseline was given.
+	Baseline     map[string]benchSection `json:"baseline,omitempty"`
+	BaselineFrom string                  `json:"baseline_from,omitempty"`
+	// Fig7Speedup is baseline fig7_bw wall clock over this run's, the
+	// headline harness-performance ratio.
+	Fig7Speedup float64 `json:"fig7_speedup_vs_baseline,omitempty"`
+}
+
+// measure runs fn and reports its wall clock and heap allocation deltas per
+// op. fn returns (ops, payload bytes simulated).
+func measure(fn func() (int64, uint64, error)) (benchSection, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops, bytes, err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchSection{}, err
+	}
+	s := benchSection{WallNs: wall.Nanoseconds(), Ops: ops}
+	if ops > 0 {
+		s.NsPerOp = float64(s.WallNs) / float64(ops)
+		s.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		s.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+	if bytes > 0 && wall > 0 {
+		s.MBPerWallSec = float64(bytes) / 1e6 / wall.Seconds()
+	}
+	return s, nil
+}
+
+// loadBaseline reads a prior -benchjson file. A legacy -json file from a
+// bandwidth-only run (wall_clock_sec + gm_bandwidth_mbs, no sections) is
+// accepted and synthesized into a lone fig7_bw section, so a pre-refactor
+// gmbench binary can still produce the baseline.
+func loadBaseline(path string) (map[string]benchSection, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Sections       map[string]benchSection `json:"sections"`
+		WallClockSec   float64                 `json:"wall_clock_sec"`
+		GMBandwidthMBs float64                 `json:"gm_bandwidth_mbs"`
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if f.Sections != nil {
+		return f.Sections, nil
+	}
+	if f.WallClockSec > 0 && f.GMBandwidthMBs > 0 {
+		return map[string]benchSection{
+			"fig7_bw": {WallNs: int64(f.WallClockSec * 1e9)},
+		}, nil
+	}
+	return nil, fmt.Errorf("baseline %s: neither a -benchjson file nor a legacy bandwidth-only -json file", path)
+}
+
+// benchdiff compares two -benchjson files and reports sections whose ns/op
+// or allocs/op regressed beyond the threshold. It returns the number of
+// regressions found.
+func benchdiff(oldPath, newPath string, threshold float64) (int, error) {
+	oldS, err := loadBaseline(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newS, err := loadBaseline(newPath)
+	if err != nil {
+		return 0, err
+	}
+	regressions := 0
+	check := func(section, metric string, oldV, newV float64) {
+		if oldV <= 0 {
+			return
+		}
+		ratio := newV/oldV - 1
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-20s %-12s %14.1f -> %14.1f  %+7.1f%%  %s\n",
+			section, metric, oldV, newV, ratio*100, status)
+	}
+	for name, o := range oldS {
+		n, ok := newS[name]
+		if !ok {
+			fmt.Printf("%-20s missing from %s (skipped)\n", name, newPath)
+			continue
+		}
+		if o.NsPerOp > 0 && n.NsPerOp > 0 {
+			check(name, "ns/op", o.NsPerOp, n.NsPerOp)
+			check(name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp)
+		} else {
+			// Legacy baseline: only wall clock is comparable.
+			check(name, "wall_ns", float64(o.WallNs), float64(n.WallNs))
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gmbench:", err)
@@ -90,14 +236,34 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "bw | lat | table2 | table1 | netfault | all")
+	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | all; or benchdiff OLD NEW")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
 	runs := flag.Int("runs", 1000, "fault-injection trials for table1")
 	seed := flag.Uint64("seed", 2003, "campaign seed for table1")
 	quick := flag.Bool("quick", false, "small sweeps for a fast run")
 	jsonPath := flag.String("json", "", "write headline metrics as JSON to this file")
+	benchJSON := flag.String("benchjson", "", "write per-section harness bench metrics as JSON to this file")
+	baseline := flag.String("baseline", "", "prior -benchjson (or legacy bw-only -json) file to embed and compare against")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	threshold := flag.Float64("threshold", 0.10, "benchdiff: fractional regression that fails the gate")
 	flag.Parse()
+
+	if *mode == "benchdiff" {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("benchdiff needs two files: gmbench -mode benchdiff OLD.json NEW.json")
+		}
+		regressions, err := benchdiff(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			return err
+		}
+		if regressions > 0 {
+			return fmt.Errorf("%d bench regression(s) beyond %.0f%%", regressions, *threshold*100)
+		}
+		fmt.Println("benchdiff: no regressions")
+		return nil
+	}
 
 	if *quick {
 		*msgs = 40
@@ -105,43 +271,79 @@ func run() error {
 		*runs = 200
 	}
 
-	doBW := *mode == "bw" || *mode == "all"
-	doLat := *mode == "lat" || *mode == "all"
-	doT2 := *mode == "table2" || *mode == "all"
-	doT1 := *mode == "table1" || *mode == "all"
-	doNF := *mode == "netfault" || *mode == "all"
+	modes := make(map[string]bool)
+	for _, m := range strings.Split(*mode, ",") {
+		modes[strings.TrimSpace(m)] = true
+	}
+	doBW := modes["bw"] || modes["all"]
+	doLat := modes["lat"] || modes["all"]
+	doT2 := modes["table2"] || modes["all"]
+	doT1 := modes["table1"] || modes["all"]
+	doNF := modes["netfault"] || modes["all"]
 	if !doBW && !doLat && !doT2 && !doT1 && !doNF {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	started := time.Now()
 	rep := report{Workers: parallel.Workers()}
+	sections := make(map[string]benchSection)
 
 	if doBW {
 		sizes := experiments.Figure7Sizes()
 		if *quick {
 			sizes = []int{64, 1024, 4096, 4097, 16384, 65536, 262144}
 		}
-		res, err := experiments.Figure7(sizes, *msgs)
+		sec, err := measure(func() (int64, uint64, error) {
+			res, err := experiments.Figure7(sizes, *msgs)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(res.Render())
+			rep.GMBandwidthMBs = res.GM.Points[len(res.GM.Points)-1].Y
+			rep.FTGMBandwidthMBs = res.FTGM.Points[len(res.FTGM.Points)-1].Y
+			// Two modes, two directions, msgs messages per size point.
+			var bytes uint64
+			for _, s := range sizes {
+				bytes += uint64(s) * uint64(*msgs) * 4
+			}
+			return int64(len(sizes)) * int64(*msgs) * 4, bytes, nil
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
-		rep.GMBandwidthMBs = res.GM.Points[len(res.GM.Points)-1].Y
-		rep.FTGMBandwidthMBs = res.FTGM.Points[len(res.FTGM.Points)-1].Y
+		sections["fig7_bw"] = sec
 	}
 	if doLat {
 		sizes := experiments.Figure8Sizes()
 		if *quick {
 			sizes = []int{1, 16, 100, 1024, 16384}
 		}
-		res, err := experiments.Figure8(sizes, *rounds)
+		sec, err := measure(func() (int64, uint64, error) {
+			res, err := experiments.Figure8(sizes, *rounds)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(res.Render())
+			rep.GMHalfRTTUs = res.GM.Points[0].Y
+			rep.FTGMHalfRTTUs = res.FTGM.Points[0].Y
+			return int64(len(sizes)) * int64(*rounds) * 2, 0, nil
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
-		rep.GMHalfRTTUs = res.GM.Points[0].Y
-		rep.FTGMHalfRTTUs = res.FTGM.Points[0].Y
+		sections["fig8_lat"] = sec
 	}
 	if doT2 {
 		res, err := experiments.Table2()
@@ -182,29 +384,38 @@ func run() error {
 			cfg.Trials = 1
 			cfg.Trial.SendEvery = 4 * sim.Millisecond
 		}
-		res, err := experiments.NetworkFaultComparison(*seed, cfg)
+		sec, err := measure(func() (int64, uint64, error) {
+			res, err := experiments.NetworkFaultComparison(*seed, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(experiments.RenderNetFault(res))
+			rep.NetFault = make(map[string]netFaultJSON)
+			var ops int64
+			for _, r := range res {
+				ops += int64(r.Campaign.Total.Sent)
+				rep.NetFault[r.Label] = netFaultJSON{
+					Sent:          r.Campaign.Total.Sent,
+					Delivered:     r.Campaign.Total.Unique,
+					Lost:          r.Campaign.Total.Lost,
+					Failed:        r.Campaign.Total.Failed,
+					DeliveryRate:  r.DeliveryRate(),
+					ExactlyOnce:   r.Campaign.AllExactlyOnce,
+					Suspicions:    r.Counters.Suspicions,
+					Incidents:     r.Counters.Incidents,
+					Remaps:        r.Counters.Remaps,
+					RemapFailures: r.Counters.RemapFailures,
+					Probes:        r.Counters.Probes,
+					Unreachable:   r.Counters.Unreachable,
+					Readmissions:  r.Counters.Readmissions,
+				}
+			}
+			return ops, 0, nil
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderNetFault(res))
-		rep.NetFault = make(map[string]netFaultJSON)
-		for _, r := range res {
-			rep.NetFault[r.Label] = netFaultJSON{
-				Sent:          r.Campaign.Total.Sent,
-				Delivered:     r.Campaign.Total.Unique,
-				Lost:          r.Campaign.Total.Lost,
-				Failed:        r.Campaign.Total.Failed,
-				DeliveryRate:  r.DeliveryRate(),
-				ExactlyOnce:   r.Campaign.AllExactlyOnce,
-				Suspicions:    r.Counters.Suspicions,
-				Incidents:     r.Counters.Incidents,
-				Remaps:        r.Counters.Remaps,
-				RemapFailures: r.Counters.RemapFailures,
-				Probes:        r.Counters.Probes,
-				Unreachable:   r.Counters.Unreachable,
-				Readmissions:  r.Counters.Readmissions,
-			}
-		}
+		sections["netfault_campaign"] = sec
 	}
 
 	rep.WallClockSec = time.Since(started).Seconds()
@@ -218,6 +429,51 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (%.1fs wall clock, %d workers)\n",
 			*jsonPath, rep.WallClockSec, rep.Workers)
+	}
+	if *benchJSON != "" {
+		brep := benchReport{
+			GoVersion:  runtime.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    parallel.Workers(),
+			Sections:   sections,
+		}
+		if *baseline != "" {
+			base, err := loadBaseline(*baseline)
+			if err != nil {
+				return err
+			}
+			brep.Baseline = base
+			brep.BaselineFrom = *baseline
+			if b, ok := base["fig7_bw"]; ok {
+				if cur, ok := sections["fig7_bw"]; ok && cur.WallNs > 0 {
+					brep.Fig7Speedup = float64(b.WallNs) / float64(cur.WallNs)
+				}
+			}
+		}
+		buf, err := json.MarshalIndent(brep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s", *benchJSON)
+		if brep.Fig7Speedup > 0 {
+			fmt.Printf(" (fig7 %.2fx vs %s)", brep.Fig7Speedup, *baseline)
+		}
+		fmt.Println()
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -134,6 +134,27 @@ func (c *Cluster) Run(d Duration) { c.eng.RunFor(d) }
 // RunUntil advances the simulation to absolute time t.
 func (c *Cluster) RunUntil(t Time) { c.eng.RunUntil(t) }
 
+// Shutdown quiesces the cluster and returns every pooled packet the stack
+// holds to the arena: each interface is reset (releasing its receive ring
+// and any packet whose handler died with the Exec queue), then the engine
+// runs for grace so packets still in flight on cables and switches land on
+// the now-dead interfaces and are released there. With every processor
+// stopped, no new packets can be injected. Call at the end of a trial
+// before abandoning the engine; the cluster is unusable afterwards. The
+// pool leak test asserts this brings fabric.PoolStats().Live back to its
+// pre-trial value.
+func (c *Cluster) Shutdown(grace Duration) {
+	for _, n := range c.nodes {
+		// Kill (not just Reset): the FTD would otherwise notice the dead
+		// card during the grace window and reload it, re-injecting traffic.
+		n.chip.Kill()
+		n.m.Shutdown()
+	}
+	if grace > 0 {
+		c.eng.RunFor(grace)
+	}
+}
+
 // AddNode creates a node (host + LANai interface card). Its cable must
 // then be connected with Connect before Boot.
 func (c *Cluster) AddNode(name string) *Node {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/gmproto"
 	"repro/internal/host"
 	"repro/internal/lanai"
 	"repro/internal/mcp"
@@ -139,6 +140,28 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 		callbacks:  make(map[uint64]SendCallback),
 		open:       true,
 	}
+	eng := n.cluster.eng
+	p.tokPend = sim.NewDeferred(eng, "gmtok", func(tok gmproto.RecvToken) {
+		_ = p.node.m.HostPostRecvToken(p.id, tok)
+	})
+	p.recvPend = sim.NewDeferred(eng, "gmrecv", func(d recvDispatch) {
+		if d.poll {
+			p.enqueuePoll(d.ev)
+			return
+		}
+		if p.recvHandler != nil {
+			p.recvHandler(RecvEvent{
+				Data:    d.ev.Data,
+				Src:     d.ev.Src,
+				SrcPort: d.ev.SrcPort,
+				Prio:    d.ev.Prio,
+				Seq:     d.ev.Seq,
+			})
+		}
+	})
+	p.cbPend = sim.NewDeferred(eng, "gmcb", func(d cbDispatch) {
+		d.cb(d.status)
+	})
 	if err := n.driver.OpenPort(id, p.mcpSink); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gmproto"
+	"repro/internal/sim"
 )
 
 // SendCallback reports the outcome of a send; invoking it returns the send
@@ -73,7 +74,28 @@ type Port struct {
 	regions    []*Region
 	nextRegion uint32
 
+	// Deferred dispatchers for the per-message host-overhead delays (token
+	// post, receive delivery, send callback). Each overhead is a constant,
+	// so due times are nondecreasing and one pending engine event per
+	// dispatcher replaces a closure-carrying event per message.
+	tokPend  *sim.Deferred[gmproto.RecvToken]
+	recvPend *sim.Deferred[recvDispatch]
+	cbPend   *sim.Deferred[cbDispatch]
+
 	stats PortStats
+}
+
+// recvDispatch is one committed delivery waiting out the host receive
+// overhead. poll is latched at commit time, as the inline dispatch did.
+type recvDispatch struct {
+	ev   gmproto.Event
+	poll bool
+}
+
+// cbDispatch is one send callback waiting out its host overhead share.
+type cbDispatch struct {
+	cb     SendCallback
+	status SendStatus
 }
 
 // ID returns the port number.
@@ -163,8 +185,11 @@ func (p *Port) Send(dest NodeID, destPort PortID, prio Priority, data []byte, cb
 	return nil
 }
 
-// ProvideReceiveBuffer gives the interface a receive buffer of the given
-// size and priority, relinquishing a receive token (§3.1).
+// ProvideReceiveBuffer gives the interface a freshly allocated receive
+// buffer of the given size and priority, relinquishing a receive token
+// (§3.1). The LANai deposits message bytes directly into the buffer; the
+// slice delivered in RecvEvent.Data is the buffer itself, which the
+// application may hand back with RecycleReceiveBuffer once consumed.
 func (p *Port) ProvideReceiveBuffer(size uint32, prio Priority) error {
 	if !p.open {
 		return ErrPortClosed
@@ -172,15 +197,33 @@ func (p *Port) ProvideReceiveBuffer(size uint32, prio Priority) error {
 	if !prio.Valid() || size == 0 {
 		return fmt.Errorf("%w: size %d prio %d", ErrBadArgument, size, prio)
 	}
+	p.postRecvToken(gmproto.RecvToken{Size: size, Prio: prio, Buf: make([]byte, size)})
+	return nil
+}
+
+// RecycleReceiveBuffer re-provides a delivered message's buffer (a
+// RecvEvent.Data slice) as a receive buffer of its full original capacity —
+// the steady-state receive loop then runs without allocating. The caller
+// must be done with the bytes: the next message overwrites them.
+func (p *Port) RecycleReceiveBuffer(buf []byte, prio Priority) error {
+	if !p.open {
+		return ErrPortClosed
+	}
+	size := uint32(cap(buf))
+	if !prio.Valid() || size == 0 {
+		return fmt.Errorf("%w: size %d prio %d", ErrBadArgument, size, prio)
+	}
+	p.postRecvToken(gmproto.RecvToken{Size: size, Prio: prio, Buf: buf[:size]})
+	return nil
+}
+
+func (p *Port) postRecvToken(tok gmproto.RecvToken) {
 	p.nextToken++
-	tok := gmproto.RecvToken{ID: p.nextToken, Size: size, Prio: prio}
+	tok.ID = p.nextToken
 	p.shadow.AddRecvToken(tok)
 	cost := p.node.cluster.cfg.Host.ProvideOverhead
 	p.node.cpu.Charge(cost)
-	p.node.cluster.eng.After(cost, func() {
-		_ = p.node.m.HostPostRecvToken(p.id, tok)
-	})
-	return nil
+	p.tokPend.After(cost, tok)
 }
 
 // mcpSink receives events from the LANai's receive queue. It performs the
@@ -206,21 +249,7 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 		}
 		p.node.cpu.ChargeRecv(cost)
 		p.stats.Receives++
-		if p.polling {
-			p.node.cluster.eng.After(cost, func() { p.enqueuePoll(ev) })
-			return
-		}
-		p.node.cluster.eng.After(cost, func() {
-			if p.recvHandler != nil {
-				p.recvHandler(RecvEvent{
-					Data:    ev.Data,
-					Src:     ev.Src,
-					SrcPort: ev.SrcPort,
-					Prio:    ev.Prio,
-					Seq:     ev.Seq,
-				})
-			}
-		})
+		p.recvPend.After(cost, recvDispatch{ev: ev, poll: p.polling})
 	case gmproto.EvSent, gmproto.EvSendError:
 		// The send token comes back: drop the shadow copy just before the
 		// callback runs (§4.1).
@@ -232,9 +261,8 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 			p.stats.SendErrors++
 		}
 		if cb != nil {
-			status := ev.Status
 			p.node.cpu.Charge(cfg.SendOverhead / 2)
-			p.node.cluster.eng.After(cfg.SendOverhead/2, func() { cb(status) })
+			p.cbPend.After(cfg.SendOverhead/2, cbDispatch{cb: cb, status: ev.Status})
 		}
 	default:
 		if p.polling {

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/gm"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// TestCampaignPoolLeak asserts the packet-arena ownership contract across
+// whole chaos campaigns: every pooled packet checked out during the trials —
+// including those eaten by retransmit drops, corruption discards, chip
+// resets, expelled peers, and recovery reloads — is released by the time the
+// clusters quiesce. RunTrial ends with Cluster.Shutdown, which kills the
+// interfaces and drains in-flight traffic onto them; a nonzero Live delta
+// here means some layer dropped a packet without releasing it (or released
+// one it no longer owned, which would have panicked instead).
+//
+// The name matches the `make chaos` run filter, so this executes under the
+// race detector alongside the delivery-audit campaigns, race-checking the
+// arena's checkout/release paths at the same time.
+func TestCampaignPoolLeak(t *testing.T) {
+	campaigns := []struct {
+		name string
+		cfg  CampaignConfig
+	}{
+		{"ftgm", testCampaignConfig(gm.ModeFTGM)},
+		{"gm-naive", func() CampaignConfig {
+			cfg := testCampaignConfig(gm.ModeGM)
+			cfg.Trial.MaxSettle = 30 * sim.Second
+			return cfg
+		}()},
+		{"netfault", func() CampaignConfig {
+			cfg := CampaignConfig{Trials: 1, Mode: gm.ModeFTGM, Trial: netFaultTrialConfig()}
+			return cfg
+		}()},
+	}
+	for _, c := range campaigns {
+		t.Run(c.name, func(t *testing.T) {
+			before := fabric.PoolStats()
+			if _, err := Run(testSeed, c.cfg); err != nil {
+				t.Fatal(err)
+			}
+			after := fabric.PoolStats()
+			if after.Live != before.Live {
+				t.Errorf("campaign leaked %d pooled packets (checkouts %d, releases %d)",
+					after.Live-before.Live,
+					after.Checkouts-before.Checkouts,
+					after.Releases-before.Releases)
+			}
+			if after.Checkouts == before.Checkouts {
+				t.Error("campaign checked out no pooled packets — the leak assertion tested nothing")
+			}
+		})
+	}
+}

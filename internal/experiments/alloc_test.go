@@ -1,0 +1,68 @@
+//go:build !race
+
+// Full-stack steady-state allocation regression bound. The per-fragment
+// primitives are pinned at zero allocations by guards in internal/fabric and
+// internal/mcp; what remains per message at full stack is simulation idiom
+// (event closures on the engine heap), which this test bounds so the
+// zero-copy data path cannot silently regrow per-message garbage.
+
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/gm"
+)
+
+// measureAllocsPerMsg streams `count` messages of `size` bytes one way on a
+// fresh pair and returns heap allocations per delivered message.
+func measureAllocsPerMsg(t *testing.T, mode gm.Mode, size, count int) float64 {
+	t.Helper()
+	p, err := NewPair(PairOptions{Mode: mode, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up stream so pools, rings, and maps reach steady state.
+	st := stream(p.Cluster, p.PA, p.PB, p.B.ID(), size, count, 32)
+	limit := p.Cluster.Now() + 60*gm.Second
+	for st.delivered < count && p.Cluster.Now() < limit {
+		p.Cluster.Run(10 * gm.Millisecond)
+	}
+	if st.delivered < count {
+		t.Fatalf("warm-up stalled at %d/%d", st.delivered, count)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	st2 := stream(p.Cluster, p.PA, p.PB, p.B.ID(), size, count, 32)
+	limit = p.Cluster.Now() + 60*gm.Second
+	for st2.delivered < count && p.Cluster.Now() < limit {
+		p.Cluster.Run(10 * gm.Millisecond)
+	}
+	runtime.ReadMemStats(&after)
+	if st2.delivered < count {
+		t.Fatalf("measured stream stalled at %d/%d", st2.delivered, count)
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(count)
+}
+
+// TestSteadyStateAllocBound bounds allocations per message on the
+// steady-state streaming workload for both protocol modes.
+func TestSteadyStateAllocBound(t *testing.T) {
+	// Budget: the remaining per-message allocations are the engine-event
+	// closures the sim idiom requires (send post, host overhead charges,
+	// DMA completion, handler dispatch) — around two dozen per message for a
+	// single-fragment send. The pre-pooling data path added pool-free packet
+	// buffers, header encodes, and receive reassembly buffers on top; a
+	// breach here means per-message garbage crept back in.
+	const bound = 60.0
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		got := measureAllocsPerMsg(t, mode, 4096, 300)
+		t.Logf("mode=%v allocs/msg=%.1f", mode, got)
+		if got > bound {
+			t.Errorf("mode=%v: %.1f allocs/msg exceeds bound %.0f", mode, got, bound)
+		}
+	}
+}

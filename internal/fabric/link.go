@@ -57,6 +57,7 @@ func (a *Attachment) Send(pkt *Packet) {
 	l := a.link
 	if !l.up {
 		l.stats[a.end].Dropped++
+		pkt.Release()
 		return
 	}
 	eng := l.eng
@@ -77,6 +78,7 @@ func (a *Attachment) Send(pkt *Packet) {
 			st.Dropped++
 			st.FaultDropped++
 			l.eng.Tracef(l.name, "fault drop %v", pkt)
+			pkt.Release()
 			return
 		}
 		if l.faults.CorruptProb > 0 && l.faultRNG.Float64() < l.faults.CorruptProb {
@@ -96,14 +98,55 @@ func (a *Attachment) Send(pkt *Packet) {
 			l.eng.Tracef(l.name, "fault corrupt %v bit %d", pkt, bit)
 		}
 	}
-	peer := a.Peer()
-	eng.At(start+ser+l.cfg.PropDelay, func() {
+	// Delivery times per direction are nondecreasing (FIFO serialization plus
+	// a constant propagation delay), so in-flight packets wait in a ring
+	// drained by a single pending engine event per direction rather than one
+	// closure-carrying event per packet.
+	end := a.end
+	if l.delivHead[end] > 0 && l.delivHead[end] == len(l.deliv[end]) {
+		l.deliv[end] = l.deliv[end][:0]
+		l.delivHead[end] = 0
+	}
+	l.deliv[end] = append(l.deliv[end], delivery{at: start + ser + l.cfg.PropDelay, pkt: pkt})
+	if l.delivWake[end] == nil && !l.delivDraining[end] {
+		l.delivWake[end] = eng.AtLabel(start+ser+l.cfg.PropDelay, "link", l.drainFns[end])
+	}
+}
+
+// drainDeliveries delivers every due packet for one direction and re-arms a
+// wake for the next pending one.
+func (l *Link) drainDeliveries(end int) {
+	l.delivWake[end] = nil
+	l.delivDraining[end] = true
+	now := l.eng.Now()
+	peer := &l.ends[1-end]
+	for l.delivHead[end] < len(l.deliv[end]) {
+		d := &l.deliv[end][l.delivHead[end]]
+		if d.at > now {
+			break
+		}
+		pkt := d.pkt
+		*d = delivery{}
+		l.delivHead[end]++
 		if !l.up {
-			st.Dropped++
-			return
+			l.stats[end].Dropped++
+			pkt.Release()
+			continue
 		}
 		peer.dev.RecvPacket(pkt, peer)
-	})
+	}
+	l.delivDraining[end] = false
+	if h := l.delivHead[end]; h > 1024 && h*2 > len(l.deliv[end]) {
+		n := copy(l.deliv[end], l.deliv[end][h:])
+		for i := n; i < len(l.deliv[end]); i++ {
+			l.deliv[end][i] = delivery{}
+		}
+		l.deliv[end] = l.deliv[end][:n]
+		l.delivHead[end] = 0
+	}
+	if l.delivHead[end] < len(l.deliv[end]) {
+		l.delivWake[end] = l.eng.AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
+	}
 }
 
 func maxInt(a, b int) int {
@@ -150,6 +193,14 @@ type Link struct {
 	stats    [2]LinkStats
 	up       bool
 
+	// In-flight packets per direction, ordered by delivery time; one engine
+	// event per direction drains the due prefix (see Send).
+	deliv         [2][]delivery
+	delivHead     [2]int
+	delivWake     [2]*sim.Event
+	delivDraining [2]bool
+	drainFns      [2]func() // cached; arming a drain must not allocate
+
 	faults   FaultProfile
 	faultRNG *sim.RNG
 }
@@ -165,7 +216,15 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 	}
 	l.ends[0] = Attachment{link: l, end: 0, dev: a}
 	l.ends[1] = Attachment{link: l, end: 1, dev: b}
+	l.drainFns[0] = func() { l.drainDeliveries(0) }
+	l.drainFns[1] = func() { l.drainDeliveries(1) }
 	return l
+}
+
+// delivery is one in-flight packet on a link direction.
+type delivery struct {
+	at  sim.Time
+	pkt *Packet
 }
 
 // End returns the attachment for end i (0 or 1).

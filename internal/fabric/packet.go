@@ -22,6 +22,12 @@ import (
 
 // Packet is a unit of transfer on the fabric. Route holds the remaining
 // route bytes; Payload is the GM-level content; CRC covers Payload.
+//
+// Packets normally come from the process-wide arena (GetPacket/Release, see
+// pool.go); literal construction still works for tests and one-off traffic.
+// Payload may be written freely through Buf before SealCRC; code that
+// mutates Payload through other means after sealing must call
+// InvalidateCRC, or CRCOk will keep reporting the seal-time verdict.
 type Packet struct {
 	Route   []byte
 	Payload []byte
@@ -31,6 +37,21 @@ type Packet struct {
 	ID       uint64
 	SrcLabel string
 	Injected sim.Time
+
+	// crcValid caches "CRC matches Payload": set by SealCRC, cleared by
+	// Buf/CorruptPayload/InvalidateCRC. It lets CRCOk answer without
+	// rehashing the payload — the checksum is computed once at injection
+	// and (for damaged or literal packets only) once at delivery, instead
+	// of once per hop.
+	crcValid bool
+
+	// Arena bookkeeping (pool.go). pooled marks packets born in the arena;
+	// live guards against double release. buf is the owned payload storage
+	// Buf slices into; routeBuf backs CopyRoute for short routes.
+	pooled   bool
+	live     bool
+	buf      []byte
+	routeBuf [16]byte
 }
 
 // HeaderBytes is the fixed per-packet framing overhead on the wire beyond
@@ -41,10 +62,22 @@ const HeaderBytes = 8
 func (p *Packet) WireSize() int { return len(p.Route) + len(p.Payload) + HeaderBytes }
 
 // SealCRC computes and stores the payload CRC.
-func (p *Packet) SealCRC() { p.CRC = crc32.ChecksumIEEE(p.Payload) }
+func (p *Packet) SealCRC() {
+	p.CRC = crc32.ChecksumIEEE(p.Payload)
+	p.crcValid = true
+}
 
-// CRCOk reports whether the stored CRC matches the payload.
-func (p *Packet) CRCOk() bool { return p.CRC == crc32.ChecksumIEEE(p.Payload) }
+// CRCOk reports whether the stored CRC matches the payload. Sealed,
+// undamaged packets answer from the cached seal verdict; only literal or
+// damaged packets pay for a checksum here.
+func (p *Packet) CRCOk() bool {
+	return p.crcValid || p.CRC == crc32.ChecksumIEEE(p.Payload)
+}
+
+// InvalidateCRC discards the cached seal verdict, forcing the next CRCOk to
+// rehash the payload. Call it after mutating Payload outside the packet's
+// own mutators.
+func (p *Packet) InvalidateCRC() { p.crcValid = false }
 
 // CorruptPayload flips a bit of the payload (for fault experiments). The CRC
 // is left stale so receivers detect the damage, unless reseal is true, which
@@ -57,17 +90,24 @@ func (p *Packet) CorruptPayload(bit int, reseal bool) {
 	}
 	idx := (bit / 8) % len(p.Payload)
 	p.Payload[idx] ^= 1 << (bit % 8)
+	p.crcValid = false
 	if reseal {
 		p.SealCRC()
 	}
 }
 
-// Clone deep-copies the packet (route and payload).
+// Clone deep-copies the packet (route and payload) through the arena; the
+// copy must be released like any checked-out packet.
 func (p *Packet) Clone() *Packet {
-	cp := *p
-	cp.Route = append([]byte(nil), p.Route...)
-	cp.Payload = append([]byte(nil), p.Payload...)
-	return &cp
+	cp := GetPacket()
+	cp.CopyRoute(p.Route)
+	copy(cp.Buf(len(p.Payload)), p.Payload)
+	cp.CRC = p.CRC
+	cp.crcValid = p.crcValid
+	cp.ID = p.ID
+	cp.SrcLabel = p.SrcLabel
+	cp.Injected = p.Injected
+	return cp
 }
 
 // String summarizes the packet for traces.

@@ -37,17 +37,27 @@ type Switch struct {
 	ports []*Attachment // nil where nothing is cabled
 	dead  []bool        // per-port SerDes death (fault injection)
 	stats SwitchStats
+
+	// Packets waiting out the cut-through latency, in due order; one engine
+	// event drains the due prefix (see RecvPacket).
+	fwdQ        []swFwd
+	fwdHead     int
+	fwdWake     *sim.Event
+	fwdDraining bool
+	fwdDrainFn  func() // cached; arming a drain must not allocate
 }
 
 // NewSwitch creates a switch with cfg.Ports empty ports.
 func NewSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
-	return &Switch{
+	s := &Switch{
 		eng:   eng,
 		cfg:   cfg,
 		name:  name,
 		ports: make([]*Attachment, cfg.Ports),
 		dead:  make([]bool, cfg.Ports),
 	}
+	s.fwdDrainFn = s.drainForwards
+	return s
 }
 
 // Name identifies the switch in traces.
@@ -121,17 +131,24 @@ func (s *Switch) PortFor(a *Attachment) int {
 func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 	if len(pkt.Route) == 0 {
 		s.stats.DroppedNoPort++
-		s.eng.Tracef(s.name, "drop %v: route exhausted at switch", pkt)
+		if s.eng.TraceEnabled() {
+			s.eng.Tracef(s.name, "drop %v: route exhausted at switch", pkt)
+		}
+		pkt.Release()
 		return
 	}
 	in := s.PortFor(on)
 	if in < 0 {
 		s.stats.DroppedNoPort++
+		pkt.Release()
 		return
 	}
 	if s.dead[in] {
 		s.stats.DroppedDead++
-		s.eng.Tracef(s.name, "drop %v: input port %d dead", pkt, in)
+		if s.eng.TraceEnabled() {
+			s.eng.Tracef(s.name, "drop %v: input port %d dead", pkt, in)
+		}
+		pkt.Release()
 		return
 	}
 	delta := int(int8(pkt.Route[0]))
@@ -139,20 +156,76 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 	out := (in + delta%len(s.ports) + len(s.ports)) % len(s.ports)
 	if out >= len(s.ports) || s.ports[out] == nil {
 		s.stats.DroppedNoPort++
-		s.eng.Tracef(s.name, "drop %v: no port %d", pkt, out)
+		if s.eng.TraceEnabled() {
+			s.eng.Tracef(s.name, "drop %v: no port %d", pkt, out)
+		}
+		pkt.Release()
 		return
 	}
 	if s.dead[out] {
 		s.stats.DroppedDead++
-		s.eng.Tracef(s.name, "drop %v: port %d dead", pkt, out)
+		if s.eng.TraceEnabled() {
+			s.eng.Tracef(s.name, "drop %v: port %d dead", pkt, out)
+		}
+		pkt.Release()
 		return
 	}
 	dst := s.ports[out]
 	if !dst.link.Up() {
 		s.stats.DroppedDead++
-		s.eng.Tracef(s.name, "drop %v: port %d link down", pkt, out)
+		if s.eng.TraceEnabled() {
+			s.eng.Tracef(s.name, "drop %v: port %d link down", pkt, out)
+		}
+		pkt.Release()
 		return
 	}
 	s.stats.Forwarded++
-	s.eng.After(s.cfg.CutThrough, func() { dst.Send(pkt) })
+	// Cut-through latency is constant, so pending forwards are due in FIFO
+	// order; queue them in a ring drained by one engine event instead of a
+	// closure-carrying event per packet.
+	if s.fwdHead > 0 && s.fwdHead == len(s.fwdQ) {
+		s.fwdQ = s.fwdQ[:0]
+		s.fwdHead = 0
+	}
+	s.fwdQ = append(s.fwdQ, swFwd{at: s.eng.Now() + s.cfg.CutThrough, dst: dst, pkt: pkt})
+	if s.fwdWake == nil && !s.fwdDraining {
+		s.fwdWake = s.eng.AtLabel(s.fwdQ[len(s.fwdQ)-1].at, "switch", s.fwdDrainFn)
+	}
+}
+
+// drainForwards emits every due queued forward and re-arms a wake for the
+// next pending one.
+func (s *Switch) drainForwards() {
+	s.fwdWake = nil
+	s.fwdDraining = true
+	now := s.eng.Now()
+	for s.fwdHead < len(s.fwdQ) {
+		f := &s.fwdQ[s.fwdHead]
+		if f.at > now {
+			break
+		}
+		dst, pkt := f.dst, f.pkt
+		*f = swFwd{}
+		s.fwdHead++
+		dst.Send(pkt)
+	}
+	s.fwdDraining = false
+	if s.fwdHead > 1024 && s.fwdHead*2 > len(s.fwdQ) {
+		n := copy(s.fwdQ, s.fwdQ[s.fwdHead:])
+		for i := n; i < len(s.fwdQ); i++ {
+			s.fwdQ[i] = swFwd{}
+		}
+		s.fwdQ = s.fwdQ[:n]
+		s.fwdHead = 0
+	}
+	if s.fwdHead < len(s.fwdQ) {
+		s.fwdWake = s.eng.AtLabel(s.fwdQ[s.fwdHead].at, "switch", s.fwdDrainFn)
+	}
+}
+
+// swFwd is one packet waiting out the cut-through latency.
+type swFwd struct {
+	at  sim.Time
+	dst *Attachment
+	pkt *Packet
 }

@@ -127,9 +127,20 @@ var ErrShortHeader = errors.New("gmproto: short header")
 // ErrBadType is returned when decoding a packet of an unexpected type.
 var ErrBadType = errors.New("gmproto: unexpected packet type")
 
-// Encode renders the header followed by the fragment payload.
+// Encode renders the header followed by the fragment payload into a fresh
+// buffer. The data path uses EncodeTo with a pooled packet buffer instead;
+// Encode remains for tests and one-off traffic.
 func (h *DataHeader) Encode(payload []byte) []byte {
 	buf := make([]byte, DataHeaderSize+len(payload))
+	h.EncodeTo(buf, payload)
+	return buf
+}
+
+// EncodeTo renders the header followed by the fragment payload into buf,
+// which must be at least DataHeaderSize+len(payload) bytes, and returns the
+// number of bytes written. It performs no allocation.
+func (h *DataHeader) EncodeTo(buf []byte, payload []byte) int {
+	_ = buf[DataHeaderSize+len(payload)-1] // bounds check up front
 	buf[0] = byte(PTData)
 	binary.LittleEndian.PutUint16(buf[1:], uint16(h.Src))
 	binary.LittleEndian.PutUint16(buf[3:], uint16(h.Dst))
@@ -142,11 +153,13 @@ func (h *DataHeader) Encode(payload []byte) []byte {
 	binary.LittleEndian.PutUint32(buf[20:], h.Offset)
 	if h.Directed {
 		buf[24] = 1
+	} else {
+		buf[24] = 0 // recycled buffers carry stale bytes; write every field
 	}
 	binary.LittleEndian.PutUint32(buf[25:], h.RegionID)
 	binary.LittleEndian.PutUint32(buf[29:], h.RemoteOffset)
 	copy(buf[DataHeaderSize:], payload)
-	return buf
+	return DataHeaderSize + len(payload)
 }
 
 // DecodeData parses a DATA packet payload into its header and fragment.
@@ -194,9 +207,19 @@ type AckHeader struct {
 // AckHeaderSize is the encoded size of an AckHeader.
 const AckHeaderSize = 1 + 2 + 2 + 1 + 1 + 4 + 1
 
-// Encode renders the header.
+// Encode renders the header into a fresh buffer (tests and one-off
+// traffic; the data path uses EncodeTo).
 func (h *AckHeader) Encode() []byte {
 	buf := make([]byte, AckHeaderSize)
+	h.EncodeTo(buf)
+	return buf
+}
+
+// EncodeTo renders the header into buf, which must be at least
+// AckHeaderSize bytes, and returns the number of bytes written. It performs
+// no allocation.
+func (h *AckHeader) EncodeTo(buf []byte) int {
+	_ = buf[AckHeaderSize-1] // bounds check up front
 	if h.Nack {
 		buf[0] = byte(PTNack)
 	} else {
@@ -209,8 +232,10 @@ func (h *AckHeader) Encode() []byte {
 	binary.LittleEndian.PutUint32(buf[7:], h.AckSeq)
 	if h.Nack {
 		buf[11] = 1
+	} else {
+		buf[11] = 0 // recycled buffers carry stale bytes; write every field
 	}
-	return buf
+	return AckHeaderSize
 }
 
 // DecodeAck parses an ACK/NACK packet payload.
@@ -262,11 +287,16 @@ type SendToken struct {
 }
 
 // RecvToken describes a provided receive buffer: "its size and the priority
-// of the message that it can accept" (§3.1).
+// of the message that it can accept" (§3.1). Buf is the host buffer itself:
+// the MCP deposits message bytes straight into it and delivers EvReceived
+// with Data sliced from it, so a message crosses from wire to application
+// buffer with a single copy. A nil Buf makes the MCP allocate at delivery
+// (legacy path, kept for direct-MCP tests).
 type RecvToken struct {
 	ID   uint64
 	Size uint32
 	Prio Priority
+	Buf  []byte
 }
 
 // SendStatus reports the outcome of a send to its callback.

@@ -51,11 +51,28 @@ type PCIBus struct {
 	name     string
 	nextFree sim.Time
 	stats    PCIStats
+
+	// Pending completions in finish order (transactions serialize, so
+	// finish times are nondecreasing); one engine event drains the due
+	// prefix instead of one event per transaction.
+	doneQ        []pciDone
+	doneHead     int
+	doneWake     *sim.Event
+	doneDraining bool
+	drainFn      func() // cached; arming a drain must not allocate
+}
+
+// pciDone is one pending transfer completion.
+type pciDone struct {
+	at sim.Time
+	fn func()
 }
 
 // NewPCIBus returns a bus attached to the engine.
 func NewPCIBus(eng *sim.Engine, name string, cfg PCIConfig) *PCIBus {
-	return &PCIBus{eng: eng, cfg: cfg, name: name}
+	b := &PCIBus{eng: eng, cfg: cfg, name: name}
+	b.drainFn = b.drainDone
+	return b
 }
 
 // Name identifies the bus in traces.
@@ -84,9 +101,46 @@ func (b *PCIBus) Transfer(n int, done func()) sim.Time {
 	b.stats.Bytes += uint64(n)
 	b.stats.Busy += dur
 	if done != nil {
-		b.eng.At(end, done)
+		if b.doneHead > 0 && b.doneHead == len(b.doneQ) {
+			b.doneQ = b.doneQ[:0]
+			b.doneHead = 0
+		}
+		b.doneQ = append(b.doneQ, pciDone{at: end, fn: done})
+		if b.doneWake == nil && !b.doneDraining {
+			b.doneWake = b.eng.AtLabel(end, "pci", b.drainFn)
+		}
 	}
 	return end
+}
+
+// drainDone runs every due completion and re-arms a wake for the next
+// pending one.
+func (b *PCIBus) drainDone() {
+	b.doneWake = nil
+	b.doneDraining = true
+	now := b.eng.Now()
+	for b.doneHead < len(b.doneQ) {
+		d := &b.doneQ[b.doneHead]
+		if d.at > now {
+			break
+		}
+		fn := d.fn
+		*d = pciDone{}
+		b.doneHead++
+		fn()
+	}
+	b.doneDraining = false
+	if b.doneHead > 1024 && b.doneHead*2 > len(b.doneQ) {
+		n := copy(b.doneQ, b.doneQ[b.doneHead:])
+		for i := n; i < len(b.doneQ); i++ {
+			b.doneQ[i] = pciDone{}
+		}
+		b.doneQ = b.doneQ[:n]
+		b.doneHead = 0
+	}
+	if b.doneHead < len(b.doneQ) {
+		b.doneWake = b.eng.AtLabel(b.doneQ[b.doneHead].at, "pci", b.drainFn)
+	}
 }
 
 // Utilization reports the bus busy fraction since simulation start.

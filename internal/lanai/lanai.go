@@ -71,6 +71,7 @@ type timer struct {
 	event   *sim.Event
 	armedAt sim.Time
 	ticks   uint32
+	fireFn  func() // cached expiry body; re-arming must not allocate
 }
 
 // Chip is one LANai instance. It implements fabric.Device so a link can be
@@ -89,16 +90,37 @@ type Chip struct {
 
 	running bool
 	hung    bool
+	killed  bool // powered off for good (Kill); Start no-ops
 	// epoch invalidates queued processor work across hangs and resets.
 	epoch    uint64
 	execFree sim.Time
 
+	// Queued processor work. Exec completion times are nondecreasing (the
+	// processor is a serial resource), so the queue is a FIFO ring drained
+	// by a single engine event instead of one event + wrapper closure per
+	// Exec call — the simulator's hottest allocation site.
+	execQ        []execItem
+	execHead     int
+	execWake     *sim.Event
+	execDraining bool
+	execDrainFn  func() // cached; scheduling a drain must not allocate
+
 	pci     *host.PCIBus
 	dmaBusy bool
 	dmaQ    []dmaReq
+	dmaHead int
+	// dmaDoneFn is the cached PCI completion callback; dmaEpochQ carries the
+	// chip epoch at each transfer's issue so completions that straddle a
+	// reset are recognized as stale (PCI completions arrive in issue order,
+	// so a FIFO of epochs suffices). The epoch queue survives Reset — the
+	// stale completions still pending on the bus must pop their entries.
+	dmaDoneFn    func()
+	dmaEpochQ    []uint64
+	dmaEpochHead int
 
 	att      *fabric.Attachment
 	recvRing []*fabric.Packet
+	recvHead int
 
 	isrHandler  func(bit uint32)
 	hostIntr    func(isr uint32)
@@ -112,15 +134,32 @@ type dmaReq struct {
 	done  func()
 }
 
+type execItem struct {
+	at    sim.Time
+	epoch uint64
+	fn    func()
+}
+
 // New returns a powered chip with no control program running.
 func New(eng *sim.Engine, name string, cfg Config, pci *host.PCIBus) *Chip {
-	return &Chip{
+	c := &Chip{
 		eng:  eng,
 		cfg:  cfg,
 		name: name,
 		SRAM: make([]byte, cfg.SRAMSize),
 		pci:  pci,
 	}
+	c.execDrainFn = c.drainExec
+	c.dmaDoneFn = c.dmaComplete
+	for i := range c.timers {
+		t := &c.timers[i]
+		bit := ISRTimer0 << uint(i)
+		t.fireFn = func() {
+			t.event = nil
+			c.RaiseISR(bit)
+		}
+	}
+	return c
 }
 
 // Name implements fabric.Device.
@@ -155,9 +194,21 @@ func (c *Chip) Hung() bool { return c.hung }
 
 // Start begins executing the control program (after LoadMCP / reset).
 func (c *Chip) Start() {
+	if c.killed {
+		return
+	}
 	c.running = true
 	c.hung = false
 	c.execFree = c.eng.Now()
+}
+
+// Kill permanently powers the card off: Start becomes a no-op, so no
+// control program — not even one a watchdog reloads — can run again.
+// Cluster shutdown uses this to drain in-flight traffic with the guarantee
+// that nothing new is injected.
+func (c *Chip) Kill() {
+	c.killed = true
+	c.Reset()
 }
 
 // Hang models the paper's central failure: the processor stops executing
@@ -212,8 +263,18 @@ func (c *Chip) Reset() {
 		}
 	}
 	c.dmaBusy = false
-	c.dmaQ = nil
-	c.recvRing = nil
+	for i := range c.dmaQ {
+		c.dmaQ[i] = dmaReq{}
+	}
+	c.dmaQ = c.dmaQ[:0]
+	c.dmaHead = 0
+	for i := c.recvHead; i < len(c.recvRing); i++ {
+		c.recvRing[i].Release()
+		c.recvRing[i] = nil
+	}
+	c.recvRing = c.recvRing[:0]
+	c.recvHead = 0
+	c.flushExec()
 	c.stats.Resets++
 	c.eng.Tracef(c.name, "card reset")
 }
@@ -262,11 +323,7 @@ func (c *Chip) SetTimer(i int, ticks uint32) {
 	}
 	t.armedAt = c.eng.Now()
 	t.ticks = ticks
-	bit := ISRTimer0 << uint(i)
-	t.event = c.eng.AfterLabel(sim.Duration(ticks)*TimerTick, "timer", func() {
-		t.event = nil
-		c.RaiseISR(bit)
-	})
+	t.event = c.eng.AfterLabel(sim.Duration(ticks)*TimerTick, "timer", t.fireFn)
 }
 
 // StopTimer disarms interval timer i.
@@ -285,6 +342,12 @@ func (c *Chip) TimerArmed(i int) bool { return c.timers[i].event != nil }
 // Exec queues fn on the processor: it runs after the processor finishes all
 // earlier work plus cost. Work queued before a hang or reset never runs.
 // Exec on a stopped processor is dropped.
+//
+// Completion times are nondecreasing, so queued work lives in a FIFO ring
+// serviced by one pending engine event; each item carries the epoch it was
+// queued under, and the drain skips items from a superseded epoch (every
+// running=true transition passes through Start after a Hang/Reset epoch
+// bump, so the epoch check subsumes the running check).
 func (c *Chip) Exec(cost sim.Duration, fn func()) {
 	if !c.running {
 		return
@@ -296,13 +359,63 @@ func (c *Chip) Exec(cost sim.Duration, fn func()) {
 	end := start + cost
 	c.execFree = end
 	c.stats.ExecBusy += cost
-	epoch := c.epoch
-	c.eng.At(end, func() {
-		if c.epoch != epoch || !c.running {
-			return
+	if c.execHead > 0 && c.execHead == len(c.execQ) {
+		c.execQ = c.execQ[:0]
+		c.execHead = 0
+	}
+	c.execQ = append(c.execQ, execItem{at: end, epoch: c.epoch, fn: fn})
+	if c.execWake == nil && !c.execDraining {
+		c.execWake = c.eng.AtLabel(end, "exec", c.execDrainFn)
+	}
+}
+
+// drainExec runs every queued item that is due, then re-arms one wake event
+// for the next pending item. Items pushed by a running handler are picked up
+// in the same sweep when due now (the arming guard keeps them from
+// scheduling duplicate wakes mid-drain).
+func (c *Chip) drainExec() {
+	c.execWake = nil
+	c.execDraining = true
+	now := c.eng.Now()
+	for c.execHead < len(c.execQ) {
+		it := &c.execQ[c.execHead]
+		if it.at > now {
+			break
 		}
-		fn()
-	})
+		fn, epoch := it.fn, it.epoch
+		*it = execItem{}
+		c.execHead++
+		if epoch == c.epoch && c.running {
+			fn()
+		}
+	}
+	c.execDraining = false
+	// Under sustained load the queue may never fully empty; slide the tail
+	// down once the dead prefix dominates so the array stays bounded.
+	if c.execHead > 1024 && c.execHead*2 > len(c.execQ) {
+		n := copy(c.execQ, c.execQ[c.execHead:])
+		for i := n; i < len(c.execQ); i++ {
+			c.execQ[i] = execItem{}
+		}
+		c.execQ = c.execQ[:n]
+		c.execHead = 0
+	}
+	if c.execHead < len(c.execQ) {
+		c.execWake = c.eng.AtLabel(c.execQ[c.execHead].at, "exec", c.execDrainFn)
+	}
+}
+
+// flushExec discards all queued processor work (reset path).
+func (c *Chip) flushExec() {
+	for i := c.execHead; i < len(c.execQ); i++ {
+		c.execQ[i] = execItem{}
+	}
+	c.execQ = c.execQ[:0]
+	c.execHead = 0
+	if c.execWake != nil {
+		c.execWake.Cancel()
+		c.execWake = nil
+	}
 }
 
 // ExecBusyUntil reports when the processor will next be idle.
@@ -319,31 +432,51 @@ func (c *Chip) HostDMA(n int, done func()) {
 	if !c.running {
 		return
 	}
+	if c.dmaHead > 0 && c.dmaHead == len(c.dmaQ) {
+		c.dmaQ = c.dmaQ[:0]
+		c.dmaHead = 0
+	}
 	c.dmaQ = append(c.dmaQ, dmaReq{bytes: n, done: done})
 	c.pumpDMA()
 }
 
+// pumpDMA issues the head request to the PCI bus. The request stays at the
+// queue head until its completion fires; the cached dmaDoneFn pops it then,
+// so issuing a transfer allocates nothing.
 func (c *Chip) pumpDMA() {
-	if c.dmaBusy || len(c.dmaQ) == 0 {
+	if c.dmaBusy || c.dmaHead == len(c.dmaQ) {
 		return
 	}
-	req := c.dmaQ[0]
-	c.dmaQ = c.dmaQ[1:]
+	req := &c.dmaQ[c.dmaHead]
 	c.dmaBusy = true
 	c.stats.HostDMAs++
 	c.stats.HostDMABytes += uint64(req.bytes)
-	epoch := c.epoch
-	c.pci.Transfer(req.bytes, func() {
-		if c.epoch != epoch {
-			return
-		}
-		c.dmaBusy = false
-		c.RaiseISR(ISRHostDMADone)
-		if req.done != nil {
-			req.done()
-		}
-		c.pumpDMA()
-	})
+	if c.dmaEpochHead > 0 && c.dmaEpochHead == len(c.dmaEpochQ) {
+		c.dmaEpochQ = c.dmaEpochQ[:0]
+		c.dmaEpochHead = 0
+	}
+	c.dmaEpochQ = append(c.dmaEpochQ, c.epoch)
+	c.pci.Transfer(req.bytes, c.dmaDoneFn)
+}
+
+// dmaComplete is the shared PCI completion callback. A completion issued
+// before a reset pops a stale epoch and is ignored; the reset already
+// cleared the request queue it referred to.
+func (c *Chip) dmaComplete() {
+	epoch := c.dmaEpochQ[c.dmaEpochHead]
+	c.dmaEpochHead++
+	if epoch != c.epoch {
+		return
+	}
+	req := c.dmaQ[c.dmaHead]
+	c.dmaQ[c.dmaHead] = dmaReq{}
+	c.dmaHead++
+	c.dmaBusy = false
+	c.RaiseISR(ISRHostDMADone)
+	if req.done != nil {
+		req.done()
+	}
+	c.pumpDMA()
 }
 
 // --- Packet interface ---
@@ -351,6 +484,7 @@ func (c *Chip) pumpDMA() {
 // TransmitPacket injects a packet onto the cabled link.
 func (c *Chip) TransmitPacket(pkt *fabric.Packet) {
 	if c.att == nil {
+		pkt.Release()
 		return
 	}
 	c.stats.PacketsSent++
@@ -363,27 +497,33 @@ func (c *Chip) TransmitPacket(pkt *fabric.Packet) {
 // modeling the backpressured-then-timed-out fate of packets sent to a dead
 // interface.
 func (c *Chip) RecvPacket(pkt *fabric.Packet, on *fabric.Attachment) {
-	if !c.running || len(c.recvRing) >= c.cfg.RecvRing {
+	if !c.running || len(c.recvRing)-c.recvHead >= c.cfg.RecvRing {
 		c.stats.PacketsDropped++
+		pkt.Release()
 		return
 	}
 	c.stats.PacketsReceived++
+	if c.recvHead > 0 && c.recvHead == len(c.recvRing) {
+		c.recvRing = c.recvRing[:0]
+		c.recvHead = 0
+	}
 	c.recvRing = append(c.recvRing, pkt)
 	c.RaiseISR(ISRRecvPacket)
 }
 
 // PopRecv removes and returns the oldest buffered packet, or nil.
 func (c *Chip) PopRecv() *fabric.Packet {
-	if len(c.recvRing) == 0 {
+	if c.recvHead == len(c.recvRing) {
 		return nil
 	}
-	pkt := c.recvRing[0]
-	c.recvRing = c.recvRing[1:]
+	pkt := c.recvRing[c.recvHead]
+	c.recvRing[c.recvHead] = nil
+	c.recvHead++
 	return pkt
 }
 
 // RecvPending reports how many packets wait in the ring.
-func (c *Chip) RecvPending() int { return len(c.recvRing) }
+func (c *Chip) RecvPending() int { return len(c.recvRing) - c.recvHead }
 
 // --- SRAM word access (magic word, ISA images) ---
 

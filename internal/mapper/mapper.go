@@ -88,16 +88,29 @@ type Mapper struct {
 	prior map[uint64]gmproto.NodeID
 
 	aborted bool
+
+	// scoutSend paces the frontier's scout launches (one every ScoutGap)
+	// without allocating a timer closure per probe — a mapping round floods
+	// hundreds of scouts, and remaps run while traffic continues.
+	scoutSend *sim.Deferred[[]byte]
 }
 
 // New prepares a mapper on the given (local) interface.
 func New(local *mcp.MCP, cfg Config) *Mapper {
-	return &Mapper{
+	mp := &Mapper{
 		eng:   local.Chip().Engine(),
 		local: local,
 		cfg:   cfg,
 		found: make(map[uint64][]byte),
 	}
+	mp.scoutSend = sim.NewDeferred(mp.eng, "scout", func(route []byte) {
+		if mp.aborted {
+			return
+		}
+		scout := gmproto.ScoutPayload{Fwd: route}
+		mp.local.RawTransmit(route, scout.Encode())
+	})
+	return mp
 }
 
 // SetPrior installs the previous map's UID->NodeID assignment; re-found
@@ -133,14 +146,7 @@ func (mp *Mapper) Run(done func(Result, error)) {
 
 func (mp *Mapper) runRound(depth int) {
 	for i, route := range mp.frontier {
-		route := route
-		mp.eng.After(sim.Duration(i)*mp.cfg.ScoutGap, func() {
-			if mp.aborted {
-				return
-			}
-			scout := gmproto.ScoutPayload{Fwd: route}
-			mp.local.RawTransmit(route, scout.Encode())
-		})
+		mp.scoutSend.After(sim.Duration(i)*mp.cfg.ScoutGap, route)
 		mp.scouts++
 	}
 	sendSpan := sim.Duration(len(mp.frontier)) * mp.cfg.ScoutGap

@@ -22,17 +22,35 @@ func (m *MCP) SetMapSink(fn MapSink) { m.mapSink = fn }
 
 // RawTransmit injects an arbitrary payload onto the wire along an explicit
 // route; the mapper uses it to launch scouts and distribute configuration.
+// The packet is built (and route/payload copied) at call time; a ring holds
+// it until its AckProc slot, so a mapping flood queues no closure per probe.
 func (m *MCP) RawTransmit(route []byte, payload []byte) {
-	m.chip.Exec(m.cfg.AckProc, func() {
-		pkt := &fabric.Packet{
-			Route:    append([]byte(nil), route...),
-			Payload:  append([]byte(nil), payload...),
-			SrcLabel: m.chip.Name(),
-			Injected: m.eng.Now(),
-		}
-		pkt.SealCRC()
-		m.chip.TransmitPacket(pkt)
-	})
+	if !m.chip.Running() {
+		// Exec would drop the callback; don't queue an orphan packet.
+		return
+	}
+	pkt := fabric.GetPacket()
+	// Unlike the route table, the mapper reuses and mutates its route
+	// buffers, so this path copies instead of interning.
+	pkt.CopyRoute(route)
+	pkt.SrcLabel = m.chip.Name()
+	copy(pkt.Buf(len(payload)), payload)
+	pkt.SealCRC()
+	if m.rawHead > 0 && m.rawHead == len(m.rawQ) {
+		m.rawQ = m.rawQ[:0]
+		m.rawHead = 0
+	}
+	m.rawQ = append(m.rawQ, pkt)
+	m.chip.Exec(m.cfg.AckProc, m.rawFn)
+}
+
+// rawDispatch injects the oldest queued mapper packet.
+func (m *MCP) rawDispatch() {
+	pkt := m.rawQ[m.rawHead]
+	m.rawQ[m.rawHead] = nil
+	m.rawHead++
+	pkt.Injected = m.eng.Now()
+	m.chip.TransmitPacket(pkt)
 }
 
 // handleMapPacket implements the interface side of the mapping protocol:

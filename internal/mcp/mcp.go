@@ -3,6 +3,7 @@ package mcp
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gmproto"
 	"repro/internal/lanai"
 	"repro/internal/sim"
@@ -52,10 +53,48 @@ type MCP struct {
 
 	stats Stats
 
+	// inService holds packets popped from the receive ring whose handler
+	// closures are queued on the processor. A card reset wipes the Exec
+	// queue without running them, so LoadAndStart and Shutdown release
+	// whatever is still here (pool ownership contract, DESIGN.md §11).
+	inService []*fabric.Packet
+
 	// recvScheduled coalesces packet-ring service into one queued handler.
 	recvScheduled bool
 	// sendScheduled coalesces doorbell service.
 	sendScheduled bool
+	// Cached dispatch closures: doorbell and ring service fire on every
+	// message, so scheduling them must not allocate.
+	sendSvcFn func()
+	recvSvcFn func()
+	ringFn    func() // bound serviceRecvRing, for drop-path continuations
+	lTimerFn  func() // bound lTimer
+
+	// Pending-work rings, each consumed by one cached callback in FIFO
+	// order (the chip's Exec and HostDMA queues preserve issue order, so a
+	// plain ring replaces a captured closure per item). A card reset drops
+	// the queued callbacks without running them; Shutdown clears the rings
+	// to match (it runs exactly when those callbacks can no longer fire).
+	svcQ       []svcItem // decoded packets awaiting their handler slot
+	svcHead    int
+	svcFn      func()
+	commitQ    []dmaCommit // per-fragment receive-DMA completions
+	commitHead int
+	commitFn   func()
+	ctrlQ      []ctrlItem // ACK/NACK builds awaiting their AckProc slot
+	ctrlHead   int
+	ctrlFn     func()
+	evQ        []evItem // event records awaiting their DMA completion
+	evHead     int
+	evFn       func()
+	rawQ       []*fabric.Packet // sealed mapper packets awaiting injection
+	rawHead    int
+	rawFn      func()
+
+	// touched is serviceSendQueues's per-round scratch (reused across
+	// rounds; rebuilt maps/slices per doorbell were a measurable share of
+	// steady-state garbage).
+	touched []*txStream
 
 	// adoptNackSeq reproduces the Figure 4 vulnerability: after a naive
 	// MCP reload the sender has lost its sequence state, and on a NACK it
@@ -76,6 +115,45 @@ type MCP struct {
 type alarmReq struct {
 	port gmproto.PortID
 	at   sim.Time
+}
+
+// svcItem is one ring packet decoded by serviceRecvRing, waiting for its
+// processor slot.
+type svcItem struct {
+	kind uint8 // svcData, svcAck, svcNack, svcMap
+	pt   gmproto.PacketType
+	dh   gmproto.DataHeader
+	ah   gmproto.AckHeader
+	frag []byte
+	pkt  *fabric.Packet
+}
+
+const (
+	svcData = uint8(iota)
+	svcAck
+	svcNack
+	svcMap
+)
+
+// dmaCommit is one receive fragment's DMA-completion record.
+type dmaCommit struct {
+	ps *portState
+	rs *rxStream
+	id gmproto.StreamID
+	p  *partialMsg
+	n  uint32
+}
+
+// ctrlItem is one ACK/NACK waiting for its AckProc slot.
+type ctrlItem struct {
+	h     gmproto.AckHeader
+	route []byte
+}
+
+// evItem is one event record in flight to the host queue.
+type evItem struct {
+	sink EventSink
+	ev   gmproto.Event
 }
 
 type portState struct {
@@ -102,8 +180,84 @@ func New(chip *lanai.Chip, cfg Config, mode Mode) *MCP {
 		rx:        make(map[gmproto.StreamID]*rxStream),
 		deadPeers: make(map[gmproto.NodeID]bool),
 	}
+	m.sendSvcFn = func() {
+		m.sendScheduled = false
+		m.serviceSendQueues()
+	}
+	m.recvSvcFn = func() {
+		m.recvScheduled = false
+		m.serviceRecvRing()
+	}
+	m.ringFn = m.serviceRecvRing
+	m.lTimerFn = m.lTimer
+	m.svcFn = m.svcDispatch
+	m.commitFn = m.commitDispatch
+	m.ctrlFn = m.ctrlDispatch
+	m.evFn = m.evDispatch
+	m.rawFn = m.rawDispatch
 	chip.SetISRHandler(m.onISR)
 	return m
+}
+
+// svcDispatch runs the handler for the oldest decoded ring packet, then
+// continues draining the ring.
+func (m *MCP) svcDispatch() {
+	it := m.svcQ[m.svcHead]
+	m.svcQ[m.svcHead] = svcItem{}
+	m.svcHead++
+	switch it.kind {
+	case svcData:
+		// handleData copies the fragment into the host buffer before
+		// returning, so the wire packet can go back to the arena here.
+		m.handleData(it.dh, it.frag)
+		m.finishService(it.pkt)
+	case svcAck:
+		m.handleAck(it.ah)
+	case svcNack:
+		m.handleNack(it.ah)
+	case svcMap:
+		// Map decoders copy the route/config bytes they keep.
+		m.handleMapPacket(it.pt, it.pkt.Payload)
+		m.finishService(it.pkt)
+	}
+	m.serviceRecvRing()
+}
+
+// commitDispatch credits the oldest pending fragment DMA and tries to
+// commit its message.
+func (m *MCP) commitDispatch() {
+	it := m.commitQ[m.commitHead]
+	m.commitQ[m.commitHead] = dmaCommit{}
+	m.commitHead++
+	it.p.dmaDone += it.n
+	m.maybeCommit(it.ps, it.rs, it.id, it.p)
+}
+
+// ctrlDispatch builds and injects the oldest queued ACK/NACK.
+func (m *MCP) ctrlDispatch() {
+	it := m.ctrlQ[m.ctrlHead]
+	m.ctrlQ[m.ctrlHead] = ctrlItem{}
+	m.ctrlHead++
+	pkt := fabric.GetPacket()
+	pkt.Route = it.route // interned: see injectFrag
+	pkt.SrcLabel = m.chip.Name()
+	pkt.Injected = m.eng.Now()
+	it.h.EncodeTo(pkt.Buf(gmproto.AckHeaderSize))
+	pkt.SealCRC()
+	if it.h.Nack {
+		m.stats.NacksSent++
+	} else {
+		m.stats.AcksSent++
+	}
+	m.chip.TransmitPacket(pkt)
+}
+
+// evDispatch hands the oldest DMAed event record to its host sink.
+func (m *MCP) evDispatch() {
+	it := m.evQ[m.evHead]
+	m.evQ[m.evHead] = evItem{}
+	m.evHead++
+	it.sink(it.ev)
 }
 
 // Chip returns the chip the program runs on.
@@ -126,6 +280,10 @@ func (m *MCP) SetNodeID(id gmproto.NodeID) { m.nodeID = id }
 // of loading lives in the driver/FTD, which calls this at the right moment.
 func (m *MCP) LoadAndStart() {
 	m.gen++
+	// A load follows either power-on (nothing in service) or a card reset
+	// (the reset's epoch bump dropped the queued handler closures), so the
+	// previous program's in-service packets can only be released here.
+	m.Shutdown()
 	m.tx = make(map[gmproto.StreamID]*txStream)
 	m.rx = make(map[gmproto.StreamID]*rxStream)
 	for i := range m.ports {
@@ -150,6 +308,41 @@ func (m *MCP) LoadAndStart() {
 // Loaded reports whether a control program is running (or hung) since the
 // last reset.
 func (m *MCP) Loaded() bool { return m.loaded }
+
+// Shutdown releases the pooled packets whose handler closures died with the
+// Exec queue. Call only when those closures cannot run anymore — after a
+// card reset (epoch bump) or at end of simulation.
+func (m *MCP) Shutdown() {
+	for _, pkt := range m.inService {
+		pkt.Release()
+	}
+	m.inService = nil
+	// The pending-work rings pair 1:1 with callbacks that died with the
+	// Exec/DMA queues; clear them so the next program's callbacks realign.
+	for i := range m.svcQ {
+		m.svcQ[i] = svcItem{}
+	}
+	m.svcQ, m.svcHead = m.svcQ[:0], 0
+	for i := range m.commitQ {
+		m.commitQ[i] = dmaCommit{}
+	}
+	m.commitQ, m.commitHead = m.commitQ[:0], 0
+	for i := range m.ctrlQ {
+		m.ctrlQ[i] = ctrlItem{}
+	}
+	m.ctrlQ, m.ctrlHead = m.ctrlQ[:0], 0
+	for i := range m.evQ {
+		m.evQ[i] = evItem{}
+	}
+	m.evQ, m.evHead = m.evQ[:0], 0
+	for i := m.rawHead; i < len(m.rawQ); i++ {
+		m.rawQ[i].Release()
+	}
+	for i := range m.rawQ {
+		m.rawQ[i] = nil
+	}
+	m.rawQ, m.rawHead = m.rawQ[:0], 0
+}
 
 // Routes returns the currently uploaded route table (driver keeps the
 // authoritative copy; this accessor serves tests and the FTD).
@@ -332,23 +525,17 @@ func (m *MCP) onISR(bit uint32) {
 		m.chip.AckISR(lanai.ISRDoorbell)
 		if !m.sendScheduled {
 			m.sendScheduled = true
-			m.chip.Exec(0, func() {
-				m.sendScheduled = false
-				m.serviceSendQueues()
-			})
+			m.chip.Exec(0, m.sendSvcFn)
 		}
 	case lanai.ISRRecvPacket:
 		m.chip.AckISR(lanai.ISRRecvPacket)
 		if !m.recvScheduled {
 			m.recvScheduled = true
-			m.chip.Exec(0, func() {
-				m.recvScheduled = false
-				m.serviceRecvRing()
-			})
+			m.chip.Exec(0, m.recvSvcFn)
 		}
 	case lanai.ISRTimer0:
 		m.chip.AckISR(lanai.ISRTimer0)
-		m.chip.Exec(m.cfg.LTimerProc, m.lTimer)
+		m.chip.Exec(m.cfg.LTimerProc, m.lTimerFn)
 	}
 }
 
@@ -387,5 +574,14 @@ func (m *MCP) armLTimer() { m.chip.SetTimer(0, m.cfg.LTimerTicks) }
 // hands it to the host-side sink. The sink call is the commit point: once
 // it runs, the host owns the information.
 func (m *MCP) postEvent(sink EventSink, ev gmproto.Event) {
-	m.chip.HostDMA(m.cfg.EventBytes, func() { sink(ev) })
+	if !m.chip.Running() {
+		// HostDMA would drop the request; don't queue an orphan record.
+		return
+	}
+	if m.evHead > 0 && m.evHead == len(m.evQ) {
+		m.evQ = m.evQ[:0]
+		m.evHead = 0
+	}
+	m.evQ = append(m.evQ, evItem{sink: sink, ev: ev})
+	m.chip.HostDMA(m.cfg.EventBytes, m.evFn)
 }

@@ -1,7 +1,9 @@
 package mcp
 
 import (
+	"repro/internal/fabric"
 	"repro/internal/gmproto"
+	"repro/internal/sim"
 )
 
 // rxStream is the receiver side of one stream. Two sequence marks matter:
@@ -33,13 +35,32 @@ type partialMsg struct {
 	buf       []byte
 	arrived   uint32
 	dmaDone   uint32
-	tokenID   uint64
+	tok       gmproto.RecvToken // the consumed receive token (zero if directed)
 	committed bool
 	directed  bool // deposit into registered memory; no token, no event
 }
 
+// trackService records custody of a packet whose handler closure sits on
+// the processor's Exec queue: a card reset wipes that queue without running
+// the closures, and Shutdown/LoadAndStart must release what they held.
+func (m *MCP) trackService(pkt *fabric.Packet) { m.inService = append(m.inService, pkt) }
+
+// finishService releases a packet whose handler has run and drops custody.
+func (m *MCP) finishService(pkt *fabric.Packet) {
+	for i, p := range m.inService {
+		if p == pkt {
+			m.inService = append(m.inService[:i], m.inService[i+1:]...)
+			break
+		}
+	}
+	pkt.Release()
+}
+
 // serviceRecvRing drains the packet interface's ring one packet per
-// processor slot.
+// processor slot. Ring packets are owned by this service loop: every path
+// below — early drop or handler — releases the packet back to the arena
+// once its bytes are no longer needed (for DATA fragments, after the copy
+// into the host receive buffer; the model's DMA-complete point).
 func (m *MCP) serviceRecvRing() {
 	pkt := m.chip.PopRecv()
 	if pkt == nil {
@@ -50,65 +71,79 @@ func (m *MCP) serviceRecvRing() {
 		// with a route that does not terminate here (a mapper scout probing
 		// past a NIC, or a corrupted route). Hardware discards it.
 		m.stats.MisroutedDrops++
-		m.chip.Exec(0, m.serviceRecvRing)
+		pkt.Release()
+		m.chip.Exec(0, m.ringFn)
 		return
 	}
 	if !pkt.CRCOk() {
 		// Link-level corruption: GM silently drops; the sender's
 		// Go-Back-N recovers (§2).
 		m.stats.CorruptDropped++
-		m.chip.Exec(0, m.serviceRecvRing)
+		pkt.Release()
+		m.chip.Exec(0, m.ringFn)
 		return
 	}
 	t, err := gmproto.PeekType(pkt.Payload)
 	if err != nil {
 		m.stats.BadHeaderDrops++
-		m.chip.Exec(0, m.serviceRecvRing)
+		pkt.Release()
+		m.chip.Exec(0, m.ringFn)
 		return
 	}
+	// Handlers are queued through the svc ring: the decoded header waits in
+	// a plain struct and one cached callback per item replaces a captured
+	// closure per packet (the Exec queue keeps them aligned in FIFO order).
 	switch t {
 	case gmproto.PTData:
 		h, frag, err := gmproto.DecodeData(pkt.Payload)
 		if err != nil {
 			m.stats.BadHeaderDrops++
-			m.chip.Exec(0, m.serviceRecvRing)
+			pkt.Release()
+			m.chip.Exec(0, m.ringFn)
 			return
 		}
-		m.chip.Exec(m.cfg.RecvProcA, func() {
-			m.handleData(h, frag)
-			m.serviceRecvRing()
-		})
+		m.trackService(pkt)
+		m.pushSvc(svcItem{kind: svcData, dh: h, frag: frag, pkt: pkt}, m.cfg.RecvProcA)
 	case gmproto.PTAck:
 		h, err := gmproto.DecodeAck(pkt.Payload)
 		if err != nil {
 			m.stats.BadHeaderDrops++
-			m.chip.Exec(0, m.serviceRecvRing)
+			pkt.Release()
+			m.chip.Exec(0, m.ringFn)
 			return
 		}
-		m.chip.Exec(m.cfg.AckProc, func() {
-			m.handleAck(h)
-			m.serviceRecvRing()
-		})
+		pkt.Release() // header fully decoded; nothing references the bytes
+		m.pushSvc(svcItem{kind: svcAck, ah: h}, m.cfg.AckProc)
 	case gmproto.PTNack:
 		h, err := gmproto.DecodeAck(pkt.Payload)
 		if err != nil {
 			m.stats.BadHeaderDrops++
-			m.chip.Exec(0, m.serviceRecvRing)
+			pkt.Release()
+			m.chip.Exec(0, m.ringFn)
 			return
 		}
-		m.chip.Exec(m.cfg.AckProc, func() {
-			m.handleNack(h)
-			m.serviceRecvRing()
-		})
+		pkt.Release()
+		m.pushSvc(svcItem{kind: svcNack, ah: h}, m.cfg.AckProc)
 	case gmproto.PTMapScout, gmproto.PTMapReply, gmproto.PTMapConfig:
-		m.chip.Exec(m.cfg.AckProc, func() {
-			m.handleMapPacket(t, pkt.Payload)
-			m.serviceRecvRing()
-		})
+		m.trackService(pkt)
+		m.pushSvc(svcItem{kind: svcMap, pt: t, pkt: pkt}, m.cfg.AckProc)
 	default:
 		m.stats.BadHeaderDrops++
-		m.chip.Exec(0, m.serviceRecvRing)
+		pkt.Release()
+		m.chip.Exec(0, m.ringFn)
 	}
+}
+
+// pushSvc queues a decoded packet for its handler slot. serviceRecvRing
+// only runs on the processor, so the chip is running and the Exec is never
+// dropped — the ring and the queued callbacks stay 1:1.
+func (m *MCP) pushSvc(it svcItem, cost sim.Duration) {
+	if m.svcHead > 0 && m.svcHead == len(m.svcQ) {
+		m.svcQ = m.svcQ[:0]
+		m.svcHead = 0
+	}
+	m.svcQ = append(m.svcQ, it)
+	m.chip.Exec(cost, m.svcFn)
 }
 
 // handleData processes one arriving DATA fragment: sequence check against
@@ -234,7 +269,17 @@ func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
 				}
 				return
 			}
-			p = &partialMsg{hdr: h, buf: make([]byte, h.MsgLen), tokenID: tok.ID}
+			// Reassemble straight into the token's host buffer: the message
+			// crosses from wire packet to application memory with one copy
+			// and no allocation. Tokens posted without a buffer (direct-MCP
+			// tests) fall back to allocating at delivery.
+			buf := tok.Buf
+			if buf != nil {
+				buf = buf[:h.MsgLen]
+			} else {
+				buf = make([]byte, h.MsgLen)
+			}
+			p = &partialMsg{hdr: h, buf: buf, tok: tok}
 			rs.partial = p
 		}
 	}
@@ -257,15 +302,20 @@ func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
 	}
 
 	// Per-fragment DMA into the pinned user buffer; fragments of one
-	// message pipeline through the DMA engine (§5.1).
+	// message pipeline through the DMA engine (§5.1). The completion record
+	// waits in the commit ring; DMA completions fire in issue order, so the
+	// cached callback pops the matching record without a per-fragment
+	// closure.
 	n := len(frag)
 	if n == 0 {
 		n = 1 // zero-length message still costs a descriptor write
 	}
-	m.chip.HostDMA(n, func() {
-		p.dmaDone += uint32(len(frag))
-		m.maybeCommit(ps, rs, id, p)
-	})
+	if m.commitHead > 0 && m.commitHead == len(m.commitQ) {
+		m.commitQ = m.commitQ[:0]
+		m.commitHead = 0
+	}
+	m.commitQ = append(m.commitQ, dmaCommit{ps: ps, rs: rs, id: id, p: p, n: uint32(len(frag))})
+	m.chip.HostDMA(n, m.commitFn)
 }
 
 // maybeCommit delivers the message to the host once every byte has both
@@ -310,7 +360,7 @@ func (m *MCP) maybeCommit(ps *portState, rs *rxStream, id gmproto.StreamID, p *p
 			SrcPort: h.SrcPort,
 			Prio:    h.Prio,
 			Seq:     h.Seq,
-			TokenID: p.tokenID,
+			TokenID: p.tok.ID,
 			Data:    p.buf,
 		}
 		if m.mode == ModeFTGM {
@@ -353,9 +403,8 @@ func (m *MCP) takeRecvToken(ps *portState, prio gmproto.Priority, size uint32) (
 	return gmproto.RecvToken{}, false
 }
 
-// returnRecvToken puts an abandoned reassembly's token back.
+// returnRecvToken puts an abandoned reassembly's token back, buffer and
+// all; the restarted message reuses it.
 func (m *MCP) returnRecvToken(ps *portState, p *partialMsg) {
-	ps.recvTokens = append(ps.recvTokens, gmproto.RecvToken{
-		ID: p.tokenID, Size: uint32(len(p.buf)), Prio: p.hdr.Prio,
-	})
+	ps.recvTokens = append(ps.recvTokens, p.tok)
 }

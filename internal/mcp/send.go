@@ -29,6 +29,36 @@ type txStream struct {
 	// requires in-order arrival of message starts; the wire is serial
 	// anyway, so this costs no bandwidth.
 	txBusy bool
+	// needSort marks that the last service round appended a token out of
+	// sequence order (restored tokens interleaved with fresh sends around
+	// a recovery); the window is sorted once before pumping instead of
+	// shifting per insert.
+	needSort bool
+	// queued marks the stream as already on the serviceSendQueues touched
+	// list for the current round.
+	queued bool
+
+	// Fragment pipeline state for the message currently on the wire. txBusy
+	// serializes messages, so one set of fields per stream suffices; the
+	// stage closures below are built once per stream and shared by every
+	// fragment, replacing the three closures the pipeline used to allocate
+	// per fragment. Stale stages after a reset are dropped by the chip's
+	// Exec epoch check, exactly as the captured closures were.
+	cur          *txMsg
+	curIsRtx     bool
+	curTotal     int
+	curNfrag     int
+	curFrag      int
+	curLo, curHi int
+	curRoute     []byte
+	stageDMA     func() // SendProcA done -> host DMA of the fragment
+	dmaDone      func() // DMA done -> SendProcB
+	stageInj     func() // SendProcB done -> header build + injection
+
+	// rtxFn is the cached retransmission-timer body; rtxGen is the MCP
+	// generation it was armed under (a reload invalidates armed timers).
+	rtxFn  func()
+	rtxGen uint64
 }
 
 type txMsg struct {
@@ -45,6 +75,16 @@ func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
 	s, ok := m.tx[id]
 	if !ok {
 		s = &txStream{id: id}
+		s.stageDMA = func() { m.chip.HostDMA(s.curHi-s.curLo, s.dmaDone) }
+		s.dmaDone = func() { m.chip.Exec(m.cfg.SendProcB, s.stageInj) }
+		s.stageInj = func() { m.injectFrag(s) }
+		s.rtxFn = func() {
+			if m.gen != s.rtxGen || !m.chip.Running() {
+				return
+			}
+			s.rtx = nil
+			m.retransmitWindow(s)
+		}
 		if m.mode == ModeGM {
 			// Stock GM's MCP picks the connection's initial sequence number
 			// itself; a reloaded MCP starts a fresh sequence space that has
@@ -70,8 +110,7 @@ func (m *MCP) rxStream(id gmproto.StreamID) *rxStream {
 // serviceSendQueues drains every open port's send queue into the per-stream
 // windows and pumps the touched streams.
 func (m *MCP) serviceSendQueues() {
-	var touched []*txStream // ordered: simulation must be deterministic
-	seen := make(map[gmproto.StreamID]bool)
+	touched := m.touched[:0] // ordered: simulation must be deterministic
 	for _, ps := range m.ports {
 		if ps == nil || !ps.open {
 			continue
@@ -79,63 +118,72 @@ func (m *MCP) serviceSendQueues() {
 		// High-priority tokens are serviced ahead of queued low-priority
 		// ones (GM's two non-preemptive priority levels, §3.1): an
 		// in-flight low transfer is never preempted, but a waiting one is
-		// overtaken.
-		queue := make([]gmproto.SendToken, 0, len(ps.sendQ))
-		for _, tok := range ps.sendQ {
-			if tok.Prio == gmproto.PriorityHigh {
-				queue = append(queue, tok)
-			}
-		}
-		for _, tok := range ps.sendQ {
-			if tok.Prio != gmproto.PriorityHigh {
-				queue = append(queue, tok)
-			}
-		}
-		for _, tok := range queue {
-			if m.deadPeers[tok.Dest] {
-				m.stats.UnreachableFails++
-				m.completeToken(tok, tok.Seq, gmproto.SendErrorUnreachable)
-				continue
-			}
-			id := gmproto.StreamID{Node: tok.Dest, Port: tok.SrcPort, Prio: tok.Prio}
-			if m.mode == ModeGM {
-				id.Port = gmproto.ConnectionPort
-			}
-			s := m.txStreamFor(id)
-			msg := &txMsg{tok: tok, msgID: m.nextMsgID}
-			m.nextMsgID++
-			if m.mode == ModeFTGM && tok.HasSeq {
-				// Host-generated sequence number travels in the token; the
-				// MCP "simply uses these sequence numbers rather than
-				// generating its own" (§4.1).
-				msg.seq = tok.Seq
-				if tok.Seq >= s.nextSeq {
-					s.nextSeq = tok.Seq + 1
+		// overtaken. Two passes over the queue avoid building a reordered
+		// copy on every doorbell.
+		for pass := 0; pass < 2; pass++ {
+			for _, tok := range ps.sendQ {
+				if (tok.Prio == gmproto.PriorityHigh) != (pass == 0) {
+					continue
 				}
-			} else {
-				s.nextSeq++
-				msg.seq = s.nextSeq
-			}
-			// Insert in sequence order: restored tokens and fresh sends
-			// can arrive interleaved around a recovery, and Go-Back-N
-			// requires the window sorted by sequence number.
-			pos := len(s.window)
-			for pos > 0 && s.window[pos-1].seq > msg.seq {
-				pos--
-			}
-			s.window = append(s.window, nil)
-			copy(s.window[pos+1:], s.window[pos:])
-			s.window[pos] = msg
-			if !seen[id] {
-				seen[id] = true
-				touched = append(touched, s)
+				if m.deadPeers[tok.Dest] {
+					m.stats.UnreachableFails++
+					m.completeToken(tok, tok.Seq, gmproto.SendErrorUnreachable)
+					continue
+				}
+				id := gmproto.StreamID{Node: tok.Dest, Port: tok.SrcPort, Prio: tok.Prio}
+				if m.mode == ModeGM {
+					id.Port = gmproto.ConnectionPort
+				}
+				s := m.txStreamFor(id)
+				msg := &txMsg{tok: tok, msgID: m.nextMsgID}
+				m.nextMsgID++
+				if m.mode == ModeFTGM && tok.HasSeq {
+					// Host-generated sequence number travels in the token; the
+					// MCP "simply uses these sequence numbers rather than
+					// generating its own" (§4.1).
+					msg.seq = tok.Seq
+					if tok.Seq >= s.nextSeq {
+						s.nextSeq = tok.Seq + 1
+					}
+				} else {
+					s.nextSeq++
+					msg.seq = s.nextSeq
+				}
+				// Go-Back-N requires the window sorted by sequence number,
+				// and restored tokens and fresh sends can arrive interleaved
+				// around a recovery — but shifting the tail on every insert is
+				// quadratic in the window size. Append, note disorder, and
+				// sort once per touched stream below.
+				if n := len(s.window); n > 0 && s.window[n-1].seq > msg.seq {
+					s.needSort = true
+				}
+				s.window = append(s.window, msg)
+				if !s.queued {
+					s.queued = true
+					touched = append(touched, s)
+				}
 			}
 		}
-		ps.sendQ = nil
+		// Truncate in place, dropping the token payload references so the
+		// retained backing array cannot pin host buffers.
+		for i := range ps.sendQ {
+			ps.sendQ[i] = gmproto.SendToken{}
+		}
+		ps.sendQ = ps.sendQ[:0]
 	}
 	for _, s := range touched {
+		s.queued = false
+		if s.needSort {
+			w := s.window
+			sort.Slice(w, func(i, j int) bool { return w[i].seq < w[j].seq })
+			s.needSort = false
+		}
 		m.pumpStream(s)
 	}
+	for i := range touched {
+		touched[i] = nil
+	}
+	m.touched = touched[:0]
 }
 
 // sweepFailed drops unroutable messages from the window.
@@ -212,78 +260,91 @@ func (m *MCP) transmitMsg(s *txStream, msg *txMsg, isRtx bool) {
 	if nfrag == 0 {
 		nfrag = 1
 	}
-	var sendFrag func(i int)
-	sendFrag = func(i int) {
-		lo := i * gmproto.MaxPacketPayload
-		hi := lo + gmproto.MaxPacketPayload
-		if hi > total {
-			hi = total
-		}
-		procA := m.cfg.SendProcA
-		if i == 0 && m.mode == ModeFTGM {
-			procA += m.cfg.FTGMSendExtra
-		}
-		m.chip.Exec(procA, func() {
-			m.chip.HostDMA(hi-lo, func() {
-				m.chip.Exec(m.cfg.SendProcB, func() {
-					h := gmproto.DataHeader{
-						Src:          m.nodeID,
-						Dst:          s.id.Node,
-						SrcPort:      msg.tok.SrcPort,
-						DstPort:      msg.tok.DestPort,
-						Prio:         msg.tok.Prio,
-						Seq:          msg.seq,
-						MsgID:        msg.msgID,
-						MsgLen:       uint32(total),
-						Offset:       uint32(lo),
-						Directed:     msg.tok.Directed,
-						RegionID:     msg.tok.RegionID,
-						RemoteOffset: msg.tok.RemoteOffset,
-					}
-					pkt := &fabric.Packet{
-						Route:    append([]byte(nil), route...),
-						Payload:  h.Encode(msg.tok.Data[lo:hi]),
-						SrcLabel: m.chip.Name(),
-						Injected: m.eng.Now(),
-					}
-					switch {
-					case m.corruptNextSend > 0:
-						// Pre-seal fault: the bit flipped while the
-						// fragment sat in SRAM, before send_chunk computed
-						// the CRC — the damage passes the link-level check
-						// and reaches the application (Table 1 "Messages
-						// Corrupted").
-						pkt.CorruptPayload(m.corruptNextSend, false)
-						pkt.SealCRC()
-						m.corruptNextSend = 0
-					case m.corruptNextSend < 0:
-						// Post-seal (wire-level) fault: the receiver's CRC
-						// check catches it and Go-Back-N retransmits.
-						pkt.SealCRC()
-						pkt.CorruptPayload(-m.corruptNextSend, false)
-						m.corruptNextSend = 0
-					default:
-						pkt.SealCRC()
-					}
-					m.stats.FragmentsSent++
-					m.chip.TransmitPacket(pkt)
-					if i+1 < nfrag {
-						sendFrag(i + 1)
-						return
-					}
-					msg.sending = false
-					msg.inFlight = true
-					if !isRtx {
-						m.stats.MsgsSent++
-					}
-					m.armRtx(s)
-					s.txBusy = false
-					m.pumpStream(s)
-				})
-			})
-		})
+	s.cur = msg
+	s.curIsRtx = isRtx
+	s.curTotal = total
+	s.curNfrag = nfrag
+	s.curFrag = 0
+	s.curRoute = route
+	m.startFrag(s)
+}
+
+// startFrag queues SendProcA for the stream's current fragment; the cached
+// stage closures then carry it through DMA and injection.
+func (m *MCP) startFrag(s *txStream) {
+	s.curLo = s.curFrag * gmproto.MaxPacketPayload
+	s.curHi = s.curLo + gmproto.MaxPacketPayload
+	if s.curHi > s.curTotal {
+		s.curHi = s.curTotal
 	}
-	sendFrag(0)
+	procA := m.cfg.SendProcA
+	if s.curFrag == 0 && m.mode == ModeFTGM {
+		procA += m.cfg.FTGMSendExtra
+	}
+	m.chip.Exec(procA, s.stageDMA)
+}
+
+// injectFrag is the send_chunk tail: build the fragment header, seal, and
+// inject; then chain to the next fragment or finish the message.
+func (m *MCP) injectFrag(s *txStream) {
+	msg := s.cur
+	h := gmproto.DataHeader{
+		Src:          m.nodeID,
+		Dst:          s.id.Node,
+		SrcPort:      msg.tok.SrcPort,
+		DstPort:      msg.tok.DestPort,
+		Prio:         msg.tok.Prio,
+		Seq:          msg.seq,
+		MsgID:        msg.msgID,
+		MsgLen:       uint32(s.curTotal),
+		Offset:       uint32(s.curLo),
+		Directed:     msg.tok.Directed,
+		RegionID:     msg.tok.RegionID,
+		RemoteOffset: msg.tok.RemoteOffset,
+	}
+	pkt := fabric.GetPacket()
+	// The route slice is interned, not copied: UploadRoutes installs fresh
+	// copies per epoch and never mutates them, and switches only re-slice
+	// pkt.Route, so every packet of a (stream, route-epoch) can alias one
+	// backing array.
+	pkt.Route = s.curRoute
+	pkt.SrcLabel = m.chip.Name()
+	pkt.Injected = m.eng.Now()
+	h.EncodeTo(pkt.Buf(gmproto.DataHeaderSize+(s.curHi-s.curLo)), msg.tok.Data[s.curLo:s.curHi])
+	switch {
+	case m.corruptNextSend > 0:
+		// Pre-seal fault: the bit flipped while the fragment sat in SRAM,
+		// before send_chunk computed the CRC — the damage passes the
+		// link-level check and reaches the application (Table 1 "Messages
+		// Corrupted").
+		pkt.CorruptPayload(m.corruptNextSend, false)
+		pkt.SealCRC()
+		m.corruptNextSend = 0
+	case m.corruptNextSend < 0:
+		// Post-seal (wire-level) fault: the receiver's CRC check catches it
+		// and Go-Back-N retransmits.
+		pkt.SealCRC()
+		pkt.CorruptPayload(-m.corruptNextSend, false)
+		m.corruptNextSend = 0
+	default:
+		pkt.SealCRC()
+	}
+	m.stats.FragmentsSent++
+	m.chip.TransmitPacket(pkt)
+	if s.curFrag+1 < s.curNfrag {
+		s.curFrag++
+		m.startFrag(s)
+		return
+	}
+	msg.sending = false
+	msg.inFlight = true
+	if !s.curIsRtx {
+		m.stats.MsgsSent++
+	}
+	s.cur = nil
+	m.armRtx(s)
+	s.txBusy = false
+	m.pumpStream(s)
 }
 
 // armRtx (re)arms the stream's Go-Back-N retransmission timer.
@@ -291,14 +352,8 @@ func (m *MCP) armRtx(s *txStream) {
 	if s.rtx != nil {
 		s.rtx.Cancel()
 	}
-	gen := m.gen
-	s.rtx = m.eng.AfterLabel(m.cfg.RtxTimeout, "rtx", func() {
-		if m.gen != gen || !m.chip.Running() {
-			return
-		}
-		s.rtx = nil
-		m.retransmitWindow(s)
-	})
+	s.rtxGen = m.gen
+	s.rtx = m.eng.AfterLabel(m.cfg.RtxTimeout, "rtx", s.rtxFn)
 }
 
 // retransmitWindow marks every in-flight unacknowledged message of the
@@ -553,25 +608,22 @@ func (m *MCP) ResetPeerStreams(node gmproto.NodeID) {
 // PeerUnreachable reports whether node is currently marked unreachable.
 func (m *MCP) PeerUnreachable(node gmproto.NodeID) bool { return m.deadPeers[node] }
 
-// sendControl emits an ACK or NACK packet toward a node.
+// sendControl emits an ACK or NACK packet toward a node. The header and its
+// route wait in the ctrl ring for the AckProc slot; the cached callback
+// builds and injects the packet, so a control send allocates nothing.
 func (m *MCP) sendControl(h gmproto.AckHeader) {
 	route, ok := m.routes[h.Dst]
 	if !ok {
 		return
 	}
-	m.chip.Exec(m.cfg.AckProc, func() {
-		pkt := &fabric.Packet{
-			Route:    append([]byte(nil), route...),
-			Payload:  h.Encode(),
-			SrcLabel: m.chip.Name(),
-			Injected: m.eng.Now(),
-		}
-		pkt.SealCRC()
-		if h.Nack {
-			m.stats.NacksSent++
-		} else {
-			m.stats.AcksSent++
-		}
-		m.chip.TransmitPacket(pkt)
-	})
+	if !m.chip.Running() {
+		// Exec would drop the slot; don't queue an orphan record.
+		return
+	}
+	if m.ctrlHead > 0 && m.ctrlHead == len(m.ctrlQ) {
+		m.ctrlQ = m.ctrlQ[:0]
+		m.ctrlHead = 0
+	}
+	m.ctrlQ = append(m.ctrlQ, ctrlItem{h: h, route: route})
+	m.chip.Exec(m.cfg.AckProc, m.ctrlFn)
 }

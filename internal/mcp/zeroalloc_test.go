@@ -1,0 +1,104 @@
+//go:build !race
+
+// Zero-allocation guards for the MCP data-path primitives: building a sealed
+// DATA packet for injection, and verifying/decoding/landing one at delivery.
+// These are the per-fragment operations the zero-copy refactor made
+// allocation-free; the guards pin that down so regressions fail loudly.
+// Excluded under the race detector, whose instrumentation allocates.
+
+package mcp
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gmproto"
+)
+
+// TestZeroAllocSendPath asserts the transmit-side packet build — pool
+// checkout, interned route assignment, header+payload encode into the pooled
+// buffer, CRC seal — allocates nothing per fragment.
+func TestZeroAllocSendPath(t *testing.T) {
+	route := []byte{0, 1} // stands in for the epoch-interned route table entry
+	frag := make([]byte, gmproto.MaxPacketPayload)
+	h := gmproto.DataHeader{
+		Src: 1, Dst: 2, SrcPort: 2, DstPort: 2,
+		Seq: 7, MsgID: 3, MsgLen: uint32(len(frag)),
+	}
+	warm := fabric.GetPacket()
+	warm.Buf(gmproto.DataHeaderSize + len(frag))
+	warm.Release()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		pkt := fabric.GetPacket()
+		pkt.Route = route
+		h.EncodeTo(pkt.Buf(gmproto.DataHeaderSize+len(frag)), frag)
+		pkt.SealCRC()
+		pkt.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("send-path packet build allocates %.1f/frag, want 0", allocs)
+	}
+}
+
+// TestZeroAllocRecvPath asserts the delivery-side fragment service — CRC
+// verification (cached seal verdict), type peek, header decode, copy into
+// the host receive-token buffer, release — allocates nothing per fragment.
+func TestZeroAllocRecvPath(t *testing.T) {
+	frag := make([]byte, gmproto.MaxPacketPayload)
+	h := gmproto.DataHeader{
+		Src: 1, Dst: 2, SrcPort: 2, DstPort: 2,
+		Seq: 7, MsgID: 3, MsgLen: uint32(len(frag)),
+	}
+	tokenBuf := make([]byte, len(frag)) // the posted host receive buffer
+
+	allocs := testing.AllocsPerRun(200, func() {
+		pkt := fabric.GetPacket()
+		h.EncodeTo(pkt.Buf(gmproto.DataHeaderSize+len(frag)), frag)
+		pkt.SealCRC()
+		// ...wire transit...
+		if !pkt.CRCOk() {
+			t.Fatal("CRC failed")
+		}
+		pt, err := gmproto.PeekType(pkt.Payload)
+		if err != nil || pt != gmproto.PTData {
+			t.Fatal("peek failed")
+		}
+		hdr, body, err := gmproto.DecodeData(pkt.Payload)
+		if err != nil {
+			t.Fatal("decode failed")
+		}
+		copy(tokenBuf[hdr.Offset:], body) // the model's DMA into host memory
+		pkt.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("recv-path fragment service allocates %.1f/frag, want 0", allocs)
+	}
+}
+
+// TestZeroAllocControlPath asserts the ACK/NACK build and decode round trip
+// allocates nothing.
+func TestZeroAllocControlPath(t *testing.T) {
+	route := []byte{1}
+	h := gmproto.AckHeader{Src: 2, Dst: 1, SrcPort: 2, Prio: gmproto.Priority(0), AckSeq: 12}
+	warm := fabric.GetPacket()
+	warm.Buf(gmproto.AckHeaderSize)
+	warm.Release()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		pkt := fabric.GetPacket()
+		pkt.Route = route
+		h.EncodeTo(pkt.Buf(gmproto.AckHeaderSize))
+		pkt.SealCRC()
+		if !pkt.CRCOk() {
+			t.Fatal("CRC failed")
+		}
+		if _, err := gmproto.DecodeAck(pkt.Payload); err != nil {
+			t.Fatal("decode failed")
+		}
+		pkt.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("control-path round trip allocates %.1f/pkt, want 0", allocs)
+	}
+}

@@ -133,7 +133,7 @@ type Engine struct {
 
 // maxFree bounds the recycling pool; beyond this, fired events are left to
 // the garbage collector.
-const maxFree = 1024
+const maxFree = 8192
 
 // compactMin is the queue size below which canceled events are not worth
 // sweeping eagerly — the normal discard-at-root path handles them.
@@ -160,6 +160,11 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // SetTrace installs fn as the trace sink; pass nil to disable tracing.
 func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
+
+// TraceEnabled reports whether a trace sink is installed. Hot paths guard
+// Tracef calls with it: the variadic args are boxed at the call site even
+// when tracing is off, and drop-path traces fire per packet.
+func (e *Engine) TraceEnabled() bool { return e.trace != nil }
 
 // Tracef emits a trace line attributed to component if tracing is enabled.
 func (e *Engine) Tracef(component, format string, args ...any) {
