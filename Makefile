@@ -2,9 +2,9 @@
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra; bench-short smoke-runs every benchmark once so a broken
 # bench path cannot land.
-.PHONY: tier1 build vet fmt static test race chaos netfault bench bench-short benchdiff quickbench
+.PHONY: tier1 build vet fmt static test race chaos netfault bench bench-short benchdiff quickbench scale-short
 
-tier1: build vet fmt static race bench-short
+tier1: build vet fmt static race scale-short bench-short
 
 build:
 	go build ./...
@@ -40,12 +40,19 @@ chaos:
 netfault:
 	go test -race -v -run 'NetFault|NetworkFault|NetWatch|Remap' ./gm/ ./internal/core/ ./internal/mapper/ ./internal/chaos/ ./internal/experiments/
 
-# Full harness benchmark: regenerates the Figure 7/8 and netfault metrics
-# with per-section wall-clock/allocation accounting and the Figure 7 speedup
-# against the committed pre-zero-copy baseline. Rewrites BENCH_4.json.
+# Sharded-engine smoke gate (tier1): the 64-node Clos storm trial on the
+# sharded conservative-time engine under the race detector, plus the
+# bit-for-bit shard-invariance trials (chaos and netfault fingerprints).
+scale-short:
+	go test -race -run 'TestScaleShort|TestShardInvariance' ./internal/experiments/ ./gm/
+
+# Full harness benchmark: regenerates the Figure 7/8, netfault and
+# large-cluster scaling metrics with per-section wall-clock/allocation
+# accounting and regression comparison against the committed baseline.
+# Rewrites BENCH_5.json.
 bench:
-	go run ./cmd/gmbench -mode bw,lat,netfault \
-		-benchjson BENCH_4.json -baseline BENCH_BASELINE.json
+	go run ./cmd/gmbench -mode bw,lat,netfault,scale \
+		-benchjson BENCH_5.json -baseline BENCH_BASELINE.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

@@ -6,6 +6,7 @@
 //	gmbench -mode table2    Table 2   (metric summary, GM vs FTGM)
 //	gmbench -mode table1    Table 1   (fault-injection campaign)
 //	gmbench -mode netfault  network-fault failover (dead trunks/partitions)
+//	gmbench -mode scale     large-cluster scaling: serial vs sharded engine
 //	gmbench -mode all       everything
 //
 // -mode also accepts a comma-separated list (e.g. -mode bw,lat,netfault).
@@ -72,6 +73,13 @@ type report struct {
 
 	// Network-fault comparison, keyed by scheme (GM, FTGM, FTGM+netwatch).
 	NetFault map[string]netFaultJSON `json:"netfault,omitempty"`
+
+	// Large-cluster scaling sweep: serial vs sharded engine per point.
+	Scale []experiments.ScalePoint `json:"scale,omitempty"`
+	// ScaleSpeedupMax is the best serial/sharded wall-clock ratio observed
+	// across the sweep (on a single-core host this reflects only the
+	// per-domain-heap effect, not parallel execution).
+	ScaleSpeedupMax float64 `json:"scale_speedup_max,omitempty"`
 }
 
 type netFaultJSON struct {
@@ -236,7 +244,8 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | all; or benchdiff OLD NEW")
+	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | scale | all; or benchdiff OLD NEW")
+	shards := flag.Int("shards", 4, "scale: executor count for the sharded runs")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
 	runs := flag.Int("runs", 1000, "fault-injection trials for table1")
@@ -280,7 +289,8 @@ func run() error {
 	doT2 := modes["table2"] || modes["all"]
 	doT1 := modes["table1"] || modes["all"]
 	doNF := modes["netfault"] || modes["all"]
-	if !doBW && !doLat && !doT2 && !doT1 && !doNF {
+	doScale := modes["scale"] || modes["all"]
+	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doScale {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
@@ -416,6 +426,37 @@ func run() error {
 			return err
 		}
 		sections["netfault_campaign"] = sec
+	}
+
+	if doScale {
+		sizes := []int{16, 64, 128, 256}
+		stormAt := 128
+		if *quick {
+			sizes = []int{16, 64}
+			stormAt = 64
+		}
+		sec, err := measure(func() (int64, uint64, error) {
+			pts, err := experiments.ScaleSweep(sizes, *shards, stormAt)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(experiments.RenderScale(pts))
+			rep.Scale = pts
+			var ops int64
+			var bytes uint64
+			for _, p := range pts {
+				ops += p.Serial.Delivered + p.Sharded.Delivered
+				bytes += uint64(p.Serial.Delivered+p.Sharded.Delivered) * 512
+				if s := p.Speedup(); s > rep.ScaleSpeedupMax {
+					rep.ScaleSpeedupMax = s
+				}
+			}
+			return ops, bytes, nil
+		})
+		if err != nil {
+			return err
+		}
+		sections["scale"] = sec
 	}
 
 	rep.WallClockSec = time.Since(started).Seconds()

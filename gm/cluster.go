@@ -68,11 +68,15 @@ type Cluster struct {
 	expelled map[uint64]bool
 	// remapBusy guards against overlapping watchdog remap attempts.
 	remapBusy bool
+	// sharded marks domain mode: each node and switch owns an event domain
+	// carved out of eng (cfg.Shards > 0).
+	sharded bool
 }
 
 // Switch wraps a crossbar switch in the cluster.
 type Switch struct {
-	sw *fabric.Switch
+	sw  *fabric.Switch
+	eng *sim.Engine
 }
 
 // Name returns the switch's name.
@@ -91,16 +95,26 @@ func (s *Switch) SetPortDead(port int, dead bool) { s.sw.SetPortDead(port, dead)
 // PortDead reports whether a crossbar port is killed.
 func (s *Switch) PortDead(port int) bool { return s.sw.PortDead(port) }
 
-// NewCluster creates an empty cluster.
+// NewCluster creates an empty cluster. With cfg.Shards > 0 the cluster runs
+// in domain mode: the engine returned by Engine() is the control domain, and
+// each AddNode/AddSwitch carves out its own event domain.
 func NewCluster(cfg Config) *Cluster {
-	return &Cluster{
+	c := &Cluster{
 		cfg:          cfg,
 		eng:          sim.NewEngine(cfg.Seed),
 		knownIDs:     make(map[uint64]gmproto.NodeID),
 		missingSince: make(map[uint64]sim.Time),
 		expelled:     make(map[uint64]bool),
 	}
+	if cfg.Shards > 0 {
+		c.sharded = true
+		c.eng.SetShards(cfg.Shards)
+	}
+	return c
 }
+
+// Sharded reports whether the cluster runs in domain mode (cfg.Shards > 0).
+func (c *Cluster) Sharded() bool { return c.sharded }
 
 // Engine exposes the simulation engine (experiment harnesses schedule
 // against it; applications normally use At/After/Run).
@@ -156,9 +170,14 @@ func (c *Cluster) Shutdown(grace Duration) {
 }
 
 // AddNode creates a node (host + LANai interface card). Its cable must
-// then be connected with Connect before Boot.
+// then be connected with Connect before Boot. In domain mode the node and
+// its NIC get their own event domain.
 func (c *Cluster) AddNode(name string) *Node {
-	n := newNode(c, name, len(c.nodes))
+	eng := c.eng
+	if c.sharded {
+		eng = c.eng.NewDomain(name)
+	}
+	n := newNode(c, eng, name, len(c.nodes))
 	c.nodes = append(c.nodes, n)
 	return n
 }
@@ -166,9 +185,23 @@ func (c *Cluster) AddNode(name string) *Node {
 // Nodes returns the cluster's nodes in creation order.
 func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
 
-// AddSwitch creates a crossbar switch.
+// AddSwitch creates a crossbar switch with the configured port count. In
+// domain mode the switch is its own event domain (a boundary domain: every
+// cable at it is a shard boundary).
 func (c *Cluster) AddSwitch(name string) *Switch {
-	s := &Switch{sw: fabric.NewSwitch(c.eng, name, c.cfg.Switch)}
+	return c.AddSwitchPorts(name, c.cfg.Switch.Ports)
+}
+
+// AddSwitchPorts creates a crossbar switch with an explicit port count
+// (topology generators size leaf and spine crossbars differently).
+func (c *Cluster) AddSwitchPorts(name string, ports int) *Switch {
+	eng := c.eng
+	if c.sharded {
+		eng = c.eng.NewDomain(name)
+	}
+	swCfg := c.cfg.Switch
+	swCfg.Ports = ports
+	s := &Switch{sw: fabric.NewSwitch(eng, name, swCfg), eng: eng}
 	c.switches = append(c.switches, s)
 	return s
 }
@@ -178,7 +211,7 @@ func (c *Cluster) Connect(n *Node, s *Switch, port int) error {
 	if n == nil || s == nil {
 		return fmt.Errorf("%w: nil node or switch", ErrBadArgument)
 	}
-	l := fabric.NewLink(c.eng, c.cfg.Link, n.chip, s.sw)
+	l := fabric.NewLinkEngines(n.eng, s.eng, c.cfg.Link, n.chip, s.sw)
 	if err := s.sw.AttachLink(port, l); err != nil {
 		return err
 	}
@@ -200,7 +233,7 @@ func (c *Cluster) ConnectSwitchesLink(a, b *Switch, portA, portB int) (*fabric.L
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("%w: nil switch", ErrBadArgument)
 	}
-	l := fabric.NewLink(c.eng, c.cfg.Link, a.sw, b.sw)
+	l := fabric.NewLinkEngines(a.eng, b.eng, c.cfg.Link, a.sw, b.sw)
 	if err := a.sw.AttachLink(portA, l); err != nil {
 		return nil, err
 	}
@@ -222,7 +255,10 @@ func (c *Cluster) Boot() (mapper.Result, error) {
 	}
 	loaded := 0
 	for _, n := range c.nodes {
-		n.driver.LoadMCP(func() { loaded++ })
+		// The load completion fires inside the node's domain; fold the
+		// shared counter on the control domain via Control.
+		eng := n.eng
+		n.driver.LoadMCP(func() { eng.Control(func() { loaded++ }) })
 	}
 	deadline := c.eng.Now() + c.cfg.Driver.MCPLoadTime + sim.Millisecond
 	c.eng.RunUntil(deadline)
@@ -239,17 +275,83 @@ func (c *Cluster) Boot() (mapper.Result, error) {
 			len(res.IDs), len(c.nodes))
 	}
 
+	c.finishBoot(res)
+	return res, nil
+}
+
+// finishBoot installs a boot-time mapping, arms the network watchdog and
+// lets the config packets settle. Shared by Boot and BootStatic.
+func (c *Cluster) finishBoot(res mapper.Result) {
 	c.applyMapResult(res)
 	c.booted = true
 	if c.cfg.NetWatch.Enabled {
 		c.netwatch = core.NewNetWatch(c.eng, c.cfg.NetWatch)
 		c.netwatch.SetRemap(c.netwatchRemap)
 		for _, n := range c.nodes {
-			n.driver.SetOnNetFault(func(target NodeID) { c.netwatch.Suspect(target) })
+			// The driver raises net-fault suspicions from the node's own
+			// domain; the watchdog is control-domain state, so the report
+			// crosses over via Control (inline on a legacy cluster).
+			eng := n.eng
+			n.driver.SetOnNetFault(func(target NodeID) {
+				eng.Control(func() { c.netwatch.Suspect(target) })
+			})
 		}
 	}
 	// Let the config packets and any stragglers settle.
 	c.eng.RunFor(2 * c.cfg.Mapper.RoundTimeout)
+}
+
+// StaticRouteFunc supplies the route bytes from node index src to node index
+// dst for BootStatic. It is never called with src == dst.
+type StaticRouteFunc func(src, dst int) []byte
+
+// BootStatic brings the cluster up with generator-computed routes instead of
+// running the mapper's scout flood: MCPs load in parallel exactly as in
+// Boot, then identities (NodeID = index + 1) and the supplied route tables
+// are installed directly. Large regular fabrics (Clos, fat-tree) boot this
+// way — the paper's mapper explores arbitrary topologies, which a
+// 256-node all-to-all scout flood makes needlessly expensive when the
+// generator already knows every minimal route.
+func (c *Cluster) BootStatic(routes StaticRouteFunc) (mapper.Result, error) {
+	if len(c.nodes) == 0 {
+		return mapper.Result{}, fmt.Errorf("%w: no nodes", ErrBadArgument)
+	}
+	loaded := 0
+	for _, n := range c.nodes {
+		// The load completion fires inside the node's domain; fold the
+		// shared counter on the control domain via Control.
+		eng := n.eng
+		n.driver.LoadMCP(func() { eng.Control(func() { loaded++ }) })
+	}
+	deadline := c.eng.Now() + c.cfg.Driver.MCPLoadTime + sim.Millisecond
+	c.eng.RunUntil(deadline)
+	if loaded != len(c.nodes) {
+		return mapper.Result{}, fmt.Errorf("gm: %d/%d MCP loads finished", loaded, len(c.nodes))
+	}
+	res := mapper.Result{
+		IDs:      make(map[uint64]gmproto.NodeID, len(c.nodes)),
+		Routes:   make(map[gmproto.NodeID]map[gmproto.NodeID][]byte, len(c.nodes)),
+		MapperID: 1,
+	}
+	for i, n := range c.nodes {
+		res.IDs[n.m.UID()] = gmproto.NodeID(i + 1)
+	}
+	for src := range c.nodes {
+		sid := gmproto.NodeID(src + 1)
+		tbl := make(map[gmproto.NodeID][]byte, len(c.nodes)-1)
+		for dst := range c.nodes {
+			if dst == src {
+				continue
+			}
+			r := routes(src, dst)
+			if r == nil {
+				return mapper.Result{}, fmt.Errorf("gm: no static route %d -> %d", src, dst)
+			}
+			tbl[gmproto.NodeID(dst+1)] = r
+		}
+		res.Routes[sid] = tbl
+	}
+	c.finishBoot(res)
 	return res, nil
 }
 
@@ -325,18 +427,23 @@ func (c *Cluster) netwatchRemap(done func(ok bool)) {
 	mp := mapper.New(c.nodes[0].m, c.cfg.Mapper)
 	mp.SetPrior(c.knownIDs)
 	finished := false
+	mapperEng := c.nodes[0].eng
 	mp.Run(func(r mapper.Result, err error) {
-		if finished {
-			return
-		}
-		finished = true
-		c.remapBusy = false
-		if err != nil {
-			done(false)
-			return
-		}
-		c.applyMapResult(r)
-		done(true)
+		// The mapper completes on the mapping node's domain; applying the
+		// result rewires every node, which is control-domain work.
+		mapperEng.Control(func() {
+			if finished {
+				return
+			}
+			finished = true
+			c.remapBusy = false
+			if err != nil {
+				done(false)
+				return
+			}
+			c.applyMapResult(r)
+			done(true)
+		})
 	})
 	c.eng.AfterLabel(c.mapperCap(), "netwatch-remap-cap", func() {
 		if finished {

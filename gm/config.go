@@ -149,6 +149,14 @@ type Config struct {
 	// network watchdog give the mapping protocol to converge before
 	// declaring failure. <= 0 means the 10 s default.
 	MapperConvergeTimeout sim.Duration
+
+	// Shards enables within-trial parallelism: every node (host + NIC) and
+	// every switch becomes its own event domain, synchronized conservatively
+	// with the link propagation delay as lookahead, and up to Shards OS
+	// threads execute independent domains concurrently. Results, traces and
+	// event schedules are bit-for-bit identical for every value >= 1 (see
+	// DESIGN.md §12); 0 keeps the classic single-engine cluster.
+	Shards int
 }
 
 // DefaultConfig returns the full calibrated stack in the given mode.

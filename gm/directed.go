@@ -79,7 +79,7 @@ func (p *Port) DirectedSend(dest NodeID, destPort PortID, regionID, remoteOffset
 	}
 	p.node.cpu.ChargeSend(cost)
 	p.stats.Sends++
-	p.node.cluster.eng.After(cost, func() {
+	p.node.eng.After(cost, func() {
 		if p.recovering {
 			return
 		}

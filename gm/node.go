@@ -19,6 +19,9 @@ type Node struct {
 	cluster *Cluster
 	name    string
 	index   int
+	// eng is the node's event domain: the whole host + NIC stack schedules
+	// here. On a legacy (unsharded) cluster it is the cluster engine.
+	eng *sim.Engine
 
 	pci    *host.PCIBus
 	chip   *lanai.Chip
@@ -51,17 +54,18 @@ type Node struct {
 	Recovered func()
 }
 
-func newNode(c *Cluster, name string, index int) *Node {
+func newNode(c *Cluster, eng *sim.Engine, name string, index int) *Node {
 	n := &Node{
 		cluster:     c,
 		name:        name,
 		index:       index,
+		eng:         eng,
 		rxAcks:      core.NewRxAckTable(),
 		ports:       make(map[PortID]*Port),
 		unreachable: make(map[NodeID]bool),
 	}
-	n.pci = host.NewPCIBus(c.eng, name+"/pci", c.cfg.PCI)
-	n.chip = lanai.New(c.eng, name+"/lanai", c.cfg.Lanai, n.pci)
+	n.pci = host.NewPCIBus(eng, name+"/pci", c.cfg.PCI)
+	n.chip = lanai.New(eng, name+"/lanai", c.cfg.Lanai, n.pci)
 	n.m = mcp.New(n.chip, c.cfg.MCP, c.cfg.Mode)
 	n.m.SetUID(uint64(index + 1))
 	n.driver = core.NewDriver(n.m, c.cfg.Driver)
@@ -73,6 +77,12 @@ func newNode(c *Cluster, name string, index int) *Node {
 
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
+
+// Engine returns the node's event domain (the cluster engine on an
+// unsharded cluster). Traffic generators that drive a node directly — e.g.
+// per-node tick loops in the scale harness — must schedule here, not on the
+// control engine, so their events execute inside the node's domain.
+func (n *Node) Engine() *sim.Engine { return n.eng }
 
 // ID returns the node's mapper-assigned identity (valid after Boot).
 func (n *Node) ID() NodeID { return n.m.NodeID() }
@@ -140,7 +150,7 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 		callbacks:  make(map[uint64]SendCallback),
 		open:       true,
 	}
-	eng := n.cluster.eng
+	eng := n.eng
 	p.tokPend = sim.NewDeferred(eng, "gmtok", func(tok gmproto.RecvToken) {
 		_ = p.node.m.HostPostRecvToken(p.id, tok)
 	})
@@ -161,6 +171,17 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 	})
 	p.cbPend = sim.NewDeferred(eng, "gmcb", func(d cbDispatch) {
 		d.cb(d.status)
+	})
+	p.postPend = sim.NewDeferred(eng, "gmpost", func(tok gmproto.SendToken) {
+		if p.recovering {
+			// The FAULT_DETECTED handler will re-post the whole shadow
+			// queue in sequence order; posting now would overtake the
+			// restored messages.
+			return
+		}
+		// If the interface is down the post fails; the shadow copy will be
+		// restored to the reloaded LANai by the FAULT_DETECTED handler.
+		_ = p.node.m.HostPostSend(tok)
 	})
 	if err := n.driver.OpenPort(id, p.mcpSink); err != nil {
 		return nil, err
@@ -291,13 +312,13 @@ func (n *Node) dispatchRecovery(p *Port) {
 		sim.Duration(nsend+nrecv)*cfg.RecoveryPerToken +
 		cfg.RecoverySeqUpload + cfg.RecoveryReopen
 	n.cpu.Charge(handlerCost)
-	start := n.cluster.eng.Now()
+	start := n.eng.Now()
 	if n.recoveryBusyUntil > start {
 		start = n.recoveryBusyUntil
 	}
 	end := start + handlerCost
 	n.recoveryBusyUntil = end
-	n.cluster.eng.At(end, func() {
+	n.eng.At(end, func() {
 		p.recovering = false
 		// Re-pin the directed-send regions with the reloaded MCP.
 		p.reRegisterRegions()
@@ -320,7 +341,7 @@ func (n *Node) dispatchRecovery(p *Port) {
 		n.pendingRecoveries--
 		if n.pendingRecoveries == 0 {
 			if n.ftd != nil {
-				n.ftd.Timeline().Mark(core.PhaseProcessesDone, n.cluster.eng.Now())
+				n.ftd.Timeline().Mark(core.PhaseProcessesDone, n.eng.Now())
 			}
 			if n.Recovered != nil {
 				n.Recovered()

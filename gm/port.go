@@ -81,6 +81,7 @@ type Port struct {
 	tokPend  *sim.Deferred[gmproto.RecvToken]
 	recvPend *sim.Deferred[recvDispatch]
 	cbPend   *sim.Deferred[cbDispatch]
+	postPend *sim.Deferred[gmproto.SendToken]
 
 	stats PortStats
 }
@@ -171,17 +172,7 @@ func (p *Port) Send(dest NodeID, destPort PortID, prio Priority, data []byte, cb
 	}
 	p.node.cpu.ChargeSend(cost)
 	p.stats.Sends++
-	p.node.cluster.eng.After(cost, func() {
-		if p.recovering {
-			// The FAULT_DETECTED handler will re-post the whole shadow
-			// queue in sequence order; posting now would overtake the
-			// restored messages.
-			return
-		}
-		// If the interface is down the post fails; the shadow copy will be
-		// restored to the reloaded LANai by the FAULT_DETECTED handler.
-		_ = p.node.m.HostPostSend(tok)
-	})
+	p.postPend.After(cost, tok)
 	return nil
 }
 

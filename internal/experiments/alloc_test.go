@@ -48,16 +48,47 @@ func measureAllocsPerMsg(t *testing.T, mode gm.Mode, size, count int) float64 {
 	return float64(after.Mallocs-before.Mallocs) / float64(count)
 }
 
+// measureAllocsPerRound runs warmed-up ping-pong rounds and returns heap
+// allocations per round (two messages).
+func measureAllocsPerRound(t *testing.T, mode gm.Mode, size, rounds int) float64 {
+	t.Helper()
+	p, err := NewPair(PairOptions{Mode: mode, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	HalfRoundTrip(p, size, rounds) // warm-up: pools and rings reach steady state
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	HalfRoundTrip(p, size, rounds)
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(rounds)
+}
+
+// TestLatencyAllocBound bounds allocations per ping-pong round in the
+// Figure 8 latency harness. The send-window, reassembly and delivery
+// records are pooled and the host post path uses a deferred dispatcher, so
+// a warmed-up round leaves only harness bookkeeping (latency samples,
+// occasional slice growth) — low single digits per round, bounded loosely.
+func TestLatencyAllocBound(t *testing.T) {
+	const bound = 8.0
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		got := measureAllocsPerRound(t, mode, 64, 200)
+		t.Logf("mode=%v allocs/round=%.2f", mode, got)
+		if got > bound {
+			t.Errorf("mode=%v: %.2f allocs/round exceeds bound %.0f", mode, got, bound)
+		}
+	}
+}
+
 // TestSteadyStateAllocBound bounds allocations per message on the
 // steady-state streaming workload for both protocol modes.
 func TestSteadyStateAllocBound(t *testing.T) {
-	// Budget: the remaining per-message allocations are the engine-event
-	// closures the sim idiom requires (send post, host overhead charges,
-	// DMA completion, handler dispatch) — around two dozen per message for a
-	// single-fragment send. The pre-pooling data path added pool-free packet
-	// buffers, header encodes, and receive reassembly buffers on top; a
-	// breach here means per-message garbage crept back in.
-	const bound = 60.0
+	// Budget: with the send-window, reassembly and delivery records pooled
+	// and every per-message pipeline stage on a cached callback, a
+	// steady-state message costs ~2 allocations (residual slice growth and
+	// map churn). A breach here means per-message garbage crept back in.
+	const bound = 12.0
 	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
 		got := measureAllocsPerMsg(t, mode, 4096, 300)
 		t.Logf("mode=%v allocs/msg=%.1f", mode, got)

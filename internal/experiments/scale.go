@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/gm"
+	"repro/internal/sim"
+)
+
+// This file is the large-cluster scaling harness: it builds a Clos fabric
+// of N nodes, boots it over generator routes (no scout flood — the mapper
+// is quadratic in cluster size and is not what this experiment measures),
+// drives a traffic pattern from every node's own event domain, optionally
+// throws a mid-run recovery storm at it, and reports how much wall clock
+// the harness itself burned. Comparing Shards=0 (the classic single
+// global event heap) against a sharded run on the same trial is the
+// headline number: the same virtual schedule, executed by one heap vs
+// many small per-domain heaps synchronized at conservative-time windows.
+
+// Traffic patterns for RunScale.
+const (
+	// PatternAllToAll: every node streams round-robin to every peer.
+	PatternAllToAll = "alltoall"
+	// PatternIncast: every node streams at node 0 (the congestion case —
+	// node 0's domain is the serial bottleneck, the worst case for
+	// sharding).
+	PatternIncast = "incast"
+)
+
+// ScaleOptions parameterize one scaling trial.
+type ScaleOptions struct {
+	// Nodes is the cluster size; must divide evenly into the Clos shape
+	// (multiples of 8 up to 1024, or of 4/2 below that).
+	Nodes int
+	// Shards selects the engine: 0 = classic single-engine, >= 1 = that
+	// many window-sweep workers over per-domain event heaps.
+	Shards int
+	// Pattern is PatternAllToAll or PatternIncast.
+	Pattern string
+	// MsgBytes is the payload size per message.
+	MsgBytes int
+	// TickEvery is each node's send cadence.
+	TickEvery sim.Duration
+	// Duration is the traffic window in virtual time; the trial then runs
+	// half as long again to drain retransmits and recoveries.
+	Duration sim.Duration
+	// Storm hangs every eighth interface processor mid-run, so the FTD
+	// fleet detects and recovers them all while the survivors keep
+	// retransmitting into the outage.
+	Storm bool
+	// Drain extends the run past the traffic window so retransmits and
+	// recoveries settle; zero selects Duration/2 + 25 ms.
+	Drain sim.Duration
+	// Seed defaults to 2003.
+	Seed uint64
+}
+
+// ScaleResult is one trial's outcome. The simulated-schedule fields
+// (Sent..Now) are shard-count invariant by the engine's determinism
+// contract; WallNs is the measured harness cost, which is the point.
+type ScaleResult struct {
+	Nodes     int          `json:"nodes"`
+	Shards    int          `json:"shards"`
+	Pattern   string       `json:"pattern"`
+	Storm     bool         `json:"storm"`
+	Sent      int64        `json:"sent"`
+	Rejected  int64        `json:"rejected"`
+	Delivered int64        `json:"delivered"`
+	Recovered int          `json:"recovered"`
+	Events    uint64       `json:"events"`
+	Now       sim.Time     `json:"virtual_now"`
+	Virtual   sim.Duration `json:"virtual_ns"`
+	WallNs    int64        `json:"wall_ns"`
+}
+
+// closShape picks a two-tier Clos for n nodes: the widest per-leaf fan-in
+// that divides n, four spines (or fewer on tiny clusters).
+func closShape(n int) (spines, leaves, perLeaf int, err error) {
+	for _, p := range []int{8, 4, 2, 1} {
+		if n%p == 0 {
+			perLeaf = p
+			break
+		}
+	}
+	leaves = n / perLeaf
+	if leaves > 128 {
+		return 0, 0, 0, fmt.Errorf("scale: %d nodes exceed the 128-leaf route-delta range", n)
+	}
+	spines = 4
+	if leaves < spines {
+		spines = leaves
+	}
+	return spines, leaves, perLeaf, nil
+}
+
+// scaleConfig is the trial configuration: FTGM mode, recovery constants
+// shrunk so a storm's detect-and-recover cycle fits in single-digit
+// virtual milliseconds, and a slightly longer cable (600 ns, ~120 m of
+// fiber) so the conservative windows are wide enough to batch work.
+func scaleConfig(opts ScaleOptions) gm.Config {
+	cfg := gm.DefaultConfig(gm.ModeFTGM)
+	cfg.Shards = opts.Shards
+	cfg.Seed = opts.Seed
+	if cfg.Seed == 0 {
+		cfg.Seed = 2003
+	}
+	cfg.Link.PropDelay = 600 * sim.Nanosecond
+	cfg.Driver.MCPLoadTime = 2 * sim.Millisecond
+	cfg.Host.RecoveryHandlerBase = sim.Millisecond
+	cfg.Host.RecoverySeqUpload = 100 * sim.Microsecond
+	cfg.Host.RecoveryReopen = 100 * sim.Microsecond
+	cfg.FTD.VerifyInterval = 500 * sim.Microsecond
+	cfg.FTD.UnmapIO = 200 * sim.Microsecond
+	cfg.FTD.CardReset = sim.Millisecond
+	cfg.FTD.ClearSRAM = 500 * sim.Microsecond
+	cfg.FTD.RestorePageTable = sim.Millisecond
+	cfg.FTD.RestoreRoutes = 500 * sim.Microsecond
+	return cfg
+}
+
+// RunScale executes one scaling trial and reports its schedule counters
+// and wall-clock cost.
+func RunScale(opts ScaleOptions) (ScaleResult, error) {
+	if opts.Pattern == "" {
+		opts.Pattern = PatternAllToAll
+	}
+	if opts.Pattern != PatternAllToAll && opts.Pattern != PatternIncast {
+		return ScaleResult{}, fmt.Errorf("scale: unknown pattern %q", opts.Pattern)
+	}
+	if opts.MsgBytes <= 0 {
+		opts.MsgBytes = 512
+	}
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 4 * sim.Microsecond
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * sim.Millisecond
+	}
+	spines, leaves, perLeaf, err := closShape(opts.Nodes)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	cfg := scaleConfig(opts)
+	c := gm.NewCluster(cfg)
+	topo, err := gm.BuildClos(c, spines, leaves, perLeaf)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	start := time.Now()
+	if _, err := topo.Boot(c); err != nil {
+		return ScaleResult{}, err
+	}
+
+	n := len(topo.Nodes)
+	res := ScaleResult{
+		Nodes:   n,
+		Shards:  opts.Shards,
+		Pattern: opts.Pattern,
+		Storm:   opts.Storm,
+	}
+	sent := make([]int64, n)
+	rejected := make([]int64, n)
+	delivered := make([]int64, n)
+	recovered := make([]int, n)
+	ports := make([]*gm.Port, n)
+	for i, node := range topo.Nodes {
+		p, err := node.OpenPort(2)
+		if err != nil {
+			return ScaleResult{}, err
+		}
+		ports[i] = p
+		i := i
+		p.SetReceiveHandler(func(ev gm.RecvEvent) {
+			delivered[i]++
+			_ = p.RecycleReceiveBuffer(ev.Data, ev.Prio)
+		})
+		slots := 32
+		if opts.Pattern == PatternIncast && i == 0 {
+			slots = 256 // the incast sink needs depth
+		}
+		for j := 0; j < slots; j++ {
+			if err := p.ProvideReceiveBuffer(uint32(opts.MsgBytes), gm.PriorityLow); err != nil {
+				return ScaleResult{}, err
+			}
+		}
+	}
+
+	stopAt := c.Now() + opts.Duration
+	payload := make([]byte, opts.MsgBytes)
+	for i, node := range topo.Nodes {
+		if opts.Pattern == PatternIncast && i == 0 {
+			continue
+		}
+		i := i
+		eng := node.Engine()
+		peer := (i + 1) % n
+		var tick func()
+		tick = func() {
+			if eng.Now() >= stopAt {
+				return
+			}
+			dst := 0
+			if opts.Pattern == PatternAllToAll {
+				if peer == i {
+					peer = (peer + 1) % n
+				}
+				dst = peer
+				peer = (peer + 1) % n
+			}
+			if err := ports[i].Send(topo.Nodes[dst].ID(), 2, gm.PriorityLow, payload, nil); err != nil {
+				rejected[i]++
+			} else {
+				sent[i]++
+			}
+			eng.After(opts.TickEvery, tick)
+		}
+		// Stagger the start so the first window is not one synchronized
+		// burst.
+		eng.After(sim.Duration(i%16+1)*250*sim.Nanosecond, tick)
+	}
+
+	if opts.Storm {
+		for i, node := range topo.Nodes {
+			if i%8 != 3 {
+				continue
+			}
+			i, node := i, node
+			node.Recovered = func() { recovered[i]++ }
+			c.After(opts.Duration/2, func() { node.InjectHang() })
+		}
+	}
+
+	drain := opts.Drain
+	if drain <= 0 {
+		drain = opts.Duration/2 + 25*sim.Millisecond
+		if opts.Storm {
+			// A recovery storm leaves Go-Back-N streams mid-flight; give
+			// every straggler time to land so delivery counts converge.
+			drain += 100 * sim.Millisecond
+		}
+		if opts.Pattern == PatternIncast {
+			// The sink services one sender at a time; the receiver-not-
+			// ready retransmit churn takes a while to unwind, and the tail
+			// grows with the number of senders waiting for a slot.
+			drain += 200*sim.Millisecond + sim.Duration(opts.Nodes)*4*sim.Millisecond
+		}
+	}
+	c.RunUntil(stopAt + drain)
+	c.Shutdown(sim.Millisecond)
+	res.WallNs = time.Since(start).Nanoseconds()
+
+	for i := range topo.Nodes {
+		res.Sent += sent[i]
+		res.Rejected += rejected[i]
+		res.Delivered += delivered[i]
+		res.Recovered += recovered[i]
+	}
+	res.Events = c.Engine().ExecutedAll()
+	res.Now = c.Now()
+	res.Virtual = sim.Duration(res.Now)
+	if opts.Storm && res.Recovered == 0 {
+		return res, fmt.Errorf("scale: storm injected but no node completed recovery")
+	}
+	if res.Delivered == 0 {
+		return res, fmt.Errorf("scale: no traffic delivered")
+	}
+	return res, nil
+}
+
+// ScalePoint is one serial-vs-sharded comparison on an identical trial.
+type ScalePoint struct {
+	Serial  ScaleResult `json:"serial"`
+	Sharded ScaleResult `json:"sharded"`
+}
+
+// Speedup is serial wall clock over sharded wall clock (> 1 means the
+// sharded engine won).
+func (p ScalePoint) Speedup() float64 {
+	if p.Sharded.WallNs <= 0 {
+		return 0
+	}
+	return float64(p.Serial.WallNs) / float64(p.Sharded.WallNs)
+}
+
+// Matches reports whether both runs executed the identical virtual
+// schedule. Only meaningful when both runs used Shards >= 1: that is the
+// engine's bit-for-bit invariance contract (the trace-level check lives in
+// the gm test suite). A legacy Shards == 0 run is a different engine —
+// same-timestamp events tie-break on a global sequence counter instead of
+// per-domain ones, and Control runs inline instead of as a barrier event —
+// so its schedule legitimately differs in same-instant orderings.
+func (p ScalePoint) Matches() bool {
+	a, b := p.Serial, p.Sharded
+	return a.Sent == b.Sent && a.Rejected == b.Rejected &&
+		a.Delivered == b.Delivered && a.Recovered == b.Recovered &&
+		a.Events == b.Events && a.Now == b.Now
+}
+
+// ScaleSweep runs the serial-vs-sharded comparison across cluster sizes
+// and patterns. Every size runs all-to-all; sizes >= stormAt also run the
+// incast pattern and get a recovery storm on the all-to-all point.
+func ScaleSweep(sizes []int, shards int, stormAt int) ([]ScalePoint, error) {
+	var pts []ScalePoint
+	for _, n := range sizes {
+		patterns := []string{PatternAllToAll}
+		if n >= stormAt {
+			patterns = append(patterns, PatternIncast)
+		}
+		for _, pat := range patterns {
+			opts := ScaleOptions{
+				Nodes:   n,
+				Pattern: pat,
+				Storm:   pat == PatternAllToAll && n >= stormAt,
+			}
+			opts.Shards = 0
+			serial, err := RunScale(opts)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d/%s serial: %w", n, pat, err)
+			}
+			opts.Shards = shards
+			sharded, err := RunScale(opts)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d/%s shards=%d: %w", n, pat, shards, err)
+			}
+			// Each run must deliver every accepted send (exactly-once over
+			// the drain window); schedule identity between shard counts is
+			// asserted trace-level in the gm suite, not here — the legacy
+			// baseline tie-breaks same-instant events differently.
+			for _, r := range []ScaleResult{serial, sharded} {
+				if r.Delivered != r.Sent {
+					return nil, fmt.Errorf("scale %d/%s shards=%d: delivered %d of %d accepted sends",
+						n, pat, r.Shards, r.Delivered, r.Sent)
+				}
+			}
+			pts = append(pts, ScalePoint{Serial: serial, Sharded: sharded})
+		}
+	}
+	return pts, nil
+}
+
+// RenderScale formats a sweep in the usual experiment-table shape.
+func RenderScale(pts []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Large-cluster scaling: serial engine vs sharded conservative-time engine\n")
+	fmt.Fprintf(&b, "%6s  %-8s  %-5s  %12s  %10s  %12s  %12s  %8s\n",
+		"nodes", "pattern", "storm", "events", "delivered", "serial ms", "sharded ms", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6d  %-8s  %-5v  %12d  %10d  %12.1f  %12.1f  %7.2fx\n",
+			p.Serial.Nodes, p.Serial.Pattern, p.Serial.Storm,
+			p.Serial.Events, p.Serial.Delivered,
+			float64(p.Serial.WallNs)/1e6, float64(p.Sharded.WallNs)/1e6, p.Speedup())
+	}
+	return b.String()
+}

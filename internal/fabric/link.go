@@ -60,7 +60,7 @@ func (a *Attachment) Send(pkt *Packet) {
 		pkt.Release()
 		return
 	}
-	eng := l.eng
+	eng := l.engs[a.end]
 	start := eng.Now()
 	if l.nextFree[a.end] > start {
 		start = l.nextFree[a.end]
@@ -71,18 +71,18 @@ func (a *Attachment) Send(pkt *Packet) {
 	st.Packets++
 	st.Bytes += uint64(pkt.WireSize())
 	st.Busy += ser
-	if l.faultRNG != nil {
-		if l.faults.DropProb > 0 && l.faultRNG.Float64() < l.faults.DropProb {
+	if l.faultRNG[a.end] != nil {
+		if l.faults.DropProb > 0 && l.faultRNG[a.end].Float64() < l.faults.DropProb {
 			// A lossy cable or marginal SerDes eats the packet mid-flight;
 			// the sender's Go-Back-N is what recovers it.
 			st.Dropped++
 			st.FaultDropped++
-			l.eng.Tracef(l.name, "fault drop %v", pkt)
+			eng.Tracef(l.name, "fault drop %v", pkt)
 			pkt.Release()
 			return
 		}
-		if l.faults.CorruptProb > 0 && l.faultRNG.Float64() < l.faults.CorruptProb {
-			bit := l.faultRNG.Intn(8 * maxInt(len(pkt.Payload), 1))
+		if l.faults.CorruptProb > 0 && l.faultRNG[a.end].Float64() < l.faults.CorruptProb {
+			bit := l.faultRNG[a.end].Intn(8 * maxInt(len(pkt.Payload), 1))
 			if l.faults.CorruptPreSeal {
 				// The damage predates the CRC seal (e.g. an upset in the
 				// staging SRAM): reseal so the link-level check passes and
@@ -95,30 +95,75 @@ func (a *Attachment) Send(pkt *Packet) {
 				pkt.CorruptPayload(bit, false)
 			}
 			st.Corrupted++
-			l.eng.Tracef(l.name, "fault corrupt %v bit %d", pkt, bit)
+			eng.Tracef(l.name, "fault corrupt %v bit %d", pkt, bit)
 		}
+	}
+	end := a.end
+	at := start + ser + l.cfg.PropDelay
+	if l.cross {
+		// The peer device lives in another event domain: park the packet in
+		// this direction's outbox and mark the boundary dirty. The
+		// coordinator moves the outbox into the receiver's delivery ring at
+		// the next window barrier — which is always in time, because the
+		// window span never exceeds PropDelay (the lookahead this link
+		// registered), and at >= start + PropDelay > window end.
+		l.xq[end] = append(l.xq[end], delivery{at: at, pkt: pkt})
+		if !l.xnoted[end] {
+			l.xnoted[end] = true
+			eng.NoteBoundary(&l.xb[end])
+		}
+		return
 	}
 	// Delivery times per direction are nondecreasing (FIFO serialization plus
 	// a constant propagation delay), so in-flight packets wait in a ring
 	// drained by a single pending engine event per direction rather than one
 	// closure-carrying event per packet.
-	end := a.end
 	if l.delivHead[end] > 0 && l.delivHead[end] == len(l.deliv[end]) {
 		l.deliv[end] = l.deliv[end][:0]
 		l.delivHead[end] = 0
 	}
-	l.deliv[end] = append(l.deliv[end], delivery{at: start + ser + l.cfg.PropDelay, pkt: pkt})
+	l.deliv[end] = append(l.deliv[end], delivery{at: at, pkt: pkt})
 	if l.delivWake[end] == nil && !l.delivDraining[end] {
-		l.delivWake[end] = eng.AtLabel(start+ser+l.cfg.PropDelay, "link", l.drainFns[end])
+		l.delivWake[end] = eng.AtLabel(at, "link", l.drainFns[end])
+	}
+}
+
+// linkBoundary adapts one direction of a cross-domain link to the
+// coordinator's Boundary interface.
+type linkBoundary struct {
+	l   *Link
+	end int
+}
+
+// FlushBoundary moves direction end's outbox into the receiver-owned
+// delivery ring and arms the receiver's drain event. Runs on the coordinator
+// between windows, so neither side's event code is concurrently active.
+func (b *linkBoundary) FlushBoundary() {
+	l, end := b.l, b.end
+	l.xnoted[end] = false
+	if len(l.xq[end]) == 0 {
+		return
+	}
+	if l.delivHead[end] > 0 && l.delivHead[end] == len(l.deliv[end]) {
+		l.deliv[end] = l.deliv[end][:0]
+		l.delivHead[end] = 0
+	}
+	l.deliv[end] = append(l.deliv[end], l.xq[end]...)
+	for i := range l.xq[end] {
+		l.xq[end][i] = delivery{}
+	}
+	l.xq[end] = l.xq[end][:0]
+	if l.delivWake[end] == nil && !l.delivDraining[end] {
+		l.delivWake[end] = l.engs[1-end].AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
 	}
 }
 
 // drainDeliveries delivers every due packet for one direction and re-arms a
-// wake for the next pending one.
+// wake for the next pending one. Runs on the receiving device's engine.
 func (l *Link) drainDeliveries(end int) {
 	l.delivWake[end] = nil
 	l.delivDraining[end] = true
-	now := l.eng.Now()
+	now := l.engs[1-end].Now()
 	peer := &l.ends[1-end]
 	for l.delivHead[end] < len(l.deliv[end]) {
 		d := &l.deliv[end][l.delivHead[end]]
@@ -129,7 +174,7 @@ func (l *Link) drainDeliveries(end int) {
 		*d = delivery{}
 		l.delivHead[end]++
 		if !l.up {
-			l.stats[end].Dropped++
+			l.rxDropped[end]++
 			pkt.Release()
 			continue
 		}
@@ -145,7 +190,7 @@ func (l *Link) drainDeliveries(end int) {
 		l.delivHead[end] = 0
 	}
 	if l.delivHead[end] < len(l.deliv[end]) {
-		l.delivWake[end] = l.eng.AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
+		l.delivWake[end] = l.engs[1-end].AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
 	}
 }
 
@@ -183,9 +228,12 @@ type FaultProfile struct {
 	CorruptPreSeal bool
 }
 
-// Link is a full-duplex point-to-point cable between two devices.
+// Link is a full-duplex point-to-point cable between two devices. The two
+// devices may live in different event domains (NewLinkEngines with distinct
+// engines): the link is then a shard boundary — each direction's in-flight
+// packets cross at window barriers through a per-direction outbox.
 type Link struct {
-	eng      *sim.Engine
+	engs     [2]*sim.Engine // engine of ends[i].dev; equal on an intra-domain link
 	cfg      LinkConfig
 	name     string
 	ends     [2]Attachment
@@ -194,30 +242,69 @@ type Link struct {
 	up       bool
 
 	// In-flight packets per direction, ordered by delivery time; one engine
-	// event per direction drains the due prefix (see Send).
+	// event per direction drains the due prefix (see Send). In cross-domain
+	// mode the ring is owned by the receiving domain and fed only at window
+	// barriers from the outbox below.
 	deliv         [2][]delivery
 	delivHead     [2]int
 	delivWake     [2]*sim.Event
 	delivDraining [2]bool
 	drainFns      [2]func() // cached; arming a drain must not allocate
 
-	faults   FaultProfile
-	faultRNG *sim.RNG
+	// rxDropped counts deliveries dropped at the receiving end of a downed
+	// link. It is kept apart from stats[end].Dropped because in cross-domain
+	// mode the sender owns stats[end] while the receiver's domain executes
+	// the drop; Stats() folds it back in.
+	rxDropped [2]uint64
+
+	// Cross-domain boundary state (engs[0] != engs[1]). xq is the
+	// per-direction outbox the sending domain fills during a window; xnoted
+	// dedupes the dirty-boundary note per window.
+	cross  bool
+	xq     [2][]delivery
+	xnoted [2]bool
+	xb     [2]linkBoundary
+
+	faults FaultProfile
+	// faultRNG draws fault decisions per direction. On an intra-domain link
+	// both entries alias one generator (decisions are a function of the
+	// global packet order, matching the original single-stream behavior); on
+	// a cross-domain link each direction gets an independent stream so the
+	// two sending domains never race on generator state.
+	faultRNG [2]*sim.RNG
 }
 
 // NewLink creates a link between devices a and b and returns it. Attachment
-// 0 belongs to a, attachment 1 to b.
+// 0 belongs to a, attachment 1 to b. Both devices schedule on eng.
 func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Device) *Link {
+	return NewLinkEngines(eng, eng, cfg, a, b)
+}
+
+// NewLinkEngines creates a link between device a scheduling on ea and device
+// b scheduling on eb. With distinct engines the link becomes a cross-domain
+// boundary and registers cfg.PropDelay as conservative lookahead; the
+// propagation delay must then be positive, since it bounds the
+// synchronization window.
+func NewLinkEngines(ea, eb *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 	l := &Link{
-		eng:  eng,
-		cfg:  cfg,
-		name: fmt.Sprintf("%s<->%s", a.Name(), b.Name()),
-		up:   true,
+		engs:  [2]*sim.Engine{ea, eb},
+		cfg:   cfg,
+		name:  fmt.Sprintf("%s<->%s", a.Name(), b.Name()),
+		up:    true,
+		cross: ea != eb,
 	}
 	l.ends[0] = Attachment{link: l, end: 0, dev: a}
 	l.ends[1] = Attachment{link: l, end: 1, dev: b}
 	l.drainFns[0] = func() { l.drainDeliveries(0) }
 	l.drainFns[1] = func() { l.drainDeliveries(1) }
+	l.xb[0] = linkBoundary{l: l, end: 0}
+	l.xb[1] = linkBoundary{l: l, end: 1}
+	if l.cross {
+		if cfg.PropDelay <= 0 {
+			panic(fmt.Sprintf("fabric: cross-domain link %s needs a positive PropDelay lookahead", l.name))
+		}
+		ea.ObserveLookahead(cfg.PropDelay)
+	}
 	return l
 }
 
@@ -247,20 +334,28 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) Up() bool { return l.up }
 
 // SetUp raises or cuts the link. In-flight deliveries on a link that goes
-// down are dropped.
+// down are dropped. Topology control: call from the control domain (chaos
+// schedulers and experiments already do).
 func (l *Link) SetUp(up bool) { l.up = up }
 
 // SetFaults installs (or with a zero profile, removes) a fault profile on
 // the link, using a generator seeded deterministically: fault decisions are
 // then a pure function of the seed and the packet sequence, so chaos
-// campaigns replay bit-for-bit.
+// campaigns replay bit-for-bit. A cross-domain link derives one independent
+// stream per direction from the seed.
 func (l *Link) SetFaults(p FaultProfile, seed uint64) {
 	l.faults = p
 	if p == (FaultProfile{}) {
-		l.faultRNG = nil
+		l.faultRNG = [2]*sim.RNG{}
 		return
 	}
-	l.faultRNG = sim.NewRNG(seed)
+	if l.cross {
+		l.faultRNG[0] = sim.DeriveRNG(seed, 0)
+		l.faultRNG[1] = sim.DeriveRNG(seed, 1)
+		return
+	}
+	r := sim.NewRNG(seed)
+	l.faultRNG = [2]*sim.RNG{r, r}
 }
 
 // Faults returns the installed fault profile (zero when healthy).
@@ -269,12 +364,16 @@ func (l *Link) Faults() FaultProfile { return l.faults }
 // Stats returns a snapshot of the traffic counters for direction end->peer.
 // The copy-out is deliberate: callers audit counters against each other and
 // must not alias live state.
-func (l *Link) Stats(end int) LinkStats { return l.stats[end] }
+func (l *Link) Stats(end int) LinkStats {
+	s := l.stats[end]
+	s.Dropped += l.rxDropped[end]
+	return s
+}
 
 // Utilization reports the busy fraction of direction end over elapsed time
 // since the start of the simulation.
 func (l *Link) Utilization(end int) float64 {
-	now := l.eng.Now()
+	now := l.engs[end].Now()
 	if now == 0 {
 		return 0
 	}

@@ -75,21 +75,32 @@ type MCP struct {
 	// plain ring replaces a captured closure per item). A card reset drops
 	// the queued callbacks without running them; Shutdown clears the rings
 	// to match (it runs exactly when those callbacks can no longer fire).
-	svcQ       []svcItem // decoded packets awaiting their handler slot
-	svcHead    int
-	svcFn      func()
-	commitQ    []dmaCommit // per-fragment receive-DMA completions
-	commitHead int
-	commitFn   func()
-	ctrlQ      []ctrlItem // ACK/NACK builds awaiting their AckProc slot
-	ctrlHead   int
-	ctrlFn     func()
-	evQ        []evItem // event records awaiting their DMA completion
-	evHead     int
-	evFn       func()
-	rawQ       []*fabric.Packet // sealed mapper packets awaiting injection
-	rawHead    int
-	rawFn      func()
+	svcQ        []svcItem // decoded packets awaiting their handler slot
+	svcHead     int
+	svcFn       func()
+	commitQ     []dmaCommit // per-fragment receive-DMA completions
+	commitHead  int
+	commitFn    func()
+	ctrlQ       []ctrlItem // ACK/NACK builds awaiting their AckProc slot
+	ctrlHead    int
+	ctrlFn      func()
+	evQ         []evItem // event records awaiting their DMA completion
+	evHead      int
+	evFn        func()
+	rawQ        []*fabric.Packet // sealed mapper packets awaiting injection
+	rawHead     int
+	rawFn       func()
+	deliverQ    []deliverItem // committed messages awaiting their delivery slot
+	deliverHead int
+	deliverFn   func()
+	edmaQ       []deliverItem // FTGM deliveries awaiting the event-record DMA
+	edmaHead    int
+	edmaFn      func()
+
+	// msgPool / pmPool recycle the per-message send-window and reassembly
+	// records, the last two per-message heap objects on the data path.
+	msgPool []*txMsg
+	pmPool  []*partialMsg
 
 	// touched is serviceSendQueues's per-round scratch (reused across
 	// rounds; rebuilt maps/slices per doorbell were a measurable share of
@@ -156,6 +167,20 @@ type evItem struct {
 	ev   gmproto.Event
 }
 
+// deliverItem is one fully committed message waiting for its delivery
+// processor slot — and, under FTGM, then for the event-record DMA that
+// gates the delayed ACK (§4.1).
+type deliverItem struct {
+	ps       *portState
+	rs       *rxStream
+	ev       gmproto.Event
+	src      gmproto.NodeID
+	port     gmproto.PortID // stream port carried in the released ACK
+	prio     gmproto.Priority
+	seq      uint32
+	directed bool
+}
+
 type portState struct {
 	open       bool
 	sendQ      []gmproto.SendToken
@@ -195,6 +220,8 @@ func New(chip *lanai.Chip, cfg Config, mode Mode) *MCP {
 	m.ctrlFn = m.ctrlDispatch
 	m.evFn = m.evDispatch
 	m.rawFn = m.rawDispatch
+	m.deliverFn = m.deliverDispatch
+	m.edmaFn = m.edmaDispatch
 	chip.SetISRHandler(m.onISR)
 	return m
 }
@@ -258,6 +285,102 @@ func (m *MCP) evDispatch() {
 	m.evQ[m.evHead] = evItem{}
 	m.evHead++
 	it.sink(it.ev)
+}
+
+// deliverDispatch finishes the oldest committed message once its delivery
+// processor slot fires: directed deposits commit silently, stock GM posts
+// the receive event, FTGM first DMAs the event record to the host queue.
+func (m *MCP) deliverDispatch() {
+	it := m.deliverQ[m.deliverHead]
+	m.deliverQ[m.deliverHead] = deliverItem{}
+	m.deliverHead++
+	if it.directed {
+		// Deposit complete: the receiver process is not notified (GM's
+		// directed-send semantics); commit the sequence number and, under
+		// FTGM, release the delayed ACK.
+		m.stats.DirectedDeposits++
+		if it.seq > it.rs.committedSeq {
+			it.rs.committedSeq = it.seq
+		}
+		if m.mode == ModeFTGM && !m.cfg.ImmediateAck {
+			m.sendControl(gmproto.AckHeader{
+				Src: m.nodeID, Dst: it.src, SrcPort: it.port, Prio: it.prio,
+				AckSeq: it.rs.committedSeq,
+			})
+		}
+		return
+	}
+	m.stats.MsgsDelivered++
+	if m.mode == ModeFTGM {
+		if m.edmaHead > 0 && m.edmaHead == len(m.edmaQ) {
+			m.edmaQ = m.edmaQ[:0]
+			m.edmaHead = 0
+		}
+		m.edmaQ = append(m.edmaQ, it)
+		m.chip.HostDMA(m.cfg.EventBytes, m.edmaFn)
+		return
+	}
+	if it.seq > it.rs.committedSeq {
+		it.rs.committedSeq = it.seq
+	}
+	m.postEvent(it.ps.sink, it.ev)
+}
+
+// edmaDispatch runs when the oldest delivery's event record lands in host
+// memory. Delayed commit point: the ACK leaves only after the message and
+// its event are in host memory (§4.1).
+func (m *MCP) edmaDispatch() {
+	it := m.edmaQ[m.edmaHead]
+	m.edmaQ[m.edmaHead] = deliverItem{}
+	m.edmaHead++
+	if it.ps.sink != nil {
+		it.ps.sink(it.ev)
+	}
+	if it.seq > it.rs.committedSeq {
+		it.rs.committedSeq = it.seq
+	}
+	if !m.cfg.ImmediateAck {
+		m.sendControl(gmproto.AckHeader{
+			Src: m.nodeID, Dst: it.src, SrcPort: it.port, Prio: it.prio,
+			AckSeq: it.rs.committedSeq,
+		})
+	}
+}
+
+// getTxMsg / freeTxMsg recycle send-window records. A record still owned by
+// an in-progress fragment chain is left to the garbage collector.
+func (m *MCP) getTxMsg() *txMsg {
+	if n := len(m.msgPool); n > 0 {
+		msg := m.msgPool[n-1]
+		m.msgPool[n-1] = nil
+		m.msgPool = m.msgPool[:n-1]
+		return msg
+	}
+	return &txMsg{}
+}
+
+func (m *MCP) freeTxMsg(s *txStream, msg *txMsg) {
+	if msg.sending || msg == s.cur {
+		return
+	}
+	*msg = txMsg{}
+	m.msgPool = append(m.msgPool, msg)
+}
+
+// getPartial / freePartial recycle reassembly records.
+func (m *MCP) getPartial() *partialMsg {
+	if n := len(m.pmPool); n > 0 {
+		p := m.pmPool[n-1]
+		m.pmPool[n-1] = nil
+		m.pmPool = m.pmPool[:n-1]
+		return p
+	}
+	return &partialMsg{}
+}
+
+func (m *MCP) freePartial(p *partialMsg) {
+	*p = partialMsg{}
+	m.pmPool = append(m.pmPool, p)
 }
 
 // Chip returns the chip the program runs on.
@@ -342,6 +465,14 @@ func (m *MCP) Shutdown() {
 		m.rawQ[i] = nil
 	}
 	m.rawQ, m.rawHead = m.rawQ[:0], 0
+	for i := range m.deliverQ {
+		m.deliverQ[i] = deliverItem{}
+	}
+	m.deliverQ, m.deliverHead = m.deliverQ[:0], 0
+	for i := range m.edmaQ {
+		m.edmaQ[i] = deliverItem{}
+	}
+	m.edmaQ, m.edmaHead = m.edmaQ[:0], 0
 }
 
 // Routes returns the currently uploaded route table (driver keeps the

@@ -249,11 +249,10 @@ func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
 				m.stats.BadHeaderDrops++
 				return
 			}
-			p = &partialMsg{
-				hdr:      h,
-				buf:      region[h.RemoteOffset : h.RemoteOffset+h.MsgLen],
-				directed: true,
-			}
+			p = m.getPartial()
+			p.hdr = h
+			p.buf = region[h.RemoteOffset : h.RemoteOffset+h.MsgLen]
+			p.directed = true
 			rs.partial = p
 		} else {
 			tok, ok := m.takeRecvToken(ps, h.Prio, h.MsgLen)
@@ -279,7 +278,8 @@ func (m *MCP) handleData(h gmproto.DataHeader, frag []byte) {
 			} else {
 				buf = make([]byte, h.MsgLen)
 			}
-			p = &partialMsg{hdr: h, buf: buf, tok: tok}
+			p = m.getPartial()
+			p.hdr, p.buf, p.tok = h, buf, tok
 			rs.partial = p
 		}
 	}
@@ -332,62 +332,34 @@ func (m *MCP) maybeCommit(ps *portState, rs *rxStream, id gmproto.StreamID, p *p
 	if m.mode == ModeFTGM {
 		proc += m.cfg.FTGMRecvExtra
 	}
-	h := p.hdr
-	if p.directed {
-		// Deposit complete: the receiver process is not notified (GM's
-		// directed-send semantics); commit the sequence number and, under
-		// FTGM, release the delayed ACK.
-		m.chip.Exec(proc, func() {
-			m.stats.DirectedDeposits++
-			if h.Seq > rs.committedSeq {
-				rs.committedSeq = h.Seq
-			}
-			if m.mode == ModeFTGM && !m.cfg.ImmediateAck {
-				m.sendControl(gmproto.AckHeader{
-					Src: m.nodeID, Dst: h.Src, SrcPort: id.Port, Prio: id.Prio,
-					AckSeq: rs.committedSeq,
-				})
-			}
-		})
-		return
+	it := deliverItem{
+		ps: ps, rs: rs,
+		src: p.hdr.Src, port: id.Port, prio: id.Prio,
+		seq: p.hdr.Seq, directed: p.directed,
 	}
-	m.chip.Exec(proc, func() {
-		m.stats.MsgsDelivered++
-		ev := gmproto.Event{
+	if !p.directed {
+		it.ev = gmproto.Event{
 			Type:    gmproto.EvReceived,
-			Port:    h.DstPort,
-			Src:     h.Src,
-			SrcPort: h.SrcPort,
-			Prio:    h.Prio,
-			Seq:     h.Seq,
+			Port:    p.hdr.DstPort,
+			Src:     p.hdr.Src,
+			SrcPort: p.hdr.SrcPort,
+			Prio:    p.hdr.Prio,
+			Seq:     p.hdr.Seq,
 			TokenID: p.tok.ID,
 			Data:    p.buf,
 		}
-		if m.mode == ModeFTGM {
-			streamPort := id.Port
-			m.chip.HostDMA(m.cfg.EventBytes, func() {
-				if ps.sink != nil {
-					ps.sink(ev)
-				}
-				// Delayed commit point: the ACK leaves only after the
-				// message and its event are in host memory (§4.1).
-				if h.Seq > rs.committedSeq {
-					rs.committedSeq = h.Seq
-				}
-				if !m.cfg.ImmediateAck {
-					m.sendControl(gmproto.AckHeader{
-						Src: m.nodeID, Dst: h.Src, SrcPort: streamPort, Prio: h.Prio,
-						AckSeq: rs.committedSeq,
-					})
-				}
-			})
-			return
-		}
-		if h.Seq > rs.committedSeq {
-			rs.committedSeq = h.Seq
-		}
-		m.postEvent(ps.sink, ev)
-	})
+	}
+	// The DMA pop that triggered this commit was the last reference to the
+	// reassembly record: every fragment completion has been consumed
+	// (dmaDone just reached MsgLen) and rs.partial moved on when the final
+	// fragment arrived, so the record recycles before delivery even runs.
+	m.freePartial(p)
+	if m.deliverHead > 0 && m.deliverHead == len(m.deliverQ) {
+		m.deliverQ = m.deliverQ[:0]
+		m.deliverHead = 0
+	}
+	m.deliverQ = append(m.deliverQ, it)
+	m.chip.Exec(proc, m.deliverFn)
 }
 
 // takeRecvToken reserves the first receive token matching the message's

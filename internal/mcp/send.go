@@ -135,7 +135,8 @@ func (m *MCP) serviceSendQueues() {
 					id.Port = gmproto.ConnectionPort
 				}
 				s := m.txStreamFor(id)
-				msg := &txMsg{tok: tok, msgID: m.nextMsgID}
+				msg := m.getTxMsg()
+				msg.tok, msg.msgID = tok, m.nextMsgID
 				m.nextMsgID++
 				if m.mode == ModeFTGM && tok.HasSeq {
 					// Host-generated sequence number travels in the token; the
@@ -186,13 +187,16 @@ func (m *MCP) serviceSendQueues() {
 	m.touched = touched[:0]
 }
 
-// sweepFailed drops unroutable messages from the window.
-func (s *txStream) sweepFailed() {
+// sweepFailed drops unroutable messages from the window, recycling their
+// records (they completed with an error when they were marked).
+func (m *MCP) sweepFailed(s *txStream) {
 	w := s.window[:0]
 	for _, msg := range s.window {
 		if !msg.failed {
 			w = append(w, msg)
+			continue
 		}
+		m.freeTxMsg(s, msg)
 	}
 	s.window = w
 }
@@ -200,7 +204,7 @@ func (s *txStream) sweepFailed() {
 // pumpStream starts transmission of the first window message that needs
 // the wire (never sent, or marked for retransmission), oldest first.
 func (m *MCP) pumpStream(s *txStream) {
-	s.sweepFailed()
+	m.sweepFailed(s)
 	if s.txBusy {
 		return
 	}
@@ -359,7 +363,7 @@ func (m *MCP) armRtx(s *txStream) {
 // retransmitWindow marks every in-flight unacknowledged message of the
 // stream for resend, oldest first (Go-Back-N on timeout).
 func (m *MCP) retransmitWindow(s *txStream) {
-	s.sweepFailed()
+	m.sweepFailed(s)
 	any := false
 	for i, msg := range s.window {
 		if i >= m.cfg.WindowSize {
@@ -398,12 +402,13 @@ func (m *MCP) handleAck(h gmproto.AckHeader) {
 		return
 	}
 	s.stalls = 0 // control traffic heard: the path is alive
-	s.sweepFailed()
+	m.sweepFailed(s)
 	rest := s.window[:0]
 	for _, msg := range s.window {
 		if msg.seq <= h.AckSeq && msg.inFlight {
 			m.stats.MsgsAcked++
 			m.completeSend(msg, gmproto.SendOK)
+			m.freeTxMsg(s, msg)
 			continue
 		}
 		rest = append(rest, msg)
@@ -435,7 +440,7 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 		return
 	}
 	s.stalls = 0 // control traffic heard: the path is alive
-	s.sweepFailed()
+	m.sweepFailed(s)
 	expected := h.AckSeq
 	// Implicit cumulative ACK below the expectation.
 	rest := s.window[:0]
@@ -443,6 +448,7 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 		if msg.seq < expected && msg.inFlight {
 			m.stats.MsgsAcked++
 			m.completeSend(msg, gmproto.SendOK)
+			m.freeTxMsg(s, msg)
 			continue
 		}
 		rest = append(rest, msg)

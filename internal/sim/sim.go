@@ -129,6 +129,16 @@ type Engine struct {
 	// free recycles fired/discarded Event objects so scheduling on the hot
 	// path does not allocate.
 	free []*Event
+
+	// Domain-mode plumbing (see shard.go). A legacy engine has co == nil and
+	// none of these fields are touched.
+	co       *coord
+	domIdx   int
+	dname    string
+	dirty    []Boundary  // boundaries with transfers awaiting the barrier
+	ctrlq    []func()    // control closures awaiting the barrier
+	traceBuf []traceLine // trace lines awaiting the barrier merge
+	tracePos int
 }
 
 // maxFree bounds the recycling pool; beyond this, fired events are left to
@@ -151,23 +161,77 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// Executed reports how many events have fired so far.
+// Executed reports how many events have fired so far on this engine (this
+// domain only, in domain mode).
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are queued (including canceled ones that
-// have not yet been discarded).
+// ExecutedAll reports how many events have fired across every domain (the
+// same as Executed on a legacy engine).
+func (e *Engine) ExecutedAll() uint64 {
+	if e.co == nil {
+		return e.executed
+	}
+	var n uint64
+	for _, d := range e.co.engines {
+		n += d.executed
+	}
+	return n
+}
+
+// Pending reports how many events are queued on this engine (including
+// canceled ones that have not yet been discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// SetTrace installs fn as the trace sink; pass nil to disable tracing.
-func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
+// PendingAll reports queued events across every domain.
+func (e *Engine) PendingAll() int {
+	if e.co == nil {
+		return len(e.queue)
+	}
+	n := 0
+	for _, d := range e.co.engines {
+		n += len(d.queue)
+	}
+	return n
+}
+
+// SetTrace installs fn as the trace sink; pass nil to disable tracing. In
+// domain mode the sink is shared by every domain: lines emitted during a run
+// are buffered per domain and merged deterministically at window barriers.
+func (e *Engine) SetTrace(fn TraceFunc) {
+	if e.co != nil {
+		e.co.sink = fn
+		return
+	}
+	e.trace = fn
+}
 
 // TraceEnabled reports whether a trace sink is installed. Hot paths guard
 // Tracef calls with it: the variadic args are boxed at the call site even
 // when tracing is off, and drop-path traces fire per packet.
-func (e *Engine) TraceEnabled() bool { return e.trace != nil }
+func (e *Engine) TraceEnabled() bool {
+	if e.co != nil {
+		return e.co.sink != nil
+	}
+	return e.trace != nil
+}
 
 // Tracef emits a trace line attributed to component if tracing is enabled.
+// During a domain-mode run the line is formatted immediately (arguments may
+// be mutable simulation state) but buffered until the window barrier, where
+// all domains' lines merge in deterministic order.
 func (e *Engine) Tracef(component, format string, args ...any) {
+	if e.co != nil {
+		c := e.co
+		if c.sink == nil {
+			return
+		}
+		if c.running {
+			e.traceBuf = append(e.traceBuf, traceLine{at: e.now, comp: component, msg: fmt.Sprintf(format, args...)})
+			return
+		}
+		c.sink(e.now, component, format, args...)
+		return
+	}
 	if e.trace != nil {
 		e.trace(e.now, component, format, args...)
 	}
@@ -341,8 +405,14 @@ func (e *Engine) AfterLabel(d Duration, label string, fn func()) *Event {
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
-// completes. Pending events remain queued.
-func (e *Engine) Stop() { e.stopped = true }
+// completes. Pending events remain queued. In domain mode a concurrent
+// window finishes before the run returns.
+func (e *Engine) Stop() {
+	if e.co != nil {
+		e.co.stopReq.Store(true)
+	}
+	e.stopped = true
+}
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
@@ -360,17 +430,35 @@ func (e *Engine) Step() bool {
 }
 
 // Run fires events until the queue drains or Stop is called. It returns the
-// final virtual time.
+// final virtual time. On a control engine with domains (see NewDomain) the
+// run proceeds in conservative windows across every domain.
 func (e *Engine) Run() Time {
+	if c := e.co; c != nil && len(c.engines) > 1 {
+		e.checkControl()
+		return c.run(Forever)
+	}
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
 	return e.now
 }
 
+// checkControl guards the run entry points: only the control domain may
+// drive a domained simulation.
+func (e *Engine) checkControl() {
+	if e.domIdx != 0 {
+		panic("sim: Run on a domain engine; drive the control engine")
+	}
+}
+
 // RunUntil fires events with timestamps <= deadline, then sets the clock to
 // deadline (if it is later than the last event). It returns the final time.
+// On a control engine with domains, every domain's clock ends at deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
+	if c := e.co; c != nil && len(c.engines) > 1 {
+		e.checkControl()
+		return c.run(deadline)
+	}
 	e.stopped = false
 	for !e.stopped {
 		// Discard before peeking: a canceled timer with an early timestamp
