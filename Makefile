@@ -41,18 +41,21 @@ netfault:
 	go test -race -v -run 'NetFault|NetworkFault|NetWatch|Remap' ./gm/ ./internal/core/ ./internal/mapper/ ./internal/chaos/ ./internal/experiments/
 
 # Sharded-engine smoke gate (tier1): the 64-node Clos storm trial on the
-# sharded conservative-time engine under the race detector, plus the
-# bit-for-bit shard-invariance trials (chaos and netfault fingerprints).
+# sharded conservative-time engine under the race detector — conservative
+# and speculative (-shards 4 with the monitor ring) variants — plus the
+# bit-for-bit shard-invariance trials (chaos, netfault, and the 256-node
+# speculation trial with forced rollbacks) and the speculation unit suite.
 scale-short:
-	go test -race -run 'TestScaleShort|TestShardInvariance' ./internal/experiments/ ./gm/
+	go test -race -run 'TestScaleShort|TestShardInvariance|TestSpec|TestRNGState|TestZeroLookahead' \
+		./internal/sim/ ./internal/experiments/ ./gm/
 
-# Full harness benchmark: regenerates the Figure 7/8, netfault and
-# large-cluster scaling metrics with per-section wall-clock/allocation
-# accounting and regression comparison against the committed baseline.
-# Rewrites BENCH_5.json.
+# Full harness benchmark: regenerates the Figure 7/8, netfault,
+# large-cluster scaling and multi-core matrix metrics with per-section
+# wall-clock/allocation accounting and regression comparison against the
+# committed baseline. Rewrites BENCH_6.json.
 bench:
-	go run ./cmd/gmbench -mode bw,lat,netfault,scale \
-		-benchjson BENCH_5.json -baseline BENCH_BASELINE.json
+	go run ./cmd/gmbench -mode bw,lat,netfault,scale,scale_mc \
+		-benchjson BENCH_6.json -baseline BENCH_5.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

@@ -7,6 +7,8 @@
 //	gmbench -mode table1    Table 1   (fault-injection campaign)
 //	gmbench -mode netfault  network-fault failover (dead trunks/partitions)
 //	gmbench -mode scale     large-cluster scaling: serial vs sharded engine
+//	gmbench -mode scale_mc  multi-core matrix: shards x {conservative,
+//	                        speculative} plus a dispatch-threshold sweep
 //	gmbench -mode all       everything
 //
 // -mode also accepts a comma-separated list (e.g. -mode bw,lat,netfault).
@@ -30,7 +32,9 @@
 //	gmbench -mode benchdiff old.json new.json
 //
 // which exits nonzero when any section shared by the two -benchjson files
-// regressed by more than 10% in ns/op or allocs/op.
+// regressed by more than 10% in ns/op or allocs/op, or — when the new file
+// carries the scale_mc matrix — when arming speculation costs the serial
+// (-shards 1) path more than 10% over its conservative twin.
 package main
 
 import (
@@ -76,6 +80,8 @@ type report struct {
 
 	// Large-cluster scaling sweep: serial vs sharded engine per point.
 	Scale []experiments.ScalePoint `json:"scale,omitempty"`
+	// Multi-core matrix cells (scale_mc mode).
+	ScaleMatrix []experiments.MatrixPoint `json:"scale_matrix,omitempty"`
 	// ScaleSpeedupMax is the best serial/sharded wall-clock ratio observed
 	// across the sweep (on a single-core host this reflects only the
 	// per-domain-heap effect, not parallel execution).
@@ -123,12 +129,19 @@ type benchSection struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	MBPerWallSec float64 `json:"mb_per_wall_sec,omitempty"`
+
+	// Execution-shape metadata, so a section's numbers can be judged in
+	// context (a 1-shard cell and an 8-shard cell are different machines).
+	Shards      int  `json:"shards,omitempty"`
+	Speculative bool `json:"speculative,omitempty"`
+	Threshold   int  `json:"threshold,omitempty"`
 }
 
 // benchReport is the -benchjson output shape.
 type benchReport struct {
 	GoVersion  string                  `json:"go_version"`
 	GoMaxProcs int                     `json:"gomaxprocs"`
+	NumCPU     int                     `json:"num_cpu"`
 	Workers    int                     `json:"workers"`
 	Sections   map[string]benchSection `json:"sections"`
 
@@ -233,6 +246,15 @@ func benchdiff(oldPath, newPath string, threshold float64) (int, error) {
 			check(name, "wall_ns", float64(o.WallNs), float64(n.WallNs))
 		}
 	}
+	// The speculation-overhead gate: when the new run carries the scale_mc
+	// matrix, arming speculation must not cost the serial (-shards 1) path
+	// more than the threshold over its conservative twin — on domains with
+	// no checkpoint hooks the knob is supposed to be nearly free.
+	if cons, ok := newS["scale_mc_s1_cons"]; ok {
+		if spec, ok := newS["scale_mc_s1_spec"]; ok && cons.NsPerOp > 0 && spec.NsPerOp > 0 {
+			check("s1 spec-vs-cons", "ns/op", cons.NsPerOp, spec.NsPerOp)
+		}
+	}
 	return regressions, nil
 }
 
@@ -244,7 +266,7 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | scale | all; or benchdiff OLD NEW")
+	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | scale | scale_mc | all; or benchdiff OLD NEW")
 	shards := flag.Int("shards", 4, "scale: executor count for the sharded runs")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
@@ -290,7 +312,8 @@ func run() error {
 	doT1 := modes["table1"] || modes["all"]
 	doNF := modes["netfault"] || modes["all"]
 	doScale := modes["scale"] || modes["all"]
-	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doScale {
+	doMC := modes["scale_mc"] || modes["all"]
+	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doScale && !doMC {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
@@ -456,7 +479,43 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		sec.Shards = *shards
 		sections["scale"] = sec
+	}
+
+	if doMC {
+		nodes := 256
+		shardCounts := []int{1, 2, 4, 8}
+		thresholds := []int{1, 3, 6}
+		dur := 2 * sim.Millisecond
+		if *quick {
+			nodes = 64
+			shardCounts = []int{1, 4}
+			thresholds = []int{3}
+			dur = sim.Millisecond
+		}
+		pts, err := experiments.ScaleMatrix(nodes, shardCounts, thresholds, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderScaleMatrix(nodes, pts))
+		rep.ScaleMatrix = pts
+		// Each cell is its own machine configuration, so each gets its own
+		// section (the matrix already measures per-cell wall clock).
+		for _, p := range pts {
+			r := p.Result
+			s := benchSection{
+				WallNs:      r.WallNs,
+				Ops:         r.Delivered,
+				Shards:      r.Shards,
+				Speculative: r.Speculative,
+				Threshold:   r.Threshold,
+			}
+			if r.Delivered > 0 {
+				s.NsPerOp = float64(r.WallNs) / float64(r.Delivered)
+			}
+			sections["scale_mc_"+p.Label] = s
+		}
 	}
 
 	rep.WallClockSec = time.Since(started).Seconds()
@@ -475,6 +534,7 @@ func run() error {
 		brep := benchReport{
 			GoVersion:  runtime.Version(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 			Workers:    parallel.Workers(),
 			Sections:   sections,
 		}

@@ -109,6 +109,16 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Shards > 0 {
 		c.sharded = true
 		c.eng.SetShards(cfg.Shards)
+		if cfg.ParallelThreshold > 0 {
+			c.eng.SetParallelThreshold(cfg.ParallelThreshold)
+		}
+		if cfg.Speculate {
+			h := cfg.SpecHorizon
+			if h <= 0 {
+				h = 8 * cfg.Link.PropDelay
+			}
+			c.eng.SetSpeculation(h)
+		}
 	}
 	return c
 }

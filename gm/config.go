@@ -157,6 +157,27 @@ type Config struct {
 	// event schedules are bit-for-bit identical for every value >= 1 (see
 	// DESIGN.md §12); 0 keeps the classic single-engine cluster.
 	Shards int
+
+	// Speculate arms speculative run-ahead (DESIGN.md §13) on a sharded
+	// cluster: event domains that registered state hooks with
+	// sim.Engine.EnableSpeculation may execute up to SpecHorizon past their
+	// conservative window bound, with the barrier committing or rolling the
+	// span back. The cluster's own node and switch domains stay
+	// conservative (their component state has no checkpoint hooks); the
+	// knob exists for co-simulated domains — traffic generators, telemetry
+	// collectors — that register hooks. For a fixed Speculate setting,
+	// results stay bit-for-bit identical across every Shards value (the
+	// commit/rollback decisions are pure functions of the deterministic
+	// window schedule, never of executor count). Ignored when Shards == 0.
+	Speculate bool
+	// SpecHorizon is how far past the conservative bound a hook-registered
+	// domain may speculate. <= 0 means 8x the link propagation delay.
+	SpecHorizon sim.Duration
+	// ParallelThreshold is how many domains must have due work in a window
+	// before it is dispatched to the worker pool instead of swept inline
+	// (sim.Engine.SetParallelThreshold). 0 keeps the engine default. A
+	// pure performance knob; results are identical for every value.
+	ParallelThreshold int
 }
 
 // DefaultConfig returns the full calibrated stack in the given mode.

@@ -135,6 +135,22 @@ type linkBoundary struct {
 	end int
 }
 
+// BoundaryTarget reports the domain direction end's packets flush into: the
+// receiving device's engine.
+func (b *linkBoundary) BoundaryTarget() *sim.Engine { return b.l.engs[1-b.end] }
+
+// EarliestPending reports the delivery time of the earliest parked packet in
+// this direction. Delivery times per direction are nondecreasing (FIFO
+// serialization plus a constant propagation delay), so the outbox head is
+// the minimum.
+func (b *linkBoundary) EarliestPending() sim.Time {
+	q := b.l.xq[b.end]
+	if len(q) == 0 {
+		return sim.Forever
+	}
+	return q[0].at
+}
+
 // FlushBoundary moves direction end's outbox into the receiver-owned
 // delivery ring and arms the receiver's drain event. Runs on the coordinator
 // between windows, so neither side's event code is concurrently active.
@@ -282,9 +298,9 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 
 // NewLinkEngines creates a link between device a scheduling on ea and device
 // b scheduling on eb. With distinct engines the link becomes a cross-domain
-// boundary and registers cfg.PropDelay as conservative lookahead; the
-// propagation delay must then be positive, since it bounds the
-// synchronization window.
+// boundary and registers cfg.PropDelay as the conservative lookahead of both
+// directed edges; the propagation delay must then be positive, since it
+// bounds the synchronization window.
 func NewLinkEngines(ea, eb *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 	l := &Link{
 		engs:  [2]*sim.Engine{ea, eb},
@@ -303,7 +319,8 @@ func NewLinkEngines(ea, eb *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 		if cfg.PropDelay <= 0 {
 			panic(fmt.Sprintf("fabric: cross-domain link %s needs a positive PropDelay lookahead", l.name))
 		}
-		ea.ObserveLookahead(cfg.PropDelay)
+		ea.ObserveEdgeLookahead(eb, cfg.PropDelay)
+		eb.ObserveEdgeLookahead(ea, cfg.PropDelay)
 	}
 	return l
 }

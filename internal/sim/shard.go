@@ -2,16 +2,30 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
 // This file implements within-trial parallelism: an Engine can be split into
 // per-component *domains* — each with its own event queue, clock, sequence
-// counter and RNG — synchronized conservatively with the fabric's link
-// propagation delay as lookahead (Chandy–Misra–Bryant-style windowing,
-// without null messages: every cross-domain channel in this model has a
-// fixed, positive minimum latency, so a global window is always safe).
+// counter and RNG — synchronized with link propagation delays as lookahead.
+// Three mechanisms bound how far a domain may run between barriers:
+//
+//  1. Per-edge lookahead. Boundaries register directed edges
+//     (ObserveEdgeLookahead), and each window computes every domain's
+//     earliest-affect time: the minimum over chains of queued foreign
+//     events of (event time + accumulated edge latency) — the classic
+//     lower-bound-on-timestamp fixpoint. A leaf domain three switch hops
+//     from the nearest busy sender runs three hops of latency past the
+//     global minimum instead of being clipped to it.
+//  2. Sole-due run-ahead. When exactly one domain has work, it runs to the
+//     earliest foreign head under a self-containment rule (stop at the
+//     first cross-domain transfer), collapsing drain tails into one
+//     barrier per interaction.
+//  3. Speculative run-ahead (spec.go). Domains that registered state hooks
+//     may execute past their conservative bound into a journaled span that
+//     the next barrier commits or rolls back.
 //
 // The design keys on one observation: every component in this codebase takes
 // its *Engine at construction and schedules exclusively through that pointer.
@@ -31,9 +45,13 @@ import (
 //     seqs at that point. Transfer order is thus a pure function of the
 //     window schedule, which depends only on queue contents — never on how
 //     many OS threads executed a window.
-//   - Trace lines are buffered per domain and merged at each barrier by
-//     (time, domain index, emission order), which equals the serialized
-//     execution order.
+//   - Window bounds, speculation commit/rollback decisions and control
+//     promotion times are all pure functions of queue contents and the
+//     registered edge graph, so they too are executor-count invariant.
+//   - Trace lines are buffered per domain and merged by (time, domain
+//     index, emission order) — lines are held back until the global clock
+//     floor passes them, so per-domain window skew (and rolled-back
+//     speculation) never reorders or leaks a line.
 //
 // SetShards(1) keeps the exact same windowed schedule but executes every
 // window on the coordinator goroutine, domain by domain in index order —
@@ -50,11 +68,34 @@ type Boundary interface {
 	FlushBoundary()
 }
 
+// TimedBoundary is a Boundary that can report where its pending transfers
+// are headed and when the earliest lands. The barrier uses this to decide
+// speculation commits: an in-flight transfer is an arrival source for its
+// target domain. Boundaries that do not implement it force every open
+// speculative span to roll back whenever they are dirty, so any producer
+// feeding a speculation-capable simulation should implement it.
+type TimedBoundary interface {
+	Boundary
+	// BoundaryTarget is the domain the pending transfers will flush into.
+	BoundaryTarget() *Engine
+	// EarliestPending is the delivery time of the earliest pending
+	// transfer (Forever when none, though a dirty boundary has at least
+	// one).
+	EarliestPending() Time
+}
+
 // traceLine is one buffered trace emission awaiting the barrier merge.
 type traceLine struct {
 	at   Time
 	comp string
 	msg  string
+}
+
+// edge is one directed in-edge of the lookahead graph: transfers from
+// domain `from` arrive after at least `lat`.
+type edge struct {
+	from int
+	lat  Duration
 }
 
 // coord synchronizes a root (control) engine and its domains.
@@ -63,10 +104,19 @@ type coord struct {
 	engines []*Engine // engines[0] == root
 	shards  int       // requested parallel executors; <=1 means serial sweep
 
-	// lookahead is the minimum cross-domain latency observed from boundary
-	// registration; the conservative window span. Zero (no boundaries yet)
-	// degenerates to 1 ns windows.
+	// lookahead is the minimum cross-domain latency over every observation
+	// (edges and legacy endpoint-less registrations): the nominal window
+	// span and the serialized-window width.
 	lookahead Duration
+	// legacy is the minimum over endpoint-less ObserveLookahead calls; when
+	// nonzero, an unattributed boundary with that latency may connect any
+	// two domains, so it clamps every per-edge bound.
+	legacy Duration
+	// inEdges[i] lists domain i's in-edges, deduplicated by source with the
+	// minimum latency; edgeIdx maps (from<<32|to) to the slice position.
+	inEdges [][]edge
+	edgeIdx map[int64]int
+	edges   int
 
 	sink    TraceFunc // installed trace sink (domain mode buffers + merges)
 	running bool      // inside coord.run; Control() defers, Tracef buffers
@@ -82,22 +132,55 @@ type coord struct {
 	// domain due in a window, it may safely run ahead toward secondMin.
 	minIdx    int
 	secondMin Time
-	// anyDirty / anyCtrl note that some domain accumulated boundary
-	// transfers / control closures this window, so the barrier can skip the
-	// corresponding all-domain pass entirely on quiet windows.
-	anyDirty atomic.Bool
-	anyCtrl  atomic.Bool
+	// eat holds each domain's per-window earliest-affect time: the
+	// conservative bound below which no foreign event chain can land. src
+	// and arr are relaxation scratch (per-domain source times and pending
+	// boundary arrival times) for speculation resolution.
+	eat []Time
+	src []Time
+	arr []Time
+
+	// dirtyDoms lists domains that noted a dirty boundary this window, so
+	// the barrier touches only producers with pending transfers instead of
+	// sweeping every domain. Appended under dirtyMu from domain executors,
+	// sorted (for deterministic flush order) and drained by the
+	// coordinator.
+	dirtyMu   sync.Mutex
+	dirtyDoms []int
+	// anyCtrl notes that some domain deferred control closures this window,
+	// so the barrier can skip the promotion pass entirely on quiet windows.
+	anyCtrl atomic.Bool
+
+	// parThreshold is the number of domains with due work below which a
+	// window executes inline on the coordinator: dispatching to the worker
+	// pool costs ~a microsecond of channel and barrier traffic, which only
+	// pays for itself when several domains have events to fire.
+	// sparseStreak counts consecutive inline windows; waking a cold pool is
+	// charged against it, so alternating sparse/dense phases do not pay a
+	// wakeup per window.
+	parThreshold int
+	sparseStreak int
+
+	// Speculation (spec.go): horizon past the conservative bound that
+	// hook-registered domains may run, the deadline clip for spans, and the
+	// outcome counters.
+	specHorizon        Duration
+	specClip           Time
+	anySpec            bool
+	specScratch        []*Engine
+	specCommits        uint64
+	specRollbacks      uint64
+	specCommitEvents   uint64
+	specRollbackEvents uint64
 }
 
-// minParallelActive is the number of domains with due work below which a
-// window is executed inline on the coordinator: dispatching to the worker
-// pool costs ~a microsecond of channel and barrier traffic, which only pays
-// for itself when several domains have events to fire.
-const minParallelActive = 3
+// defaultParallelThreshold is the dispatch threshold when
+// SetParallelThreshold was never called.
+const defaultParallelThreshold = 3
 
 func (e *Engine) ensureCoord() *coord {
 	if e.co == nil {
-		e.co = &coord{root: e, engines: []*Engine{e}}
+		e.co = &coord{root: e, engines: []*Engine{e}, parThreshold: defaultParallelThreshold}
 	} else if e.co.root != e {
 		panic("sim: domain engines cannot own shards or domains")
 	}
@@ -150,6 +233,29 @@ func (e *Engine) Shards() int {
 	return e.co.shards
 }
 
+// SetParallelThreshold sets how many domains must have due work in a window
+// before it is dispatched to the worker pool rather than swept inline on
+// the coordinator. Purely a performance knob — the schedule is identical
+// for every value. The default is 3.
+func (e *Engine) SetParallelThreshold(n int) {
+	c := e.ensureCoord()
+	if c.running {
+		panic("sim: SetParallelThreshold during run")
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.parThreshold = n
+}
+
+// ParallelThreshold reports the configured dispatch threshold.
+func (e *Engine) ParallelThreshold() int {
+	if e.co == nil || e.co.parThreshold < 1 {
+		return defaultParallelThreshold
+	}
+	return e.co.parThreshold
+}
+
 // Domains reports how many domains exist including the control domain
 // (1 for a legacy undomained engine).
 func (e *Engine) Domains() int {
@@ -168,16 +274,63 @@ func (e *Engine) DomainIndex() int { return e.domIdx }
 func (e *Engine) DomainName() string { return e.dname }
 
 // ObserveLookahead tells the coordinator a cross-domain boundary exists with
-// the given minimum latency; the conservative window span is the minimum
-// over all observations. No-op on a legacy engine or with d <= 0.
+// the given minimum latency, without saying which domains it connects. The
+// unattributed latency clamps every domain's window bound; boundaries that
+// know their endpoints should call ObserveEdgeLookahead instead so only the
+// actual neighbors are bounded. No-op on a legacy engine or with d <= 0.
 func (e *Engine) ObserveLookahead(d Duration) {
 	if e.co == nil || d <= 0 {
 		return
 	}
 	c := e.co
+	if c.legacy == 0 || d < c.legacy {
+		c.legacy = d
+	}
 	if c.lookahead == 0 || d < c.lookahead {
 		c.lookahead = d
 	}
+}
+
+// ObserveEdgeLookahead registers a directed edge of the lookahead graph:
+// transfers produced by this engine's domain arrive in dst's domain no
+// earlier than d after the producing event. Parallel registrations for the
+// same ordered pair keep the minimum. Both engines must belong to the same
+// coordinator; must be called before the first Run (boundaries are built at
+// topology-construction time).
+func (e *Engine) ObserveEdgeLookahead(dst *Engine, d Duration) {
+	if d <= 0 {
+		panic("sim: ObserveEdgeLookahead needs a positive latency (it bounds the synchronization window)")
+	}
+	c := e.co
+	if c == nil || dst == nil || dst.co != c {
+		panic("sim: ObserveEdgeLookahead across unrelated engines")
+	}
+	if c.running {
+		panic("sim: ObserveEdgeLookahead during run")
+	}
+	from, to := e.domIdx, dst.domIdx
+	if from == to {
+		return // intra-domain: not a boundary
+	}
+	if c.lookahead == 0 || d < c.lookahead {
+		c.lookahead = d
+	}
+	for len(c.inEdges) < len(c.engines) {
+		c.inEdges = append(c.inEdges, nil)
+	}
+	if c.edgeIdx == nil {
+		c.edgeIdx = make(map[int64]int)
+	}
+	key := int64(from)<<32 | int64(to)
+	if i, ok := c.edgeIdx[key]; ok {
+		if d < c.inEdges[to][i].lat {
+			c.inEdges[to][i].lat = d
+		}
+		return
+	}
+	c.edgeIdx[key] = len(c.inEdges[to])
+	c.inEdges[to] = append(c.inEdges[to], edge{from: from, lat: d})
+	c.edges++
 }
 
 // NoteBoundary marks a boundary dirty: it accumulated at least one transfer
@@ -186,8 +339,15 @@ func (e *Engine) ObserveLookahead(d Duration) {
 // boundary is flushed once per note).
 func (e *Engine) NoteBoundary(b Boundary) {
 	e.dirty = append(e.dirty, b)
-	if e.co != nil {
-		e.co.anyDirty.Store(true)
+	if e.co == nil {
+		return
+	}
+	if !e.dirtyNoted {
+		e.dirtyNoted = true
+		c := e.co
+		c.dirtyMu.Lock()
+		c.dirtyDoms = append(c.dirtyDoms, e.domIdx)
+		c.dirtyMu.Unlock()
 	}
 }
 
@@ -223,13 +383,41 @@ func (e *Engine) runWindow(end Time) {
 	}
 }
 
-// run is the domain-mode main loop: windows of span lookahead, serialized
-// when control events are due, concurrent otherwise, with boundary/control/
-// trace flushes at each barrier. deadline == Forever runs until every queue
-// drains (or Stop).
+// runDomainWindow is one domain's share of a concurrent window: the
+// conservative portion up to end, then — if the simulation is armed and the
+// domain registered state hooks — a speculative span up to the horizon.
+func (e *Engine) runDomainWindow(end Time) {
+	e.runWindow(end)
+	c := e.co
+	if c.specHorizon <= 0 || !e.specCapable {
+		return
+	}
+	limit := end + c.specHorizon
+	if limit < end || limit > c.specClip { // overflow or deadline clip
+		limit = c.specClip
+	}
+	if limit > end {
+		e.speculate(limit)
+	}
+}
+
+// run is the domain-mode main loop: per-domain windows bounded by the edge
+// lookahead graph, serialized when control events are due, with
+// boundary/control/trace flushes and speculation resolution at each
+// barrier. deadline == Forever runs until every queue drains (or Stop).
 func (c *coord) run(deadline Time) Time {
+	if len(c.engines) > 1 && c.lookahead <= 0 {
+		panic(fmt.Sprintf("sim: %d event domains but no boundary registered a lookahead; "+
+			"windows would degenerate to 1 ns and the run would crawl — register the minimum "+
+			"cross-domain latency with ObserveEdgeLookahead (or ObserveLookahead) when the "+
+			"boundary is built", len(c.engines)))
+	}
 	c.running = true
 	c.stopReq.Store(false)
+	c.specClip = Forever
+	if deadline != Forever {
+		c.specClip = deadline + 1
+	}
 	rw := c.startWorkers()
 	defer func() {
 		c.running = false
@@ -243,6 +431,11 @@ func (c *coord) run(deadline Time) Time {
 		// window start, the serial/concurrent decision and the dispatch
 		// threshold all follow without touching the queues again.
 		t := c.collectHeads()
+		if c.sink != nil {
+			// Everything before the global clock floor is final: no domain
+			// can ever execute an event before the earliest head.
+			c.mergeTraces(t)
+		}
 		if t == Forever || t > deadline {
 			break
 		}
@@ -264,9 +457,13 @@ func (c *coord) run(deadline Time) Time {
 			// root head bounds secondMin) stay in its future.
 			c.engines[c.minIdx].runAhead(end, limit)
 		} else {
-			c.runParallelWindow(rw, end)
+			c.computeEAT(t, end, deadline)
+			c.runParallelWindow(rw)
 		}
 		c.flushWindow(end)
+	}
+	if c.sink != nil {
+		c.mergeTraces(Forever)
 	}
 	if deadline != Forever {
 		for _, d := range c.engines {
@@ -278,8 +475,9 @@ func (c *coord) run(deadline Time) Time {
 	return c.root.now
 }
 
-// windowSpan is the conservative window length: no cross-domain transfer
-// produced inside a window can demand execution before the window ends.
+// windowSpan is the nominal window length: the minimum latency over every
+// registered boundary. No cross-domain transfer produced inside a window
+// can demand execution before the producer's head plus this span.
 func (c *coord) windowSpan() Duration {
 	if c.lookahead > 0 {
 		return c.lookahead
@@ -314,6 +512,95 @@ func (c *coord) collectHeads() Time {
 	}
 	c.secondMin = t2
 	return t
+}
+
+// computeEAT fills c.eat with each domain's earliest-affect time for the
+// window starting at t: the least fixpoint of
+//
+//	eat[i] = min over in-edges (j, L) of  min(head[j], eat[j]) + L
+//
+// capped by the control domain's readiness (control closures can touch any
+// domain with zero latency), by any unattributed legacy lookahead, and by
+// the RunUntil deadline. Every causal chain that could land in domain i
+// starts at some queued event (a head) and accumulates at least one edge
+// latency per hop, so executing events strictly below eat[i] is safe. The
+// relaxation converges in at most diameter+1 passes (edge latencies are
+// positive, so revisiting a domain never improves a chain).
+func (c *coord) computeEAT(t, end, deadline Time) {
+	n := len(c.engines)
+	if cap(c.eat) < n {
+		c.eat = make([]Time, n)
+	}
+	c.eat = c.eat[:n]
+	if c.edges == 0 {
+		// Pure legacy graph: every boundary is unattributed, the nominal
+		// span is all we know.
+		for i := range c.eat {
+			c.eat[i] = end
+		}
+		return
+	}
+	legacyCap := Forever
+	if c.legacy > 0 {
+		legacyCap = t + c.legacy
+	}
+	dcap := Forever
+	if deadline != Forever {
+		dcap = deadline + 1
+	}
+	base := legacyCap
+	if dcap < base {
+		base = dcap
+	}
+	for i := range c.eat {
+		c.eat[i] = Forever
+	}
+	for {
+		ready0 := c.heads[0]
+		if c.eat[0] < ready0 {
+			ready0 = c.eat[0]
+		}
+		cap0 := base
+		if ready0 < cap0 {
+			cap0 = ready0
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			v := cap0
+			if i == 0 {
+				v = base // the control domain does not bound itself
+			}
+			if ie := c.inEdges; i < len(ie) {
+				for _, ed := range ie[i] {
+					r := c.heads[ed.from]
+					if er := c.eat[ed.from]; er < r {
+						r = er
+					}
+					if r >= Forever-ed.lat {
+						continue
+					}
+					if a := r + ed.lat; a < v {
+						v = a
+					}
+				}
+			}
+			if v < c.eat[i] {
+				c.eat[i] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Safety floor: every in-edge latency is >= the global minimum, so the
+	// fixpoint can never undercut the nominal window — but a domain with no
+	// in-edges at all converged to the caps, which is exactly right.
+	for i := range c.eat {
+		if c.eat[i] < end {
+			c.eat[i] = end
+		}
+	}
 }
 
 // runAheadLimit reports how far the sole due domain may run ahead of the
@@ -390,46 +677,72 @@ func (c *coord) runSerialWindow(end Time) {
 	}
 }
 
-// runParallelWindow executes [start, end) with no due control events: the
-// domains are independent until the barrier, so they may run concurrently.
-// With one executor (or too little due work to pay for dispatch) the sweep
-// runs inline in domain-index order — the same order the merge semantics
-// guarantee for any executor count.
-func (c *coord) runParallelWindow(rw *runWorkers, end Time) {
+// domainDue reports whether domain i (>= 1) has anything to do this window:
+// due events below its bound, or speculation eligibility.
+func (c *coord) domainDue(i int) bool {
+	if c.heads[i] < c.eat[i] {
+		return true
+	}
+	return c.specHorizon > 0 && c.engines[i].specCapable
+}
+
+// runParallelWindow executes a window with no due control events: the
+// domains are independent until the barrier, so they may run concurrently,
+// each to its own earliest-affect bound. With one executor — or too little
+// due work to pay for waking the pool — the sweep runs inline in
+// domain-index order, the same order the merge semantics guarantee for any
+// executor count. Consecutive inline windows raise the wakeup bar, so a
+// sparse phase does not pay pool traffic on every window.
+func (c *coord) runParallelWindow(rw *runWorkers) {
 	if rw != nil {
 		active := 0
-		for _, h := range c.heads[1:] {
-			if h < end {
+		for i := 1; i < len(c.engines); i++ {
+			if c.heads[i] < c.eat[i] {
 				active++
 			}
 		}
-		if active >= minParallelActive {
-			rw.dispatch(end)
+		bar := c.parThreshold
+		if c.sparseStreak > 0 {
+			extra := c.sparseStreak
+			if extra > c.parThreshold {
+				extra = c.parThreshold
+			}
+			bar += extra
+		}
+		if active >= bar {
+			c.sparseStreak = 0
+			rw.dispatch()
 			return
 		}
+		c.sparseStreak++
 	}
 	for i, d := range c.engines[1:] {
-		if c.heads[i+1] < end {
-			d.runWindow(end)
+		if c.domainDue(i + 1) {
+			d.runDomainWindow(c.eat[i+1])
 		}
 	}
 }
 
-// flushWindow is the barrier: move boundary transfers into their receiving
-// domains, promote deferred control closures to control-domain events, and
-// merge the window's trace lines — all in deterministic domain-index order.
+// flushWindow is the barrier: resolve speculative spans, move boundary
+// transfers into their receiving domains, and promote deferred control
+// closures to control-domain events — all in deterministic domain-index
+// order. Only domains that noted a dirty boundary are touched.
 func (c *coord) flushWindow(end Time) {
-	if c.anyDirty.Swap(false) {
-		for _, d := range c.engines {
-			if len(d.dirty) == 0 {
-				continue
-			}
+	if c.anySpec && c.specHorizon > 0 {
+		c.resolveSpeculation()
+	}
+	if len(c.dirtyDoms) > 0 {
+		sort.Ints(c.dirtyDoms)
+		for _, di := range c.dirtyDoms {
+			d := c.engines[di]
+			d.dirtyNoted = false
 			for i, b := range d.dirty {
 				b.FlushBoundary()
 				d.dirty[i] = nil
 			}
 			d.dirty = d.dirty[:0]
 		}
+		c.dirtyDoms = c.dirtyDoms[:0]
 	}
 	if c.anyCtrl.Swap(false) {
 		// A run-ahead domain's clock may sit past the nominal window end;
@@ -452,22 +765,173 @@ func (c *coord) flushWindow(end Time) {
 			d.ctrlq = d.ctrlq[:0]
 		}
 	}
-	if c.sink != nil {
-		c.mergeTraces()
+}
+
+// resolveSpeculation decides every open speculative span at the barrier. A
+// span may commit only if no event chain — from any queued event, any
+// in-flight boundary transfer, or any other span's potential rollback — can
+// ever land inside it. That is the same earliest-affect fixpoint the
+// windows use, evaluated on pessimistic sources: a speculating domain
+// contributes its span-start clock (a lower bound on its behavior whether
+// it commits or rolls back), and pending transfers contribute their
+// delivery times to their target. Spans whose end exceeds the bound roll
+// back and re-execute conservatively; the decision inputs are all
+// schedule-deterministic, so the outcome is executor-count invariant.
+func (c *coord) resolveSpeculation() {
+	specs := c.specScratch[:0]
+	for _, d := range c.engines {
+		if d.spec != nil {
+			specs = append(specs, d)
+		}
+	}
+	c.specScratch = specs
+	if len(specs) == 0 {
+		return
+	}
+	n := len(c.engines)
+	if cap(c.src) < n {
+		c.src = make([]Time, n)
+		c.arr = make([]Time, n)
+	}
+	c.src = c.src[:n]
+	c.arr = c.arr[:n]
+	for i, d := range c.engines {
+		c.arr[i] = Forever
+		if d.spec != nil {
+			c.src[i] = d.spec.now
+			continue
+		}
+		d.discardCanceledRoot()
+		if len(d.queue) == 0 {
+			c.src[i] = Forever
+		} else {
+			c.src[i] = d.queue[0].when
+		}
+	}
+	untimed := false
+	for _, di := range c.dirtyDoms {
+		for _, b := range c.engines[di].dirty {
+			tb, ok := b.(TimedBoundary)
+			if !ok {
+				untimed = true
+				break
+			}
+			tgt := tb.BoundaryTarget().domIdx
+			at := tb.EarliestPending()
+			// The pending transfer lands in the target at `at` (capping the
+			// target's own bound) and everything the target does in reaction
+			// starts there (a source for domains downstream of the target).
+			if at < c.arr[tgt] {
+				c.arr[tgt] = at
+			}
+			if at < c.src[tgt] {
+				c.src[tgt] = at
+			}
+		}
+	}
+	if untimed {
+		// A dirty boundary we cannot attribute: assume the worst and
+		// replay every span conservatively.
+		for _, d := range specs {
+			d.rollbackSpec()
+		}
+		return
+	}
+	c.relaxEAT(c.src)
+	for _, d := range specs {
+		bound := c.eat[d.domIdx]
+		if a := c.arr[d.domIdx]; a < bound {
+			bound = a
+		}
+		if bound >= d.now {
+			d.commitSpec()
+		} else {
+			d.rollbackSpec()
+		}
 	}
 }
 
-// mergeTraces drains every domain's buffered trace lines into the sink in
-// (time, domain index, emission order) order — identical to the serialized
-// execution order, so traces are byte-for-byte invariant in shard count.
-func (c *coord) mergeTraces() {
+// relaxEAT runs the earliest-affect fixpoint over arbitrary per-domain
+// source times (see computeEAT for the windowed variant), filling c.eat.
+func (c *coord) relaxEAT(src []Time) {
+	n := len(c.engines)
+	if cap(c.eat) < n {
+		c.eat = make([]Time, n)
+	}
+	c.eat = c.eat[:n]
+	base := Forever
+	if c.legacy > 0 {
+		m := Forever
+		for _, s := range src {
+			if s < m {
+				m = s
+			}
+		}
+		if m < Forever-c.legacy {
+			base = m + c.legacy
+		}
+	}
+	for i := range c.eat {
+		c.eat[i] = Forever
+	}
+	for {
+		ready0 := src[0]
+		if c.eat[0] < ready0 {
+			ready0 = c.eat[0]
+		}
+		cap0 := base
+		if ready0 < cap0 {
+			cap0 = ready0
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			v := cap0
+			if i == 0 {
+				v = base
+			}
+			if ie := c.inEdges; i < len(ie) {
+				for _, ed := range ie[i] {
+					r := src[ed.from]
+					if er := c.eat[ed.from]; er < r {
+						r = er
+					}
+					if r >= Forever-ed.lat {
+						continue
+					}
+					if a := r + ed.lat; a < v {
+						v = a
+					}
+				}
+			}
+			if v < c.eat[i] {
+				c.eat[i] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// mergeTraces drains buffered trace lines strictly below cutoff into the
+// sink in (time, domain index, emission order) order — identical to the
+// serialized execution order. Lines at or beyond the cutoff (the global
+// clock floor) stay buffered: a domain that ran ahead of its peers must not
+// emit before a slower peer's earlier line, and a speculative line must not
+// reach the sink before its span resolves. Pass Forever for the final drain.
+func (c *coord) mergeTraces(cutoff Time) {
 	for {
 		var best *Engine
 		for _, d := range c.engines {
 			if d.tracePos >= len(d.traceBuf) {
 				continue
 			}
-			if best == nil || d.traceBuf[d.tracePos].at < best.traceBuf[best.tracePos].at {
+			l := &d.traceBuf[d.tracePos]
+			if l.at >= cutoff {
+				continue // per-domain times are nondecreasing: all held
+			}
+			if best == nil || l.at < best.traceBuf[best.tracePos].at {
 				best = d
 			}
 		}
@@ -479,11 +943,20 @@ func (c *coord) mergeTraces() {
 		c.sink(l.at, l.comp, "%s", l.msg)
 	}
 	for _, d := range c.engines {
-		for i := range d.traceBuf {
-			d.traceBuf[i] = traceLine{}
+		if d.tracePos == len(d.traceBuf) {
+			for i := range d.traceBuf {
+				d.traceBuf[i] = traceLine{}
+			}
+			d.traceBuf = d.traceBuf[:0]
+			d.tracePos = 0
+		} else if d.tracePos > 256 && d.tracePos*2 > len(d.traceBuf) {
+			n := copy(d.traceBuf, d.traceBuf[d.tracePos:])
+			for i := n; i < len(d.traceBuf); i++ {
+				d.traceBuf[i] = traceLine{}
+			}
+			d.traceBuf = d.traceBuf[:n]
+			d.tracePos = 0
 		}
-		d.traceBuf = d.traceBuf[:0]
-		d.tracePos = 0
 	}
 }
 
@@ -495,8 +968,8 @@ func (c *coord) mergeTraces() {
 // windows, joined when the run ends — so idle engines hold no goroutines.
 type runWorkers struct {
 	c        *coord
-	n        int         // executors, including the coordinator
-	jobs     []chan Time // one per pooled worker
+	n        int             // executors, including the coordinator
+	jobs     []chan struct{} // one per pooled worker
 	wg       sync.WaitGroup
 	lifetime sync.WaitGroup
 	panicMu  sync.Mutex
@@ -511,9 +984,9 @@ func (c *coord) startWorkers() *runWorkers {
 	if n <= 1 {
 		return nil
 	}
-	rw := &runWorkers{c: c, n: n, jobs: make([]chan Time, n-1)}
+	rw := &runWorkers{c: c, n: n, jobs: make([]chan struct{}, n-1)}
 	for w := range rw.jobs {
-		rw.jobs[w] = make(chan Time, 1)
+		rw.jobs[w] = make(chan struct{}, 1)
 		rw.lifetime.Add(1)
 		go rw.workerLoop(w + 1)
 	}
@@ -522,18 +995,18 @@ func (c *coord) startWorkers() *runWorkers {
 
 func (rw *runWorkers) workerLoop(w int) {
 	defer rw.lifetime.Done()
-	for end := range rw.jobs[w-1] {
-		rw.runPartition(w, end)
+	for range rw.jobs[w-1] {
+		rw.runPartition(w)
 		rw.wg.Done()
 	}
 }
 
 // runPartition sweeps the domains assigned to executor w (round-robin by
 // domain index, a static assignment so a domain's queue is touched by
-// exactly one goroutine per window). Panics are captured and re-raised on
-// the coordinator after the barrier, so a failing event cannot deadlock the
-// pool.
-func (rw *runWorkers) runPartition(w int, end Time) {
+// exactly one goroutine per window), each to its own per-edge bound.
+// Panics are captured and re-raised on the coordinator after the barrier,
+// so a failing event cannot deadlock the pool.
+func (rw *runWorkers) runPartition(w int) {
 	defer func() {
 		if r := recover(); r != nil {
 			rw.panicMu.Lock()
@@ -543,20 +1016,23 @@ func (rw *runWorkers) runPartition(w int, end Time) {
 			rw.panicMu.Unlock()
 		}
 	}()
-	doms := rw.c.engines[1:]
+	c := rw.c
+	doms := c.engines[1:]
 	for i := w; i < len(doms); i += rw.n {
-		doms[i].runWindow(end)
+		if c.domainDue(i + 1) {
+			doms[i].runDomainWindow(c.eat[i+1])
+		}
 	}
 }
 
 // dispatch fans one window out to the pool, participates as executor 0, and
 // waits for every partition to finish before returning.
-func (rw *runWorkers) dispatch(end Time) {
+func (rw *runWorkers) dispatch() {
 	rw.wg.Add(rw.n - 1)
 	for _, ch := range rw.jobs {
-		ch <- end
+		ch <- struct{}{}
 	}
-	rw.runPartition(0, end)
+	rw.runPartition(0)
 	rw.wg.Wait()
 	if rw.panicVal != nil {
 		v := rw.panicVal

@@ -68,9 +68,13 @@ type Event struct {
 	seq      uint64 // FIFO tiebreak among events at the same instant
 	index    int    // heap index, -1 when not queued
 	canceled bool
-	fn       func()
-	label    string
-	eng      *Engine // owner, for cancellation bookkeeping
+	// specNew marks an event scheduled inside a speculative span (spec.go):
+	// on rollback it is erased rather than restored, on commit the mark is
+	// cleared.
+	specNew bool
+	fn      func()
+	label   string
+	eng     *Engine // owner, for cancellation bookkeeping
 }
 
 // When reports the virtual time the event is scheduled for.
@@ -85,7 +89,7 @@ func (e *Event) Cancel() {
 	}
 	e.canceled = true
 	if e.eng != nil && e.index >= 0 {
-		e.eng.noteCanceled()
+		e.eng.noteCanceled(e)
 	}
 }
 
@@ -132,13 +136,22 @@ type Engine struct {
 
 	// Domain-mode plumbing (see shard.go). A legacy engine has co == nil and
 	// none of these fields are touched.
-	co       *coord
-	domIdx   int
-	dname    string
-	dirty    []Boundary  // boundaries with transfers awaiting the barrier
-	ctrlq    []func()    // control closures awaiting the barrier
-	traceBuf []traceLine // trace lines awaiting the barrier merge
-	tracePos int
+	co         *coord
+	domIdx     int
+	dname      string
+	dirty      []Boundary  // boundaries with transfers awaiting the barrier
+	dirtyNoted bool        // this domain is already on the coordinator's dirty list
+	ctrlq      []func()    // control closures awaiting the barrier
+	traceBuf   []traceLine // trace lines awaiting the barrier merge
+	tracePos   int
+
+	// Speculation plumbing (see spec.go). specCapable domains may run past
+	// their conservative bound into a journaled span that the barrier
+	// commits or rolls back.
+	spec        *specState
+	specCapable bool
+	specSave    func() any
+	specRestore func(any)
 }
 
 // maxFree bounds the recycling pool; beyond this, fired events are left to
@@ -260,6 +273,10 @@ func (e *Engine) AtLabel(t Time, label string, fn func()) *Event {
 	}
 	*ev = Event{when: t, seq: e.nextSeq, fn: fn, label: label, eng: e}
 	e.nextSeq++
+	if e.spec != nil {
+		ev.specNew = true
+		e.spec.pushed = append(e.spec.pushed, ev)
+	}
 	e.heapPush(ev)
 	return ev
 }
@@ -330,6 +347,28 @@ func (e *Engine) siftDown(i int) {
 	ev.index = i
 }
 
+// heapRemove unlinks a still-queued event from an arbitrary heap position
+// (rollback erases speculatively scheduled events this way). The caller owns
+// the returned slot; the event's index is -1.
+func (e *Engine) heapRemove(ev *Event) {
+	i := ev.index
+	if i < 0 {
+		return
+	}
+	q := e.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	ev.index = -1
+	if i < n {
+		e.queue[i] = last
+		last.index = i
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
 // recycle returns a no-longer-queued event to the allocation pool, dropping
 // its callback reference so captured state can be collected.
 func (e *Engine) recycle(ev *Event) {
@@ -344,9 +383,15 @@ func (e *Engine) recycle(ev *Event) {
 // that the root, if any, is live. This is the single home of the discard
 // logic Step and RunUntil share: a canceled timer with an early timestamp
 // must neither fire nor mask the deadline check on the first live event.
+// During a speculative span the discarded events are retained on the undo
+// log instead of recycled, so a rollback can restore them.
 func (e *Engine) discardCanceledRoot() {
 	for len(e.queue) > 0 && e.queue[0].canceled {
 		e.canceled--
+		if e.spec != nil {
+			e.spec.popped = append(e.spec.popped, e.heapPop())
+			continue
+		}
 		e.recycle(e.heapPop())
 	}
 }
@@ -355,8 +400,16 @@ func (e *Engine) discardCanceledRoot() {
 // compaction sweep once canceled events exceed half of Pending(). The
 // watchdog re-arms a timer every L_timer interval; without this, each re-arm
 // would leave a dead event queued until its (possibly far-future) timestamp.
-func (e *Engine) noteCanceled() {
+// During speculation compaction is deferred (rollback must be able to find
+// every pre-span event) and cancellations of pre-span events are journaled.
+func (e *Engine) noteCanceled(ev *Event) {
 	e.canceled++
+	if e.spec != nil {
+		if !ev.specNew {
+			e.spec.canceledEvs = append(e.spec.canceledEvs, ev)
+		}
+		return
+	}
 	if n := len(e.queue); n >= compactMin && e.canceled*2 > n {
 		e.compact()
 	}
@@ -406,8 +459,15 @@ func (e *Engine) AfterLabel(d Duration, label string, fn func()) *Event {
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
 // completes. Pending events remain queued. In domain mode a concurrent
-// window finishes before the run returns.
+// window finishes before the run returns. A Stop issued from inside a
+// speculative span is journaled with the span: it takes effect only if the
+// span commits (a rolled-back stop re-fires when its event re-executes
+// conservatively).
 func (e *Engine) Stop() {
+	if e.spec != nil {
+		e.spec.stopped = true
+		return
+	}
 	if e.co != nil {
 		e.co.stopReq.Store(true)
 	}

@@ -1,0 +1,217 @@
+package sim
+
+// Speculative run-ahead (Time-Warp-lite). A domain whose conservative
+// window bound has been reached may keep executing into a *speculative
+// span*: every engine-level mutation is journaled (a copy-on-schedule undo
+// log of heap inserts, pops and cancels, plus RNG, clock, sequence and
+// counter snapshots) and the domain's component state is checkpointed
+// through a caller-registered save/restore pair. The next window barrier
+// resolves each span:
+//
+//   - commit — no cross-domain transfer landed inside the span. The journal
+//     is discarded, retained events recycle, and the span becomes
+//     indistinguishable from conservative execution.
+//   - rollback — a transfer's delivery time precedes the domain's
+//     speculated clock. The heap, RNG, clock, counters, trace buffer,
+//     boundary/control queues and component state are all rewound to the
+//     span start (which is exactly the conservative bound, so the incoming
+//     transfer — guaranteed by the lookahead contract to arrive at or after
+//     that bound — always lands in the restored domain's future), and the
+//     span's events re-execute conservatively in a later window.
+//
+// Because commit/rollback decisions depend only on the deterministic window
+// schedule — never on executor count — the bit-for-bit shard-invariance
+// contract of shard.go §determinism survives speculation unchanged.
+//
+// Only domains that registered state hooks with EnableSpeculation
+// participate; everything else stays on the conservative bound. Trace lines
+// emitted inside a span stay buffered until the span resolves (the barrier
+// merge already holds lines back until the global clock passes them), so a
+// rolled-back span leaks nothing to the sink.
+
+// specState is the journal of one in-flight speculative span.
+type specState struct {
+	savedComp any    // component checkpoint from the domain's save hook
+	rng       uint64 // RNG stream position at span start
+	now       Time
+	executed  uint64
+	nextSeq   uint64
+	canceled  int // engine's canceled-event counter at span start
+
+	dirtyLen int // lengths of the barrier queues at span start:
+	ctrlLen  int // entries beyond these marks are speculative
+	traceLen int
+
+	// popped retains every event removed from the heap during the span
+	// (fired or canceled-discarded), in pop order. Rollback re-pushes the
+	// pre-span ones and erases the span-scheduled ones; commit recycles all.
+	popped []*Event
+	// pushed tracks events scheduled during the span (specNew flag set).
+	pushed []*Event
+	// canceledEvs tracks pre-span events canceled during the span, so
+	// rollback can revive them.
+	canceledEvs []*Event
+
+	// stopped journals a Stop() issued inside the span; it reaches the
+	// coordinator only on commit.
+	stopped bool
+}
+
+// EnableSpeculation registers the component state hooks that make this
+// domain eligible for speculative run-ahead: save must checkpoint every
+// piece of state outside the engine that the domain's event callbacks can
+// mutate (including outboxes of boundaries it produces into), and restore
+// must rewind it. Both hooks run on the domain's executor with no other
+// domain active on its state. Must be called on a non-control domain before
+// the first Run.
+func (e *Engine) EnableSpeculation(save func() any, restore func(any)) {
+	if e.co == nil || e.domIdx == 0 {
+		panic("sim: EnableSpeculation on a non-domain engine (speculation needs a domain carved with NewDomain)")
+	}
+	if save == nil || restore == nil {
+		panic("sim: EnableSpeculation needs both a save and a restore hook")
+	}
+	if e.co.running {
+		panic("sim: EnableSpeculation during run")
+	}
+	e.specCapable = true
+	e.specSave = save
+	e.specRestore = restore
+	e.co.anySpec = true
+}
+
+// SetSpeculation arms speculative run-ahead on the whole simulation:
+// domains that registered hooks with EnableSpeculation may execute up to
+// horizon past their conservative window bound. 0 (the default) disables
+// speculation. Call on the control engine before the first Run.
+func (e *Engine) SetSpeculation(horizon Duration) {
+	c := e.ensureCoord()
+	if c.running {
+		panic("sim: SetSpeculation during run")
+	}
+	if horizon < 0 {
+		horizon = 0
+	}
+	c.specHorizon = horizon
+}
+
+// SpecStats reports how many speculative spans committed and rolled back,
+// and how many speculatively executed events each outcome covered. Rolled-
+// back events re-execute conservatively, so rollbackEvents counts wasted —
+// not lost — work.
+func (e *Engine) SpecStats() (commits, rollbacks, commitEvents, rollbackEvents uint64) {
+	if e.co == nil {
+		return 0, 0, 0, 0
+	}
+	c := e.co
+	return c.specCommits, c.specRollbacks, c.specCommitEvents, c.specRollbackEvents
+}
+
+// speculate opens a journaled span and executes events in [from, limit).
+// Called by the window executor after the conservative portion of the
+// window; the span stays open until the barrier resolves it.
+func (e *Engine) speculate(limit Time) {
+	e.discardCanceledRoot()
+	if len(e.queue) == 0 || e.queue[0].when >= limit {
+		return
+	}
+	e.spec = &specState{
+		savedComp: e.specSave(),
+		rng:       e.rng.State(),
+		now:       e.now,
+		executed:  e.executed,
+		nextSeq:   e.nextSeq,
+		canceled:  e.canceled,
+		dirtyLen:  len(e.dirty),
+		ctrlLen:   len(e.ctrlq),
+		traceLen:  len(e.traceBuf),
+	}
+	sp := e.spec
+	for !sp.stopped && !e.co.stopReq.Load() {
+		e.discardCanceledRoot()
+		if len(e.queue) == 0 || e.queue[0].when >= limit {
+			return
+		}
+		ev := e.heapPop()
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+		sp.popped = append(sp.popped, ev)
+	}
+}
+
+// commitSpec finalizes a span: retained events recycle, span-scheduled
+// events lose their provisional mark, and a journaled Stop propagates.
+// Runs on the coordinator at the barrier.
+func (e *Engine) commitSpec() {
+	sp := e.spec
+	e.spec = nil
+	for i, ev := range sp.pushed {
+		if ev.index >= 0 {
+			ev.specNew = false
+		}
+		sp.pushed[i] = nil
+	}
+	for i, ev := range sp.popped {
+		e.recycle(ev)
+		sp.popped[i] = nil
+	}
+	if sp.stopped {
+		e.co.stopReq.Store(true)
+	}
+	e.co.specCommits++
+	e.co.specCommitEvents += e.executed - sp.executed
+}
+
+// rollbackSpec rewinds a span: the heap, counters, RNG, trace buffer,
+// barrier queues and component state all return to the span start. Events
+// the span scheduled are erased (their sequence numbers are reissued on
+// re-execution, so the replay is bit-for-bit); events it popped are
+// re-pushed; events it canceled are revived. Runs on the coordinator at the
+// barrier.
+func (e *Engine) rollbackSpec() {
+	sp := e.spec
+	e.co.specRollbacks++
+	e.co.specRollbackEvents += e.executed - sp.executed
+	e.spec = nil
+	// Erase span-scheduled events that are still queued. Ones that also
+	// fired (or were discarded) inside the span sit on the popped log with
+	// index -1 and are recycled below.
+	for i, ev := range sp.pushed {
+		if ev.index >= 0 {
+			e.heapRemove(ev)
+			e.recycle(ev)
+		}
+		sp.pushed[i] = nil
+	}
+	for i, ev := range sp.popped {
+		if ev.specNew {
+			e.recycle(ev)
+		} else {
+			e.heapPush(ev)
+		}
+		sp.popped[i] = nil
+	}
+	for i, ev := range sp.canceledEvs {
+		ev.canceled = false
+		sp.canceledEvs[i] = nil
+	}
+	e.now = sp.now
+	e.executed = sp.executed
+	e.nextSeq = sp.nextSeq
+	e.canceled = sp.canceled
+	e.rng.Restore(sp.rng)
+	for i := sp.dirtyLen; i < len(e.dirty); i++ {
+		e.dirty[i] = nil
+	}
+	e.dirty = e.dirty[:sp.dirtyLen]
+	for i := sp.ctrlLen; i < len(e.ctrlq); i++ {
+		e.ctrlq[i] = nil
+	}
+	e.ctrlq = e.ctrlq[:sp.ctrlLen]
+	for i := sp.traceLen; i < len(e.traceBuf); i++ {
+		e.traceBuf[i] = traceLine{}
+	}
+	e.traceBuf = e.traceBuf[:sp.traceLen]
+	e.specRestore(sp.savedComp)
+}
