@@ -2,9 +2,9 @@
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra; bench-short smoke-runs every benchmark once so a broken
 # bench path cannot land.
-.PHONY: tier1 build vet fmt static test race chaos netfault bench bench-short benchdiff quickbench scale-short
+.PHONY: tier1 build vet fmt static test race chaos netfault gossip gossip-short bench bench-short benchdiff quickbench scale-short
 
-tier1: build vet fmt static race scale-short bench-short
+tier1: build vet fmt static race scale-short gossip-short bench-short
 
 build:
 	go build ./...
@@ -40,6 +40,20 @@ chaos:
 netfault:
 	go test -race -v -run 'NetFault|NetworkFault|NetWatch|Remap' ./gm/ ./internal/core/ ./internal/mapper/ ./internal/chaos/ ./internal/experiments/
 
+# Gossip control-plane campaign: the membership/link-state plane suite
+# under the race detector (agents, gm wiring, mapper-death chaos and the
+# control-plane comparison), then a timed fuzz campaign over the wire
+# codec. The corpus itself runs in tier-1 as a plain test (gossip-short).
+gossip:
+	go test -race -v -run 'Gossip|ControlPlane|MapperDeath|Wire' \
+		./internal/gossip/ ./gm/ ./internal/chaos/ ./internal/experiments/
+	go test -fuzz FuzzDecodeGossip -fuzztime 30s ./internal/gossip/
+
+# Gossip smoke gate (tier1): the plane's unit suite and the fuzz corpus
+# as plain tests under the race detector (no open-ended fuzzing in CI).
+gossip-short:
+	go test -race -run 'Gossip|Wire|Fuzz' ./internal/gossip/
+
 # Sharded-engine smoke gate (tier1): the 64-node Clos storm trial on the
 # sharded conservative-time engine under the race detector — conservative
 # and speculative (-shards 4 with the monitor ring) variants — plus the
@@ -50,12 +64,12 @@ scale-short:
 		./internal/sim/ ./internal/experiments/ ./gm/
 
 # Full harness benchmark: regenerates the Figure 7/8, netfault,
-# large-cluster scaling and multi-core matrix metrics with per-section
-# wall-clock/allocation accounting and regression comparison against the
-# committed baseline. Rewrites BENCH_6.json.
+# control-plane, large-cluster scaling and multi-core matrix metrics with
+# per-section wall-clock/allocation accounting and regression comparison
+# against the committed baseline. Rewrites BENCH_7.json.
 bench:
-	go run ./cmd/gmbench -mode bw,lat,netfault,scale,scale_mc \
-		-benchjson BENCH_6.json -baseline BENCH_5.json
+	go run ./cmd/gmbench -mode bw,lat,netfault,controlplane,scale,scale_mc \
+		-benchjson BENCH_7.json -baseline BENCH_6.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

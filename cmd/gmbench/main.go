@@ -78,6 +78,10 @@ type report struct {
 	// Network-fault comparison, keyed by scheme (GM, FTGM, FTGM+netwatch).
 	NetFault map[string]netFaultJSON `json:"netfault,omitempty"`
 
+	// Control-plane comparison under mapper death, keyed by scheme
+	// (FTGM, FTGM+central, FTGM+gossip).
+	ControlPlane map[string]controlPlaneJSON `json:"controlplane,omitempty"`
+
 	// Large-cluster scaling sweep: serial vs sharded engine per point.
 	Scale []experiments.ScalePoint `json:"scale,omitempty"`
 	// Multi-core matrix cells (scale_mc mode).
@@ -102,6 +106,22 @@ type netFaultJSON struct {
 	Probes        uint64  `json:"probes"`
 	Unreachable   uint64  `json:"unreachable"`
 	Readmissions  uint64  `json:"readmissions"`
+}
+
+type controlPlaneJSON struct {
+	Sent         uint64  `json:"sent"`
+	Delivered    uint64  `json:"delivered"`
+	Lost         uint64  `json:"lost"`
+	Failed       uint64  `json:"failed"`
+	Excused      uint64  `json:"excused"`
+	DeliveryRate float64 `json:"delivery_rate"`
+	Verdict      string  `json:"verdict"`
+	Remaps       uint64  `json:"remaps"`
+	Unreachable  uint64  `json:"unreachable"`
+	DeadDeclared uint64  `json:"dead_declared"`
+	Readmissions uint64  `json:"readmissions"`
+	LiveExpelled uint64  `json:"live_expelled"`
+	RouteGaps    uint64  `json:"route_gaps"`
 }
 
 type table2JSON struct {
@@ -266,7 +286,7 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | scale | scale_mc | all; or benchdiff OLD NEW")
+	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | controlplane | scale | scale_mc | all; or benchdiff OLD NEW")
 	shards := flag.Int("shards", 4, "scale: executor count for the sharded runs")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
@@ -311,9 +331,10 @@ func run() error {
 	doT2 := modes["table2"] || modes["all"]
 	doT1 := modes["table1"] || modes["all"]
 	doNF := modes["netfault"] || modes["all"]
+	doCP := modes["controlplane"] || modes["all"]
 	doScale := modes["scale"] || modes["all"]
 	doMC := modes["scale_mc"] || modes["all"]
-	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doScale && !doMC {
+	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doCP && !doScale && !doMC {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
@@ -449,6 +470,55 @@ func run() error {
 			return err
 		}
 		sections["netfault_campaign"] = sec
+	}
+
+	if doCP {
+		cfg := chaos.CampaignConfig{
+			Trials: 4,
+			Trial: chaos.TrialConfig{
+				Nodes:     4,
+				Traffic:   sim.Second,
+				SendEvery: 2 * sim.Millisecond,
+				Events:    1,
+				MaxSettle: 15 * sim.Second,
+			},
+		}
+		if *quick {
+			cfg.Trials = 1
+			cfg.Trial.SendEvery = 4 * sim.Millisecond
+		}
+		sec, err := measure(func() (int64, uint64, error) {
+			res, err := experiments.ControlPlaneComparison(*seed, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(experiments.RenderControlPlane(res))
+			rep.ControlPlane = make(map[string]controlPlaneJSON)
+			var ops int64
+			for _, r := range res {
+				ops += int64(r.Campaign.Total.Sent)
+				rep.ControlPlane[r.Label] = controlPlaneJSON{
+					Sent:         r.Campaign.Total.Sent,
+					Delivered:    r.Campaign.Total.Unique,
+					Lost:         r.Campaign.Total.Lost,
+					Failed:       r.Campaign.Total.Failed,
+					Excused:      r.Campaign.Total.Excused,
+					DeliveryRate: r.DeliveryRate(),
+					Verdict:      r.Verdict(),
+					Remaps:       r.Counters.Remaps,
+					Unreachable:  r.Counters.Unreachable,
+					DeadDeclared: r.Counters.DeadDeclared,
+					Readmissions: r.Counters.Readmissions,
+					LiveExpelled: r.Counters.LiveExpelled,
+					RouteGaps:    r.Counters.RouteGaps,
+				}
+			}
+			return ops, 0, nil
+		})
+		if err != nil {
+			return err
+		}
+		sections["controlplane_campaign"] = sec
 	}
 
 	if doScale {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/gmproto"
+	"repro/internal/gossip"
 	"repro/internal/mapper"
 	"repro/internal/sim"
 )
@@ -53,8 +54,15 @@ type Cluster struct {
 	mapRes   mapper.Result
 
 	// netwatch is the network watchdog daemon (nil unless cfg.NetWatch is
-	// enabled and the cluster booted).
+	// enabled, the central plane selected, and the cluster booted).
 	netwatch *core.NetWatch
+	// gossipAgents holds one membership agent per node, index-aligned with
+	// nodes (empty unless cfg.ControlPlane is ControlPlaneGossip and the
+	// cluster booted).
+	gossipAgents []*gossip.Agent
+	// mapperRetries counts synchronous mapping attempts that hit the
+	// convergence cap and were retried.
+	mapperRetries int
 	// knownIDs is the accumulated UID -> NodeID assignment across maps; it
 	// seeds the mapper's prior so survivors keep their identity (streams are
 	// keyed by NodeID).
@@ -168,6 +176,9 @@ func (c *Cluster) RunUntil(t Time) { c.eng.RunUntil(t) }
 // pool leak test asserts this brings fabric.PoolStats().Live back to its
 // pre-trial value.
 func (c *Cluster) Shutdown(grace Duration) {
+	for _, a := range c.gossipAgents {
+		a.Stop()
+	}
 	for _, n := range c.nodes {
 		// Kill (not just Reset): the FTD would otherwise notice the dead
 		// card during the grace window and reload it, re-injecting traffic.
@@ -289,12 +300,15 @@ func (c *Cluster) Boot() (mapper.Result, error) {
 	return res, nil
 }
 
-// finishBoot installs a boot-time mapping, arms the network watchdog and
-// lets the config packets settle. Shared by Boot and BootStatic.
+// finishBoot installs a boot-time mapping, arms the configured control
+// plane and lets the config packets settle. Shared by Boot and BootStatic.
 func (c *Cluster) finishBoot(res mapper.Result) {
 	c.applyMapResult(res)
 	c.booted = true
-	if c.cfg.NetWatch.Enabled {
+	switch {
+	case c.cfg.ControlPlane == ControlPlaneGossip:
+		c.startGossipPlane(res)
+	case c.cfg.NetWatch.Enabled:
 		c.netwatch = core.NewNetWatch(c.eng, c.cfg.NetWatch)
 		c.netwatch.SetRemap(c.netwatchRemap)
 		for _, n := range c.nodes {
@@ -309,6 +323,65 @@ func (c *Cluster) finishBoot(res mapper.Result) {
 	}
 	// Let the config packets and any stragglers settle.
 	c.eng.RunFor(2 * c.cfg.Mapper.RoundTimeout)
+}
+
+// gossipSeedSpace offsets the agents' DeriveRNG index range away from the
+// indices other layers draw from the same cluster seed.
+const gossipSeedSpace = 0x6055_0000
+
+// startGossipPlane replicates the boot map into a membership agent on every
+// node and starts the probe rounds. Everything an agent ever does —
+// timers, verdicts, route installs — happens on its own node's domain
+// against that node's own driver and MCP, which is why the plane needs no
+// Control crossings and stays bit-for-bit identical at every shard count.
+func (c *Cluster) startGossipPlane(res mapper.Result) {
+	// The anchor-relative link-state database: the mapping node's own table
+	// reaches every member, and the anchor itself gets the empty route.
+	anchor := make(map[NodeID][]byte, len(res.IDs))
+	for id, r := range res.Routes[res.MapperID] {
+		anchor[id] = r
+	}
+	anchor[res.MapperID] = nil
+	members := make([]NodeID, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		members = append(members, c.knownIDs[n.m.UID()])
+	}
+	for i, n := range c.nodes {
+		node := n
+		id := c.knownIDs[node.m.UID()]
+		// The agent seed is a pure function of (cluster seed, node index),
+		// never drawn from a domain generator: the plane's schedule must not
+		// depend on how the engine was sharded.
+		ag := gossip.New(node.eng, c.cfg.Gossip, sim.DeriveRNG(c.cfg.Seed, gossipSeedSpace+uint64(i)).Uint64())
+		ag.SetTransport(func(route, payload []byte) { node.m.RawTransmit(route, payload) })
+		ag.SetHooks(gossip.Hooks{
+			Dead: func(peer NodeID, routes map[NodeID][]byte) {
+				node.setPeerUnreachable(peer)
+				node.driver.SetRoutes(id, routes)
+				node.m.UploadRoutes(routes)
+			},
+			Alive: func(peer NodeID, routes map[NodeID][]byte) {
+				node.resetPeer(peer)
+				node.driver.SetRoutes(id, routes)
+				node.m.UploadRoutes(routes)
+			},
+		})
+		node.m.SetGossipSink(ag.HandlePacket)
+		// Path-health suspicions stay node-local: the stalled stream, the
+		// agent and the targeted probe all live on this node's domain.
+		node.driver.SetOnNetFault(ag.SuspectPath)
+		ag.SeedView(id, members, anchor)
+		c.gossipAgents = append(c.gossipAgents, ag)
+	}
+	for _, ag := range c.gossipAgents {
+		ag.Start()
+	}
+}
+
+// GossipAgents returns the per-node membership agents, index-aligned with
+// Nodes (empty unless the gossip plane is selected and the cluster booted).
+func (c *Cluster) GossipAgents() []*gossip.Agent {
+	return append([]*gossip.Agent(nil), c.gossipAgents...)
 }
 
 // StaticRouteFunc supplies the route bytes from node index src to node index
@@ -398,31 +471,72 @@ func (c *Cluster) mapperCap() sim.Duration {
 	return 10 * sim.Second
 }
 
-// runMapperSync runs one mapping pass from the first node, pumping the
-// engine until it converges or the cap expires. Used by Boot and Remap; the
-// network watchdog, which lives *inside* simulation callbacks and cannot
-// pump the engine, uses netwatchRemap instead.
+// mapperAttempts returns how many synchronous mapping attempts Boot and
+// Remap may make in total.
+func (c *Cluster) mapperAttempts() int {
+	switch {
+	case c.cfg.MapperRetries > 0:
+		return 1 + c.cfg.MapperRetries
+	case c.cfg.MapperRetries < 0:
+		return 1
+	default:
+		return 4 // one try plus three retries
+	}
+}
+
+// Backoff between synchronous mapping attempts: doubled per retry, capped.
+const (
+	mapperRetryBackoffBase = 50 * sim.Millisecond
+	mapperRetryBackoffCap  = 500 * sim.Millisecond
+)
+
+// MapperTimeoutRetries counts the synchronous mapping attempts that hit the
+// convergence cap and were retried.
+func (c *Cluster) MapperTimeoutRetries() int { return c.mapperRetries }
+
+// runMapperSync runs a mapping pass from the first node, pumping the engine
+// until it converges or the cap expires. A capped attempt is retried after
+// a capped backoff with twice the convergence budget — a cap hit usually
+// means congestion or an unlucky flap window, not a dead fabric, and a
+// one-shot failure here used to abort the whole boot. Used by Boot and
+// Remap; the network watchdog, which lives *inside* simulation callbacks
+// and cannot pump the engine, uses netwatchRemap instead.
 func (c *Cluster) runMapperSync() (mapper.Result, error) {
-	mp := mapper.New(c.nodes[0].m, c.cfg.Mapper)
-	if len(c.knownIDs) > 0 {
-		mp.SetPrior(c.knownIDs)
-	}
-	var res mapper.Result
-	var mapErr error
-	finished := false
-	mp.Run(func(r mapper.Result, err error) { res, mapErr, finished = r, err, true })
-	deadline := c.eng.Now() + c.mapperCap()
-	for !finished && c.eng.Now() < deadline {
-		c.eng.RunFor(10 * sim.Millisecond)
-	}
-	if !finished {
+	attempts := c.mapperAttempts()
+	budget := c.mapperCap()
+	backoff := mapperRetryBackoffBase
+	for attempt := 1; ; attempt++ {
+		mp := mapper.New(c.nodes[0].m, c.cfg.Mapper)
+		if len(c.knownIDs) > 0 {
+			mp.SetPrior(c.knownIDs)
+		}
+		var res mapper.Result
+		var mapErr error
+		finished := false
+		mp.Run(func(r mapper.Result, err error) { res, mapErr, finished = r, err, true })
+		deadline := c.eng.Now() + budget
+		for !finished && c.eng.Now() < deadline {
+			c.eng.RunFor(10 * sim.Millisecond)
+		}
+		if finished {
+			if mapErr != nil {
+				return mapper.Result{}, mapErr
+			}
+			return res, nil
+		}
 		mp.Abort()
-		return mapper.Result{}, errors.New("gm: mapper did not converge")
+		if attempt >= attempts {
+			return mapper.Result{}, fmt.Errorf("gm: mapper did not converge (%d attempts)", attempts)
+		}
+		c.mapperRetries++
+		c.eng.Tracef("cluster", "mapper attempt %d hit the %v cap; retrying after %v with a %v cap",
+			attempt, budget, backoff, 2*budget)
+		c.eng.RunFor(backoff)
+		if backoff *= 2; backoff > mapperRetryBackoffCap {
+			backoff = mapperRetryBackoffCap
+		}
+		budget *= 2
 	}
-	if mapErr != nil {
-		return mapper.Result{}, mapErr
-	}
-	return res, nil
 }
 
 // netwatchRemap is the watchdog's remap trigger: one asynchronous mapping

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/gmproto"
+	"repro/internal/gossip"
 	"repro/internal/host"
 	"repro/internal/lanai"
 	"repro/internal/mapper"
@@ -61,6 +62,31 @@ const (
 	ModeGM   = mcp.ModeGM
 	ModeFTGM = mcp.ModeFTGM
 )
+
+// ControlPlane selects who repairs membership and routes after boot.
+type ControlPlane int
+
+// Control planes.
+const (
+	// ControlPlaneCentral is the classic plane: the network watchdog on the
+	// mapping node re-runs the mapper and pushes fresh tables to everyone.
+	// One coordinator, one repair path — and both die with node 0.
+	ControlPlaneCentral ControlPlane = iota
+	// ControlPlaneGossip replaces the central watchdog with a SWIM-style
+	// membership agent on every node (internal/gossip): distributed probe
+	// rounds, agreement-based expulsion and readmission, and local route
+	// recomputation from a replicated link-state view. No single node's
+	// death can take the repair path with it.
+	ControlPlaneGossip
+)
+
+// String names the plane.
+func (p ControlPlane) String() string {
+	if p == ControlPlaneGossip {
+		return "gossip"
+	}
+	return "central"
+}
 
 // HostConfig holds the host-side (library) timing constants. The GM values
 // are from Myricom's published measurements quoted in §5.1; the FTGM deltas
@@ -145,10 +171,25 @@ type Config struct {
 	// default: stock GM/FTGM has no network-fault recovery.
 	NetWatch core.NetWatchConfig
 
+	// ControlPlane selects the post-boot repair plane. The zero value keeps
+	// the classic central watchdog (see NetWatch); ControlPlaneGossip runs
+	// a membership agent on every node instead.
+	ControlPlane ControlPlane
+	// Gossip configures the distributed membership agents (only read when
+	// ControlPlane is ControlPlaneGossip). Zero fields take the defaults.
+	Gossip gossip.Config
+
 	// MapperConvergeTimeout caps how much virtual time Boot, Remap and the
 	// network watchdog give the mapping protocol to converge before
 	// declaring failure. <= 0 means the 10 s default.
 	MapperConvergeTimeout sim.Duration
+
+	// MapperRetries is how many extra synchronous mapping attempts Boot and
+	// Remap make when an attempt hits MapperConvergeTimeout, with a capped
+	// backoff between attempts and a doubled convergence cap each retry
+	// (a congested or flapping fabric often converges given more budget).
+	// 0 means the default (3 retries); negative disables retrying.
+	MapperRetries int
 
 	// Shards enables within-trial parallelism: every node (host + NIC) and
 	// every switch becomes its own event domain, synchronized conservatively

@@ -119,6 +119,7 @@ type AuditReport struct {
 	OutOfOrder uint64
 	Lost       uint64 // sent but never delivered (and not excused by Failed)
 	Failed     uint64 // sends that completed with a terminal error status
+	Excused    uint64 // undelivered sends of an ExcuseSource'd (dead) sender
 	Corrupt    uint64 // unbranded/damaged payloads or sender identity mismatch
 	// ExactlyOnceInOrder is the tentpole assertion: every sent message
 	// delivered exactly once, in per-stream order, undamaged.
@@ -129,8 +130,8 @@ type AuditReport struct {
 }
 
 func (r AuditReport) String() string {
-	return fmt.Sprintf("streams=%d sent=%d delivered=%d dups=%d ooo=%d lost=%d failed=%d corrupt=%d exactly-once=%v",
-		r.Streams, r.Sent, r.Delivered, r.Duplicates, r.OutOfOrder, r.Lost, r.Failed, r.Corrupt,
+	return fmt.Sprintf("streams=%d sent=%d delivered=%d dups=%d ooo=%d lost=%d failed=%d excused=%d corrupt=%d exactly-once=%v",
+		r.Streams, r.Sent, r.Delivered, r.Duplicates, r.OutOfOrder, r.Lost, r.Failed, r.Excused, r.Corrupt,
 		r.ExactlyOnceInOrder)
 }
 
@@ -145,6 +146,7 @@ func (r *AuditReport) merge(o AuditReport) {
 	r.OutOfOrder += o.OutOfOrder
 	r.Lost += o.Lost
 	r.Failed += o.Failed
+	r.Excused += o.Excused
 	r.Corrupt += o.Corrupt
 	r.Dirty = append(r.Dirty, o.Dirty...)
 }
@@ -155,12 +157,26 @@ func (r *AuditReport) merge(o AuditReport) {
 type Auditor struct {
 	streams map[StreamKey]*streamAudit
 	corrupt uint64
+	// excusedSrcs holds senders declared permanently dead mid-trial: their
+	// undelivered sends are excused (counted, not judged) — a dead sender
+	// has no delivery contract left, and nothing will ever drain its
+	// streams. Duplicates and reordering of what did arrive still count.
+	excusedSrcs map[gm.NodeID]bool
 }
 
 // NewAuditor returns an empty auditor.
 func NewAuditor() *Auditor {
-	return &Auditor{streams: make(map[StreamKey]*streamAudit)}
+	return &Auditor{
+		streams:     make(map[StreamKey]*streamAudit),
+		excusedSrcs: make(map[gm.NodeID]bool),
+	}
 }
+
+// ExcuseSource declares src permanently dead: every undelivered send of its
+// streams is excused from loss accounting and the drain loop stops waiting
+// for them. Call at the instant of an unrecoverable kill (hard hang with
+// the chip timers dead), never for a fault the scheme is expected to heal.
+func (a *Auditor) ExcuseSource(src gm.NodeID) { a.excusedSrcs[src] = true }
 
 func (a *Auditor) stream(k StreamKey) *streamAudit {
 	s := a.streams[k]
@@ -239,8 +255,11 @@ func (a *Auditor) RecordDelivery(self gm.NodeID, selfPort gm.PortID, ev gm.RecvE
 // once or excused by a terminal failure (the settle loop's drain condition).
 func (a *Auditor) Complete() bool {
 	any := false
-	for _, s := range a.streams {
+	for k, s := range a.streams {
 		any = true
+		if a.excusedSrcs[k.Src] {
+			continue
+		}
 		if s.unique+s.failedUndelivered() < uint64(s.sent) {
 			return false
 		}
@@ -263,7 +282,12 @@ func (a *Auditor) Report() AuditReport {
 		lost := uint64(0)
 		if u := uint64(s.sent); s.unique+s.failedUndelivered() < u {
 			lost = u - s.unique - s.failedUndelivered()
-			r.Lost += lost
+			if a.excusedSrcs[k.Src] {
+				r.Excused += lost
+				lost = 0
+			} else {
+				r.Lost += lost
+			}
 		}
 		if lost > 0 || s.dups > 0 || s.ooo > 0 {
 			var missing []uint32

@@ -5,6 +5,7 @@ import (
 
 	"repro/gm"
 	"repro/internal/fabric"
+	"repro/internal/gossip"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 )
@@ -68,6 +69,20 @@ type TrialResult struct {
 	NetProbes          uint64 // watchdog: readmission probes while peers expelled
 	NetUnreachable     uint64 // watchdog: peers expelled as unreachable
 	NetReadmissions    uint64 // watchdog: expelled peers readmitted
+
+	// Gossip-plane activity, summed over all agents (zero unless
+	// TrialConfig.ControlPlane is gm.ControlPlaneGossip).
+	GossipProbes       uint64 // direct pings launched
+	GossipSuspicions   uint64 // local probe-failure suspicions raised
+	GossipDeadDeclared uint64 // dead verdicts recorded (local + adopted)
+	GossipReadmissions uint64 // dead members welcomed back
+	// End-of-trial convergence defects, judged over the nodes still
+	// running: a live node marked dead by a live node's agent, and a live
+	// node missing from a live node's installed route table. A healthy
+	// gossip trial ends with both at zero — distributed agreement expelled
+	// exactly the dead, and every survivor rebuilt a full route set.
+	GossipLiveExpelled uint64
+	GossipRouteGaps    uint64
 }
 
 // CampaignResult aggregates a campaign.
@@ -129,6 +144,8 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	// mission does).
 	gcfg.Host.RecoveryPerToken = 0
 	gcfg.NetWatch.Enabled = tcfg.NetWatch
+	gcfg.ControlPlane = tcfg.ControlPlane
+	gcfg.Shards = tcfg.Shards
 
 	cl := gm.NewCluster(gcfg)
 	var (
@@ -207,7 +224,7 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 			key := StreamKey{Src: src.ID(), SrcPort: tcfg.Port, Dst: dst.ID(), DstPort: tcfg.Port}
 			buf := aud.NewMessage(key, tcfg.MsgBytes)
 			var cb gm.SendCallback
-			if tcfg.DualSwitch || tcfg.NetWatch {
+			if tcfg.DualSwitch || tcfg.NetWatch || tcfg.ControlPlane == gm.ControlPlaneGossip {
 				// Network-fault trials can fail sends terminally (expelled
 				// peers); the auditor excuses what the library disowned.
 				// Single-switch trials keep the historical nil callback so
@@ -338,6 +355,20 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 					nodes[ev.Node].Driver().SetMCPLoadFailures(ev.Failures)
 				}
 				hang(ev.Node)
+			case KindMapperDeath:
+				// The flap opens an active remap window...
+				l := nodes[ev.Node2].Link()
+				l.SetUp(false)
+				cl.After(ev.Window, func() { l.SetUp(true) })
+				// ...and mid-window the mapping node dies for good: a hard
+				// hang cancels the chip's timers, so the FTD's watchdog can
+				// never fire and nothing ever reloads it. Its unfinished
+				// sends are excused — the schemes are judged on what they
+				// do for the survivors.
+				cl.After(ev.Window/2, func() {
+					aud.ExcuseSource(nodes[ev.Node].ID())
+					nodes[ev.Node].InjectHardHang()
+				})
 			}
 		})
 	}
@@ -389,6 +420,31 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 		res.NetProbes = st.Probes
 		res.NetUnreachable = st.Unreachable
 		res.NetReadmissions = st.Readmissions
+	}
+	if agents := cl.GossipAgents(); len(agents) > 0 {
+		for i, ag := range agents {
+			st := ag.Stats()
+			res.GossipProbes += st.ProbesSent
+			res.GossipSuspicions += st.Suspicions
+			res.GossipDeadDeclared += st.DeadDeclared
+			res.GossipReadmissions += st.Readmissions
+			if !nodes[i].Running() {
+				continue // a dead node's view judges nothing
+			}
+			view := ag.Members()
+			routes := nodes[i].Driver().Routes()
+			for j, peer := range nodes {
+				if j == i || !peer.Running() {
+					continue
+				}
+				if view[peer.ID()] == gossip.StateDead {
+					res.GossipLiveExpelled++
+				}
+				if _, ok := routes[peer.ID()]; !ok {
+					res.GossipRouteGaps++
+				}
+			}
+		}
 	}
 	for _, s := range switches {
 		res.SwitchDeadDrops += s.Stats().DroppedDead

@@ -54,6 +54,15 @@ const (
 	// hosts the mapper): with no alternate path the watchdog must expel the
 	// node and fail its traffic terminally instead of stalling.
 	KindPartition
+	// KindMapperDeath is the control-plane killer: a link flap on a victim
+	// node opens an active remap window, and mid-window node 0 — the
+	// mapping node, whose MCP anchors every central remap — dies for good
+	// (watchdog-invisible hard hang, never reloaded). The central plane's
+	// repair path dies with it; the gossip plane must keep exactly-once
+	// delivery among the survivors and expel exactly the dead node. The
+	// injector excuses node 0's unfinished sends with Auditor.ExcuseSource
+	// (a dead sender has no delivery contract left).
+	KindMapperDeath
 )
 
 // String names the kind.
@@ -77,6 +86,8 @@ func (k EventKind) String() string {
 		return "trunk-death"
 	case KindPartition:
 		return "partition"
+	case KindMapperDeath:
+		return "mapper-death"
 	default:
 		return fmt.Sprintf("kind?%d", int(k))
 	}
@@ -128,6 +139,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" x%d", e.Failures)
 	case KindTrunkDeath:
 		s = fmt.Sprintf("%v %s t%d", e.At, e.Kind, e.Node)
+	case KindMapperDeath:
+		s += fmt.Sprintf(" (flap n%d for %v)", e.Node2, e.Window)
 	}
 	return s
 }
@@ -171,6 +184,15 @@ type TrialConfig struct {
 	// NetWatch enables the network watchdog daemon (detection always runs;
 	// this controls whether anything acts on the suspicion reports).
 	NetWatch bool
+	// ControlPlane selects the cluster's post-boot repair plane. The zero
+	// value (central) keeps earlier campaigns bit-identical; with
+	// gm.ControlPlaneGossip the trial runs a membership agent per node and
+	// NetWatch is ignored (the planes are mutually exclusive).
+	ControlPlane gm.ControlPlane
+	// Shards runs the trial's cluster in domain mode with this many
+	// executors (0 = the classic single-engine cluster). Results are
+	// bit-for-bit identical for every value >= 1.
+	Shards int
 }
 
 // DefaultTrialConfig is a 4-node cluster under 2 seconds of all-to-all
@@ -278,6 +300,12 @@ func PlanEvents(rng *sim.RNG, cfg TrialConfig, start sim.Time) []Event {
 			// with no mapper cannot remap at all (a different failure mode
 			// than the one under test).
 			ev.Node = 1 + rng.Intn(cfg.Nodes-1)
+		case KindMapperDeath:
+			// Node is always the mapping node; Node2 is the flap victim
+			// whose outage opens the remap window the death lands in.
+			ev.Node = 0
+			ev.Node2 = 1 + rng.Intn(cfg.Nodes-1)
+			ev.Window = 20*sim.Millisecond + rng.Duration(30*sim.Millisecond)
 		}
 		events = append(events, ev)
 	}

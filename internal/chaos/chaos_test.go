@@ -309,3 +309,159 @@ func TestNetFaultCampaignStallsWithoutWatchdog(t *testing.T) {
 		t.Errorf("remaps without a watchdog: %+v", res.Trials[0])
 	}
 }
+
+func mapperDeathTrialConfig() TrialConfig {
+	cfg := DefaultTrialConfig()
+	cfg.Traffic = sim.Second
+	cfg.SendEvery = 4 * sim.Millisecond
+	cfg.Events = 1
+	cfg.Kinds = []EventKind{KindMapperDeath}
+	cfg.MaxSettle = 30 * sim.Second
+	return cfg
+}
+
+// The mapper-death acceptance campaign: node 0 — the boot-time mapper —
+// hard-hangs in the middle of an active remap window, taking its chip
+// timers (and any centralized repair authority) with it. The gossip plane
+// has no distinguished node: the survivors expel exactly the dead member
+// by distributed agreement, rebuild full route tables among themselves,
+// and every message the library did not terminally fail is delivered
+// exactly once, in order.
+func TestCampaignMapperDeathGossipSurvives(t *testing.T) {
+	tcfg := mapperDeathTrialConfig()
+	tcfg.ControlPlane = gm.ControlPlaneGossip
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: tcfg}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Sent == 0 {
+		t.Fatal("campaign sent nothing")
+	}
+	if !res.AllExactlyOnce {
+		for _, tr := range res.Trials {
+			t.Logf("trial %d: %v dirty=%v (events: %v)", tr.Trial, tr.Audit, tr.Audit.Dirty, tr.Events)
+		}
+		t.Fatalf("mapper-death audit dirty under gossip: %v", res.Total)
+	}
+	if res.Total.Excused == 0 {
+		t.Error("the dead mapper's unfinished sends were never excused")
+	}
+	for _, tr := range res.Trials {
+		if tr.GossipProbes == 0 {
+			t.Errorf("trial %d: gossip plane never probed: %+v", tr.Trial, tr)
+		}
+		if tr.GossipDeadDeclared == 0 {
+			t.Errorf("trial %d: the dead mapper was never declared dead: %+v", tr.Trial, tr)
+		}
+		if tr.GossipLiveExpelled != 0 {
+			t.Errorf("trial %d: distributed agreement expelled %d live nodes", tr.Trial, tr.GossipLiveExpelled)
+		}
+		if tr.GossipRouteGaps != 0 {
+			t.Errorf("trial %d: %d survivor route-table gaps after convergence", tr.Trial, tr.GossipRouteGaps)
+		}
+		if tr.NetRemaps != 0 || tr.NetUnreachable != 0 {
+			t.Errorf("trial %d: central watchdog activity under the gossip plane: %+v", tr.Trial, tr)
+		}
+	}
+}
+
+// The contrast, part one: the centralized watchdog lives on the mapper
+// node, so the mapper's death leaves repair in the hands of a corpse. Its
+// remap scouts transmit into a dead chip and return a one-node map — node
+// 0 alone — which the daemon happily installs, and one grace period later
+// every live survivor has been expelled as "unreachable". The survivors'
+// pending sends are terminally failed, so the audit is only vacuously
+// clean: the cluster has destroyed itself, not recovered.
+func TestCampaignMapperDeathCentralCollapses(t *testing.T) {
+	tcfg := mapperDeathTrialConfig()
+	tcfg.NetWatch = true
+	cfg := CampaignConfig{Trials: 1, Mode: gm.ModeFTGM, Trial: tcfg}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trials[0]
+	if tr.GossipProbes != 0 {
+		t.Errorf("gossip activity in a central-plane trial: %+v", tr)
+	}
+	if tr.NetUnreachable < uint64(tcfg.Nodes-1) {
+		t.Errorf("central watchdog did not expel the live survivors (NetUnreachable=%d, want >= %d): %+v",
+			tr.NetUnreachable, tcfg.Nodes-1, tr)
+	}
+	if tr.Audit.Failed == 0 {
+		t.Errorf("no terminally failed survivor sends despite mass expulsion: %v", tr.Audit)
+	}
+}
+
+// The contrast, part two: plain FTGM with no repair plane at all simply
+// retransmits at the dead mapper forever — the trial never drains and the
+// auditor records the survivors' losses.
+func TestCampaignMapperDeathStallsWithoutPlane(t *testing.T) {
+	tcfg := mapperDeathTrialConfig()
+	tcfg.MaxSettle = 10 * sim.Second
+	cfg := CampaignConfig{Trials: 1, Mode: gm.ModeFTGM, Trial: tcfg}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllExactlyOnce {
+		t.Fatalf("plain FTGM survived the death of a peer it still holds traffic for: %v", res.Total)
+	}
+	if res.Total.Lost == 0 {
+		t.Errorf("no losses recorded on a stalled cluster: %v", res.Total)
+	}
+	if res.Trials[0].NetRemaps != 0 || res.Trials[0].GossipProbes != 0 {
+		t.Errorf("repair-plane activity without a plane: %+v", res.Trials[0])
+	}
+}
+
+// The mapper-death gossip campaign obeys both determinism contracts: the
+// worker-count contract (trials fan out over any worker count bit-for-bit)
+// and the shard contract (each trial's cluster produces identical results
+// on the classic engine and on the sharded engine at any shard count).
+func TestCampaignMapperDeathInvariance(t *testing.T) {
+	tcfg := mapperDeathTrialConfig()
+	tcfg.ControlPlane = gm.ControlPlaneGossip
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: tcfg}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	cfg.Workers = 1
+	serial, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	fanned, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("results differ across worker counts:\n 1 worker: %+v\n 4 workers: %+v", serial, fanned)
+	}
+
+	cfg.Workers = 0
+	cfg.Trial.Shards = 1
+	base, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{4, 8} {
+		cfg.Trial.Shards = shards
+		got, err := Run(testSeed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only the config differs; the accounting must not.
+		for i := range got.Trials {
+			if !reflect.DeepEqual(base.Trials[i], got.Trials[i]) {
+				t.Fatalf("trial %d differs between 1 and %d shards:\n 1: %+v\n %d: %+v",
+					i, shards, base.Trials[i], shards, got.Trials[i])
+			}
+		}
+	}
+}

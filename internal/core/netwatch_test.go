@@ -189,3 +189,130 @@ func TestNetWatchProbesWhileExpelled(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 unreachable / 1 readmission", st)
 	}
 }
+
+// A sustained flap storm — a new incident as soon as each remap cycle
+// closes, for eight cycles straight — must walk the debounce ladder all the
+// way to DebounceCap and hold it there, never going back-to-back.
+func TestNetWatchFlapStormClampsDebounceAtCap(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+
+	// Each suspicion lands 100 ms after the previous remap completes: well
+	// inside QuietPeriod, so the streak never resets and incident i's
+	// debounce is min(base << i, cap). The expected timeline is computed
+	// with the same recurrence the daemon uses.
+	const rounds = 8
+	var wantAttempts []sim.Time
+	next := sim.Duration(0)
+	for i := 0; i < rounds; i++ {
+		deb := cfg.DebounceWindow << uint(i)
+		if deb > cfg.DebounceCap {
+			deb = cfg.DebounceCap
+		}
+		h.eng.After(next, func() { h.nw.Suspect(2) })
+		attempt := next + deb
+		wantAttempts = append(wantAttempts, sim.Time(attempt))
+		next = attempt + h.remapDelay + 100*sim.Millisecond
+	}
+	h.eng.RunUntil(sim.Time(next) + sim.Second)
+
+	if len(h.attempts) != rounds {
+		t.Fatalf("remap attempts = %d, want %d", len(h.attempts), rounds)
+	}
+	for i, want := range wantAttempts {
+		if h.attempts[i] != want {
+			t.Fatalf("attempt %d at %v, want %v (full ladder: got %v want %v)",
+				i, h.attempts[i], want, h.attempts, wantAttempts)
+		}
+	}
+	// The tail of the storm runs at the cap: the last two debounces both
+	// equal DebounceCap, so the daemon has stopped escalating.
+	lastDeb := wantAttempts[rounds-1] - wantAttempts[rounds-2] -
+		sim.Time(h.remapDelay+100*sim.Millisecond)
+	if sim.Duration(lastDeb) != cfg.DebounceCap {
+		t.Fatalf("storm-tail debounce = %v, want cap %v", lastDeb, cfg.DebounceCap)
+	}
+	if st := h.nw.Stats(); st.Incidents != rounds || st.Remaps != rounds {
+		t.Fatalf("stats = %+v, want %d incidents / %d remaps", st, rounds, rounds)
+	}
+}
+
+// While a remap cycle is failing and backing off — a fabric that flaps
+// faster than the mapper can converge — the readmission probe must defer
+// to the cycle in hand (it "doubles as the probe") and only start firing
+// once the daemon goes idle with peers still expelled.
+func TestNetWatchProbeDefersToActiveRemapCycle(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+	// 20 failures keep the daemon in remap/backoff for ~33 s of virtual
+	// time; the 21st attempt succeeds.
+	for i := 0; i < 20; i++ {
+		h.results = append(h.results, false)
+	}
+
+	h.eng.After(0, func() {
+		h.nw.NoteUnreachable()
+		h.nw.Suspect(2)
+	})
+	var midProbes uint64
+	h.eng.After(30*sim.Second, func() { midProbes = h.nw.Stats().Probes })
+	h.eng.RunUntil(60 * sim.Second)
+
+	if midProbes != 0 {
+		t.Fatalf("probes fired while a remap cycle was in hand: %d", midProbes)
+	}
+	st := h.nw.Stats()
+	if st.RemapFailures != 20 {
+		t.Fatalf("RemapFailures = %d, want 20", st.RemapFailures)
+	}
+	if st.Probes < 2 {
+		t.Fatalf("Probes = %d, want >= 2 once the daemon went idle with a peer expelled", st.Probes)
+	}
+	// Every attempt is accounted: one per failure, one per successful
+	// remap (the incident's closer plus each probe's).
+	if len(h.attempts) != int(st.RemapFailures+st.Remaps) {
+		t.Fatalf("attempts = %d, want failures+remaps = %d", len(h.attempts), st.RemapFailures+st.Remaps)
+	}
+}
+
+// Repeated flaps can expel several peers; the probe chain must stay a
+// single chain (one probe per interval, however many peers stand expelled)
+// and keep running until the last expelled peer is readmitted.
+func TestNetWatchProbeChainSingleAcrossManyExpelled(t *testing.T) {
+	cfg := DefaultNetWatchConfig()
+	h := newNWHarness(t, cfg)
+
+	h.eng.After(0, func() {
+		h.nw.NoteUnreachable()
+		h.nw.NoteUnreachable()
+		h.nw.NoteUnreachable()
+	})
+	h.eng.RunUntil(10 * sim.Second)
+
+	// Probe at ~2s, then every ProbeInterval+remapDelay: 4 fit in 10 s.
+	// Three stacked chains would have fired ~12.
+	st := h.nw.Stats()
+	if st.Probes < 3 || st.Probes > 5 {
+		t.Fatalf("Probes = %d, want one chain's worth (3..5) for 3 expelled peers", st.Probes)
+	}
+
+	// One readmission leaves two peers expelled: probing continues.
+	h.nw.NoteReadmitted()
+	before := h.nw.Stats().Probes
+	h.eng.RunUntil(h.eng.Now() + 3*cfg.ProbeInterval)
+	if after := h.nw.Stats().Probes; after <= before {
+		t.Fatalf("probing stopped with peers still expelled: %d -> %d", before, after)
+	}
+
+	// Readmitting the rest stops the chain (modulo one already-armed timer).
+	h.nw.NoteReadmitted()
+	h.nw.NoteReadmitted()
+	before = h.nw.Stats().Probes
+	h.eng.RunUntil(h.eng.Now() + 5*cfg.ProbeInterval)
+	if after := h.nw.Stats().Probes; after > before+1 {
+		t.Fatalf("probes kept firing after full readmission: %d -> %d", before, after)
+	}
+	if st := h.nw.Stats(); st.Unreachable != 3 || st.Readmissions != 3 {
+		t.Fatalf("stats = %+v, want 3 unreachable / 3 readmissions", st)
+	}
+}

@@ -66,6 +66,10 @@ func (t PacketType) String() string {
 		return "SCOUT"
 	case PTMapReply:
 		return "REPLY"
+	case PTMapConfig:
+		return "CONFIG"
+	case PTGossip:
+		return "GOSSIP"
 	default:
 		return fmt.Sprintf("PT?%d", uint8(t))
 	}

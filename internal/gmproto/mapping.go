@@ -9,6 +9,13 @@ import (
 // an interface.
 const PTMapConfig PacketType = 6
 
+// PTGossip carries the gossip control plane's datagrams (internal/gossip):
+// probe rounds and piggybacked membership deltas ride the fabric as raw
+// source-routed packets, exactly like the mapper's scouts — the membership
+// plane must keep probing peers the reliable stream layer already refuses
+// to talk to.
+const PTGossip PacketType = 7
+
 // ScoutPayload is a mapper probe. It carries the forward route it was
 // launched on so the reached interface can compute the reverse route
 // (negated deltas in reverse order) and identify which probe it answers.

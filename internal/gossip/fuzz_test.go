@@ -1,0 +1,114 @@
+package gossip
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gmproto"
+)
+
+// seedMessages is the fuzz corpus: one of each datagram type, empty and
+// full dissemination payloads, boundary counts.
+func seedMessages() []*Message {
+	return []*Message{
+		{Type: MsgPing, From: 1, FromInc: 0, Seq: 1},
+		{Type: MsgAck, From: 2, FromInc: 7, Target: 2, Seq: 1,
+			Deltas: []Delta{{Node: 3, From: 1, Inc: 4, State: StateSuspect}}},
+		{Type: MsgPingReq, From: 1, Target: 3, Seq: 9,
+			Paths: []PathSuspicion{{From: 1, About: 3}}},
+		{Type: MsgIndirectAck, From: 4, FromInc: 1, Target: 3, Seq: 9,
+			Deltas: []Delta{
+				{Node: 1, From: 1, Inc: 2, State: StateAlive},
+				{Node: 2, From: 4, Inc: 0, State: StateDead},
+			},
+			Paths: []PathSuspicion{{From: 4, About: 2}, {From: 2, About: 1}}},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, m := range seedMessages() {
+		enc := m.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", m.Type, err)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatalf("round trip changed bytes for %v", m.Type)
+		}
+		if got.Type != m.Type || got.From != m.From || got.FromInc != m.FromInc ||
+			got.Target != m.Target || got.Seq != m.Seq ||
+			len(got.Deltas) != len(m.Deltas) || len(got.Paths) != len(m.Paths) {
+			t.Fatalf("round trip lost fields: %+v vs %+v", got, m)
+		}
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     {byte(gmproto.PTGossip), byte(MsgPing)},
+		"wrong tag": append([]byte{byte(gmproto.PTData)}, seedMessages()[0].Encode()[1:]...),
+		"bad type":  {byte(gmproto.PTGossip), 0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"truncated body": func() []byte {
+			b := seedMessages()[1].Encode()
+			return b[:len(b)-1]
+		}(),
+		"bad state": func() []byte {
+			b := seedMessages()[1].Encode()
+			b[len(b)-1] = 0x7F // the delta's state byte
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: decode accepted garbage", name)
+		}
+	}
+}
+
+// TestWireDecodeCopies verifies the decoder detaches from the input buffer:
+// MCP packets are pooled, so a Message must survive its source being
+// recycled.
+func TestWireDecodeCopies(t *testing.T) {
+	src := seedMessages()[3]
+	buf := src.Encode()
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	if m.Deltas[0].Node != 1 || m.Deltas[1].State != StateDead || m.Paths[1].About != 1 {
+		t.Fatal("decoded message aliased the (now clobbered) input buffer")
+	}
+}
+
+// FuzzDecodeGossip: arbitrary bytes must either fail to decode or survive
+// a decode -> encode -> decode cycle unchanged; never panic. This is the
+// `make gossip` campaign target; tier1 runs the corpus as a plain test.
+func FuzzDecodeGossip(f *testing.F) {
+	for _, m := range seedMessages() {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(gmproto.PTGossip)})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Add(append(seedMessages()[3].Encode(), 0, 1, 2, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := m.Encode()
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Encode normalizes trailing garbage away; the canonical form must
+		// be a fixed point.
+		if !bytes.Equal(m2.Encode(), re) {
+			t.Fatalf("canonical form not a fixed point:\n in  %x\n out %x", re, m2.Encode())
+		}
+	})
+}

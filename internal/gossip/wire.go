@@ -1,0 +1,196 @@
+// Package gossip is the distributed membership and link-state control
+// plane: a SWIM-style failure detector (ping / ping-req probe rounds with
+// suspicion timeouts and incarnation-numbered refutation) running on every
+// node, with membership deltas and path-health suspicions piggybacked on
+// the probe traffic. Each member holds a replica of the boot map's
+// anchor-relative route database and computes its own route table locally
+// through internal/routing — so detection, agreement and remap all happen
+// with no coordinator round-trip, unlike the central mapper plane, whose
+// repair path dies with the mapping node (the DIR Net model: distributed
+// detection/isolation/recovery with no single health-state anchor).
+//
+// Gossip datagrams ride the fabric as raw source-routed packets (PTGossip),
+// exactly like the mapper's scouts: the membership plane must keep probing
+// peers the reliable stream layer already refuses to talk to, and an
+// unreliable datagram transport is what SWIM's detector is designed for.
+// Every timer is an ordinary sim event on the node's own domain and every
+// random draw comes from a per-agent seed-derived generator, so a gossip
+// cluster is bit-for-bit deterministic at any shard count.
+package gossip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/gmproto"
+)
+
+// MsgType tags a gossip datagram.
+type MsgType uint8
+
+// Datagram types.
+const (
+	// MsgPing probes a peer directly.
+	MsgPing MsgType = iota + 1
+	// MsgAck answers a ping.
+	MsgAck
+	// MsgPingReq asks a relay to probe Target on the sender's behalf
+	// (SWIM's indirect probe: one bad path must not condemn a live peer).
+	MsgPingReq
+	// MsgIndirectAck relays a target's ack back to the ping-req origin.
+	MsgIndirectAck
+)
+
+// String names the type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgAck:
+		return "ack"
+	case MsgPingReq:
+		return "ping-req"
+	case MsgIndirectAck:
+		return "indirect-ack"
+	default:
+		return fmt.Sprintf("msg?%d", uint8(t))
+	}
+}
+
+// State is a member's health in the replicated membership view.
+type State uint8
+
+// Membership states, in override order: a dead verdict outranks suspicion,
+// which outranks aliveness, at equal incarnation.
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state?%d", uint8(s))
+	}
+}
+
+// Delta is one piggybacked membership update: node is in state at
+// incarnation inc. For suspect deltas, From is the original suspector —
+// relays preserve it, so receivers count distinct endorsers toward the
+// expulsion quorum instead of trusting one accuser heard many times.
+type Delta struct {
+	Node  gmproto.NodeID
+	From  gmproto.NodeID
+	Inc   uint32
+	State State
+}
+
+// PathSuspicion is a piggybacked path-health report: From's reliable
+// streams toward About stalled (the MCP's NET_FAULT_SUSPECTED signal).
+// Receivers react by probing About out of round, which turns one node's
+// path evidence into cluster-wide confirmation or refutation.
+type PathSuspicion struct {
+	From  gmproto.NodeID
+	About gmproto.NodeID
+}
+
+// Message is one gossip datagram.
+type Message struct {
+	Type MsgType
+	// From is the sender; FromInc its current incarnation (implicit
+	// aliveness: hearing a dead-marked member announce a newer incarnation
+	// is what readmits it).
+	From    gmproto.NodeID
+	FromInc uint32
+	// Target is the probe subject of a ping-req / indirect-ack.
+	Target gmproto.NodeID
+	// Seq pairs acks with the probes they answer.
+	Seq uint32
+	// Deltas and Paths are the piggybacked dissemination payload.
+	Deltas []Delta
+	Paths  []PathSuspicion
+}
+
+// Wire layout after the PTGossip tag byte:
+//
+//	type(1) from(2) fromInc(4) target(2) seq(4) nDeltas(1) nPaths(1)
+//	then nDeltas * [node(2) from(2) inc(4) state(1)]
+//	then nPaths  * [from(2) about(2)]
+const msgFixed = 1 + 1 + 2 + 4 + 2 + 4 + 1 + 1
+
+// Encode renders the datagram, PTGossip-tagged for the fabric demux.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, msgFixed+9*len(m.Deltas)+4*len(m.Paths))
+	buf = append(buf, byte(gmproto.PTGossip), byte(m.Type))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.LittleEndian.AppendUint32(buf, m.FromInc)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(m.Target))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Seq)
+	buf = append(buf, byte(len(m.Deltas)), byte(len(m.Paths)))
+	for _, d := range m.Deltas {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(d.Node))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(d.From))
+		buf = binary.LittleEndian.AppendUint32(buf, d.Inc)
+		buf = append(buf, byte(d.State))
+	}
+	for _, p := range m.Paths {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.From))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.About))
+	}
+	return buf
+}
+
+// Decode parses a datagram. It copies everything it keeps, so the caller's
+// buffer (a pooled wire packet) can be recycled on return.
+func Decode(b []byte) (Message, error) {
+	if len(b) < msgFixed || gmproto.PacketType(b[0]) != gmproto.PTGossip {
+		return Message{}, fmt.Errorf("%w: gossip", gmproto.ErrShortHeader)
+	}
+	m := Message{
+		Type:    MsgType(b[1]),
+		From:    gmproto.NodeID(binary.LittleEndian.Uint16(b[2:])),
+		FromInc: binary.LittleEndian.Uint32(b[4:]),
+		Target:  gmproto.NodeID(binary.LittleEndian.Uint16(b[8:])),
+		Seq:     binary.LittleEndian.Uint32(b[10:]),
+	}
+	if m.Type < MsgPing || m.Type > MsgIndirectAck {
+		return Message{}, fmt.Errorf("gossip: bad message type %d", b[1])
+	}
+	nd, np := int(b[14]), int(b[15])
+	off := msgFixed
+	if len(b) < off+9*nd+4*np {
+		return Message{}, fmt.Errorf("%w: gossip body", gmproto.ErrShortHeader)
+	}
+	if nd > 0 {
+		m.Deltas = make([]Delta, nd)
+		for i := range m.Deltas {
+			d := &m.Deltas[i]
+			d.Node = gmproto.NodeID(binary.LittleEndian.Uint16(b[off:]))
+			d.From = gmproto.NodeID(binary.LittleEndian.Uint16(b[off+2:]))
+			d.Inc = binary.LittleEndian.Uint32(b[off+4:])
+			if b[off+8] > byte(StateDead) {
+				return Message{}, fmt.Errorf("gossip: bad member state %d", b[off+8])
+			}
+			d.State = State(b[off+8])
+			off += 9
+		}
+	}
+	if np > 0 {
+		m.Paths = make([]PathSuspicion, np)
+		for i := range m.Paths {
+			p := &m.Paths[i]
+			p.From = gmproto.NodeID(binary.LittleEndian.Uint16(b[off:]))
+			p.About = gmproto.NodeID(binary.LittleEndian.Uint16(b[off+2:]))
+			off += 4
+		}
+	}
+	return m, nil
+}

@@ -17,11 +17,10 @@ package mapper
 
 import (
 	"errors"
-	"fmt"
-	"sort"
 
 	"repro/internal/gmproto"
 	"repro/internal/mcp"
+	"repro/internal/routing"
 	"repro/internal/sim"
 )
 
@@ -215,60 +214,30 @@ func (mp *Mapper) finish() {
 	// A mapper that found nothing still configures itself: a one-node map
 	// (the rest of the fabric may be down or absent).
 
-	// Deterministic identity assignment over sorted UIDs: interfaces present
-	// in the prior map keep their identity, newcomers fill the smallest
-	// unused IDs from 1 up.
+	// Deterministic identity assignment (internal/routing): interfaces
+	// present in the prior map keep their identity, newcomers fill the
+	// smallest unused IDs from 1 up.
 	uids := make([]uint64, 0, len(mp.found)+1)
 	uids = append(uids, mp.local.UID())
 	for uid := range mp.found {
 		uids = append(uids, uid)
 	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
-	ids := make(map[uint64]gmproto.NodeID, len(uids))
-	used := make(map[gmproto.NodeID]bool, len(uids))
-	for _, uid := range uids {
-		if id, ok := mp.prior[uid]; ok && id != 0 && !used[id] {
-			ids[uid] = id
-			used[id] = true
-		}
-	}
-	next := gmproto.NodeID(1)
-	for _, uid := range uids {
-		if _, ok := ids[uid]; ok {
-			continue
-		}
-		for used[next] {
-			next++
-		}
-		ids[uid] = next
-		used[next] = true
-	}
+	ids := routing.AssignIDs(uids, mp.prior)
 	mapperID := ids[mp.local.UID()]
 
-	// Mapper-relative routes.
+	// Mapper-relative routes: the anchor database the shared splicing core
+	// (and, in the gossip plane, every member's local recompute) works from.
 	fromMapper := make(map[gmproto.NodeID][]byte, len(mp.found))
 	for uid, route := range mp.found {
 		fromMapper[ids[uid]] = route
 	}
 
 	// All-pairs route tables via splicing at the mapper's first switch.
-	routes := make(map[gmproto.NodeID]map[gmproto.NodeID][]byte, len(uids))
-	for _, xu := range uids {
-		x := ids[xu]
-		tbl := make(map[gmproto.NodeID][]byte)
-		for _, yu := range uids {
-			y := ids[yu]
-			if x == y {
-				continue
-			}
-			r, err := SpliceRoute(fromMapper[x], fromMapper[y])
-			if err != nil {
-				continue
-			}
-			tbl[y] = r
-		}
-		routes[x] = tbl
+	members := make([]gmproto.NodeID, 0, len(uids))
+	for _, uid := range uids {
+		members = append(members, ids[uid])
 	}
+	routes := routing.Tables(members, fromMapper)
 
 	// Distribute: remote nodes by config packet, the mapper node directly.
 	for _, uid := range uids {
@@ -298,37 +267,11 @@ func (mp *Mapper) finish() {
 	})
 }
 
-// SpliceRoute builds a route X->Y out of the mapper's routes M->X and M->Y.
-// The two mapper routes share switches up to their first divergence; the
-// spliced route backtracks from X to the divergence switch, turns, and
-// follows the Y path. At the divergence switch the X-path packet arrives on
-// the port it would have exited toward X (input-relative deltas make that
-// in+dx), while the Y path needs output in+dy, so the junction delta is
-// dy-dx; every later Y-path delta applies unchanged because the packet then
-// enters each switch on exactly the port an M-launched packet would.
-//
-// An empty toX means X is the mapper itself (route is just M->Y); an empty
-// toY means Y is the mapper (route is just reverse(M->X)).
+// SpliceRoute builds a route X->Y out of the mapper's routes M->X and M->Y,
+// spliced at their first divergence switch. The computation lives in
+// internal/routing (shared with the gossip control plane, whose members
+// splice their own tables locally); this forwarder keeps the mapper's
+// historical API.
 func SpliceRoute(toX, toY []byte) ([]byte, error) {
-	if len(toX) == 0 {
-		if len(toY) == 0 {
-			return nil, fmt.Errorf("mapper: splice of empty routes")
-		}
-		return append([]byte(nil), toY...), nil
-	}
-	if len(toY) == 0 {
-		return gmproto.ReverseRoute(toX), nil
-	}
-	// Longest common prefix, capped so the junction hop exists in both.
-	maxK := min(len(toX), len(toY)) - 1
-	k := 0
-	for k < maxK && toX[k] == toY[k] {
-		k++
-	}
-	rev := gmproto.ReverseRoute(toX[k:])
-	out := make([]byte, 0, len(rev)+len(toY)-k)
-	out = append(out, rev[:len(rev)-1]...)
-	out = append(out, byte(int8(toY[k])-int8(toX[k])))
-	out = append(out, toY[k+1:]...)
-	return out, nil
+	return routing.SpliceRoute(toX, toY)
 }

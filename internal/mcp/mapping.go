@@ -20,6 +20,16 @@ func (m *MCP) UID() uint64 { return m.uid }
 // SetMapSink installs the local mapper process's reply hook.
 func (m *MCP) SetMapSink(fn MapSink) { m.mapSink = fn }
 
+// GossipSink receives gossip control-plane datagrams (PTGossip payloads)
+// arriving at this interface; the cluster wires it to the node's
+// membership agent. Unlike the map sink — which only the mapping node
+// installs, for the duration of one run — the gossip sink is permanent and
+// present on every node.
+type GossipSink func(payload []byte)
+
+// SetGossipSink installs the node's gossip-plane datagram hook.
+func (m *MCP) SetGossipSink(fn GossipSink) { m.gossipSink = fn }
+
 // RawTransmit injects an arbitrary payload onto the wire along an explicit
 // route; the mapper uses it to launch scouts and distribute configuration.
 // The packet is built (and route/payload copied) at call time; a ring holds
@@ -79,5 +89,11 @@ func (m *MCP) handleMapPacket(t gmproto.PacketType, payload []byte) {
 		}
 		m.nodeID = c.ID
 		m.UploadRoutes(c.Routes)
+	case gmproto.PTGossip:
+		// The sink decodes (and copies what it keeps) before returning; the
+		// packet goes back to the arena right after, like a map reply.
+		if m.gossipSink != nil {
+			m.gossipSink(payload)
+		}
 	}
 }

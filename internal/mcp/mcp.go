@@ -25,7 +25,8 @@ type MCP struct {
 	uid    uint64
 	routes map[gmproto.NodeID][]byte
 
-	mapSink MapSink
+	mapSink    MapSink
+	gossipSink GossipSink
 
 	// onNetFault is the host-side sink for NET_FAULT_SUSPECTED reports
 	// (the driver wires it to the network watchdog).

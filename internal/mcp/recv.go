@@ -124,7 +124,7 @@ func (m *MCP) serviceRecvRing() {
 		}
 		pkt.Release()
 		m.pushSvc(svcItem{kind: svcNack, ah: h}, m.cfg.AckProc)
-	case gmproto.PTMapScout, gmproto.PTMapReply, gmproto.PTMapConfig:
+	case gmproto.PTMapScout, gmproto.PTMapReply, gmproto.PTMapConfig, gmproto.PTGossip:
 		m.trackService(pkt)
 		m.pushSvc(svcItem{kind: svcMap, pt: t, pkt: pkt}, m.cfg.AckProc)
 	default:

@@ -1,0 +1,112 @@
+// Package routing is the route-computation core shared by the two control
+// planes: the central GM mapper (internal/mapper), which computes every
+// node's table on the mapping node and distributes it in-band, and the
+// gossip membership plane (internal/gossip), where each node computes its
+// own table locally from a replicated anchor-relative route database.
+//
+// Everything here is pure computation over delta routes — no engine, no
+// packets — so both planes produce byte-identical tables from the same
+// inputs: identity assignment over burned-in UIDs, and all-pairs source
+// routes spliced at the anchor's first switch from the anchor's own routes.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gmproto"
+)
+
+// AssignIDs deterministically assigns a NodeID to every UID: interfaces
+// present in prior keep their identity (streams are keyed by NodeID, so an
+// identity that moved between nodes across a remap would silently
+// cross-wire sequence spaces); newcomers fill the smallest unused IDs from
+// 1 up, in UID order. The input slice is not modified.
+func AssignIDs(uids []uint64, prior map[uint64]gmproto.NodeID) map[uint64]gmproto.NodeID {
+	sorted := append([]uint64(nil), uids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ids := make(map[uint64]gmproto.NodeID, len(sorted))
+	used := make(map[gmproto.NodeID]bool, len(sorted))
+	for _, uid := range sorted {
+		if id, ok := prior[uid]; ok && id != 0 && !used[id] {
+			ids[uid] = id
+			used[id] = true
+		}
+	}
+	next := gmproto.NodeID(1)
+	for _, uid := range sorted {
+		if _, ok := ids[uid]; ok {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		ids[uid] = next
+		used[next] = true
+	}
+	return ids
+}
+
+// SpliceRoute builds a route X->Y out of the anchor's routes A->X and A->Y.
+// The two anchor routes share switches up to their first divergence; the
+// spliced route backtracks from X to the divergence switch, turns, and
+// follows the Y path. At the divergence switch the X-path packet arrives on
+// the port it would have exited toward X (input-relative deltas make that
+// in+dx), while the Y path needs output in+dy, so the junction delta is
+// dy-dx; every later Y-path delta applies unchanged because the packet then
+// enters each switch on exactly the port an A-launched packet would.
+//
+// An empty toX means X is the anchor itself (route is just A->Y); an empty
+// toY means Y is the anchor (route is just reverse(A->X)).
+func SpliceRoute(toX, toY []byte) ([]byte, error) {
+	if len(toX) == 0 {
+		if len(toY) == 0 {
+			return nil, fmt.Errorf("routing: splice of empty routes")
+		}
+		return append([]byte(nil), toY...), nil
+	}
+	if len(toY) == 0 {
+		return gmproto.ReverseRoute(toX), nil
+	}
+	// Longest common prefix, capped so the junction hop exists in both.
+	maxK := min(len(toX), len(toY)) - 1
+	k := 0
+	for k < maxK && toX[k] == toY[k] {
+		k++
+	}
+	rev := gmproto.ReverseRoute(toX[k:])
+	out := make([]byte, 0, len(rev)+len(toY)-k)
+	out = append(out, rev[:len(rev)-1]...)
+	out = append(out, byte(int8(toY[k])-int8(toX[k])))
+	out = append(out, toY[k+1:]...)
+	return out, nil
+}
+
+// TableFor computes one node's route table: a route from self to every
+// member of members except itself, spliced from the anchor-relative
+// database (anchor[id] is the anchor's route to id; absent/nil for the
+// anchor node itself). Pairs the database cannot connect are omitted.
+func TableFor(self gmproto.NodeID, members []gmproto.NodeID, anchor map[gmproto.NodeID][]byte) map[gmproto.NodeID][]byte {
+	tbl := make(map[gmproto.NodeID][]byte, len(members))
+	for _, y := range members {
+		if y == self {
+			continue
+		}
+		r, err := SpliceRoute(anchor[self], anchor[y])
+		if err != nil {
+			continue
+		}
+		tbl[y] = r
+	}
+	return tbl
+}
+
+// Tables computes the all-pairs route tables for members from the
+// anchor-relative database: the central mapper's bulk form of TableFor.
+func Tables(members []gmproto.NodeID, anchor map[gmproto.NodeID][]byte) map[gmproto.NodeID]map[gmproto.NodeID][]byte {
+	routes := make(map[gmproto.NodeID]map[gmproto.NodeID][]byte, len(members))
+	for _, x := range members {
+		routes[x] = TableFor(x, members, anchor)
+	}
+	return routes
+}

@@ -1,0 +1,103 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gmproto"
+)
+
+func TestAssignIDsFreshAndPrior(t *testing.T) {
+	// Fresh assignment: sorted UIDs get 1..n.
+	ids := AssignIDs([]uint64{30, 10, 20}, nil)
+	want := map[uint64]gmproto.NodeID{10: 1, 20: 2, 30: 3}
+	for uid, id := range want {
+		if ids[uid] != id {
+			t.Fatalf("fresh AssignIDs[%d] = %d, want %d", uid, ids[uid], id)
+		}
+	}
+
+	// Survivors keep their prior identity; the newcomer fills the gap.
+	prior := map[uint64]gmproto.NodeID{10: 3, 30: 1}
+	ids = AssignIDs([]uint64{10, 30, 40}, prior)
+	if ids[10] != 3 || ids[30] != 1 {
+		t.Fatalf("prior identities not preserved: %v", ids)
+	}
+	if ids[40] != 2 {
+		t.Fatalf("newcomer should fill smallest unused ID 2, got %d", ids[40])
+	}
+}
+
+func TestAssignIDsDuplicatePrior(t *testing.T) {
+	// Two UIDs claiming the same prior ID: first in UID order wins, the
+	// other is treated as a newcomer.
+	prior := map[uint64]gmproto.NodeID{10: 2, 20: 2}
+	ids := AssignIDs([]uint64{20, 10}, prior)
+	if ids[10] != 2 {
+		t.Fatalf("uid 10 should keep prior id 2, got %d", ids[10])
+	}
+	if ids[20] != 1 {
+		t.Fatalf("uid 20 should fall back to smallest unused id 1, got %d", ids[20])
+	}
+}
+
+func TestSpliceRouteAnchorCases(t *testing.T) {
+	// X is the anchor: route is simply A->Y.
+	got, err := SpliceRoute(nil, []byte{1, 2})
+	if err != nil || !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("anchor->Y splice = %v, %v", got, err)
+	}
+	// Y is the anchor: route is reverse(A->X).
+	got, err = SpliceRoute([]byte{1, 2}, nil)
+	if err != nil || !bytes.Equal(got, []byte{0xFE, 0xFF}) {
+		t.Fatalf("X->anchor splice = %v, %v", got, err)
+	}
+	if _, err := SpliceRoute(nil, nil); err == nil {
+		t.Fatal("splice of two empty routes should fail")
+	}
+}
+
+func TestSpliceRouteJunction(t *testing.T) {
+	// Same first switch, different exit ports: one junction delta.
+	got, err := SpliceRoute([]byte{2}, []byte{5})
+	if err != nil || !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("single-switch splice = %v, %v", got, err)
+	}
+	// Shared prefix of one hop: backtrack one switch, turn, follow Y.
+	got, err = SpliceRoute([]byte{1, 2}, []byte{1, 4})
+	if err != nil || !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("shared-prefix splice = %v, %v", got, err)
+	}
+}
+
+func TestTablesMatchTableFor(t *testing.T) {
+	anchor := map[gmproto.NodeID][]byte{
+		2: {1},
+		3: {2},
+		4: {3},
+	}
+	members := []gmproto.NodeID{1, 2, 3, 4}
+	all := Tables(members, anchor)
+	if len(all) != 4 {
+		t.Fatalf("Tables returned %d tables, want 4", len(all))
+	}
+	for _, x := range members {
+		one := TableFor(x, members, anchor)
+		if len(one) != len(members)-1 {
+			t.Fatalf("node %d table has %d entries, want %d", x, len(one), len(members)-1)
+		}
+		for y, r := range one {
+			if !bytes.Equal(all[x][y], r) {
+				t.Fatalf("Tables/TableFor disagree for %d->%d: %v vs %v", x, y, all[x][y], r)
+			}
+		}
+	}
+	// Spot-check symmetry through the anchor's switch: 2->3 turns at the
+	// shared crossbar with delta dy-dx.
+	if !bytes.Equal(all[2][3], []byte{1}) {
+		t.Fatalf("2->3 route = %v, want [1]", all[2][3])
+	}
+	if !bytes.Equal(all[3][2], []byte{0xFF}) {
+		t.Fatalf("3->2 route = %v, want [-1]", all[3][2])
+	}
+}
