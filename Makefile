@@ -2,9 +2,9 @@
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra; bench-short smoke-runs every benchmark once so a broken
 # bench path cannot land.
-.PHONY: tier1 build vet fmt static test race chaos netfault gossip gossip-short bench bench-short benchdiff quickbench scale-short
+.PHONY: tier1 build vet fmt static test race chaos netfault gossip gossip-short ckpt ckpt-short bench bench-short benchdiff quickbench scale-short
 
-tier1: build vet fmt static race scale-short gossip-short bench-short
+tier1: build vet fmt static race scale-short gossip-short ckpt-short bench-short
 
 build:
 	go build ./...
@@ -54,6 +54,22 @@ gossip:
 gossip-short:
 	go test -race -run 'Gossip|Wire|Fuzz' ./internal/gossip/
 
+# Host-fault campaign: endpoint checkpoint/restart under the race detector
+# (drain/kill/restore unit suite, host-death and mapper-rebirth chaos
+# campaigns, the experiment comparison, whole-sim snapshot/resume), then a
+# timed fuzz campaign over the checkpoint wire codec.
+ckpt:
+	go test -race -v -run 'HostFault|HostDeath|MapperRebirth|Checkpoint|SnapshotResume' \
+		./internal/ckpt/ ./internal/sim/ ./gm/ ./internal/chaos/ ./internal/experiments/
+	go test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/ckpt/
+
+# Checkpoint smoke gate (tier1): the wire codec's unit suite and fuzz
+# corpus as plain tests plus the endpoint drain/kill/restore suite and the
+# engine-level snapshot/resume contract, all under the race detector.
+ckpt-short:
+	go test -race -run 'Checkpoint|Fuzz' ./internal/ckpt/
+	go test -race -run 'HostFault|HostDeath|SnapshotResume' ./gm/ ./internal/sim/
+
 # Sharded-engine smoke gate (tier1): the 64-node Clos storm trial on the
 # sharded conservative-time engine under the race detector — conservative
 # and speculative (-shards 4 with the monitor ring) variants — plus the
@@ -64,12 +80,12 @@ scale-short:
 		./internal/sim/ ./internal/experiments/ ./gm/
 
 # Full harness benchmark: regenerates the Figure 7/8, netfault,
-# control-plane, large-cluster scaling and multi-core matrix metrics with
-# per-section wall-clock/allocation accounting and regression comparison
-# against the committed baseline. Rewrites BENCH_7.json.
+# control-plane, host-fault, large-cluster scaling and multi-core matrix
+# metrics with per-section wall-clock/allocation accounting and regression
+# comparison against the committed baseline. Rewrites BENCH_8.json.
 bench:
-	go run ./cmd/gmbench -mode bw,lat,netfault,controlplane,scale,scale_mc \
-		-benchjson BENCH_7.json -baseline BENCH_6.json
+	go run ./cmd/gmbench -mode bw,lat,netfault,controlplane,hostfault,scale,scale_mc \
+		-benchjson BENCH_8.json -baseline BENCH_7.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

@@ -6,6 +6,9 @@
 //	gmbench -mode table2    Table 2   (metric summary, GM vs FTGM)
 //	gmbench -mode table1    Table 1   (fault-injection campaign)
 //	gmbench -mode netfault  network-fault failover (dead trunks/partitions)
+//	gmbench -mode hostfault host-death campaign: endpoints checkpointed,
+//	                        killed mid-burst and restored (or reborn after
+//	                        expulsion) under central and gossip planes
 //	gmbench -mode scale     large-cluster scaling: serial vs sharded engine
 //	gmbench -mode scale_mc  multi-core matrix: shards x {conservative,
 //	                        speculative} plus a dispatch-threshold sweep
@@ -82,6 +85,10 @@ type report struct {
 	// (FTGM, FTGM+central, FTGM+gossip).
 	ControlPlane map[string]controlPlaneJSON `json:"controlplane,omitempty"`
 
+	// Host-death checkpoint/restart comparison, keyed by scheme
+	// (restore+central, restore+gossip, rebirth+gossip).
+	HostFault map[string]hostFaultJSON `json:"hostfault,omitempty"`
+
 	// Large-cluster scaling sweep: serial vs sharded engine per point.
 	Scale []experiments.ScalePoint `json:"scale,omitempty"`
 	// Multi-core matrix cells (scale_mc mode).
@@ -122,6 +129,22 @@ type controlPlaneJSON struct {
 	Readmissions uint64  `json:"readmissions"`
 	LiveExpelled uint64  `json:"live_expelled"`
 	RouteGaps    uint64  `json:"route_gaps"`
+}
+
+type hostFaultJSON struct {
+	Sent            uint64  `json:"sent"`
+	Delivered       uint64  `json:"delivered"`
+	Excused         uint64  `json:"excused"`
+	DeliveryRate    float64 `json:"delivery_rate"`
+	Verdict         string  `json:"verdict"`
+	Checkpoints     uint64  `json:"checkpoints"`
+	CheckpointBytes uint64  `json:"checkpoint_bytes"`
+	Restores        uint64  `json:"restores"`
+	Rejoins         uint64  `json:"rejoins"`
+	DeadDeclared    uint64  `json:"dead_declared"`
+	Readmissions    uint64  `json:"readmissions"`
+	LiveExpelled    uint64  `json:"live_expelled"`
+	RouteGaps       uint64  `json:"route_gaps"`
 }
 
 type table2JSON struct {
@@ -286,7 +309,7 @@ func main() {
 }
 
 func run() error {
-	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | controlplane | scale | scale_mc | all; or benchdiff OLD NEW")
+	mode := flag.String("mode", "all", "comma-separated: bw | lat | table2 | table1 | netfault | controlplane | hostfault | scale | scale_mc | all; or benchdiff OLD NEW")
 	shards := flag.Int("shards", 4, "scale: executor count for the sharded runs")
 	msgs := flag.Int("msgs", 200, "messages per bandwidth point (paper: 1000)")
 	rounds := flag.Int("rounds", 100, "ping-pong rounds per latency point")
@@ -332,9 +355,10 @@ func run() error {
 	doT1 := modes["table1"] || modes["all"]
 	doNF := modes["netfault"] || modes["all"]
 	doCP := modes["controlplane"] || modes["all"]
+	doHF := modes["hostfault"] || modes["all"]
 	doScale := modes["scale"] || modes["all"]
 	doMC := modes["scale_mc"] || modes["all"]
-	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doCP && !doScale && !doMC {
+	if !doBW && !doLat && !doT2 && !doT1 && !doNF && !doCP && !doHF && !doScale && !doMC {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
 
@@ -519,6 +543,56 @@ func run() error {
 			return err
 		}
 		sections["controlplane_campaign"] = sec
+	}
+
+	if doHF {
+		cfg := chaos.CampaignConfig{
+			Trials: 2,
+			Trial: chaos.TrialConfig{
+				Nodes:     4,
+				Traffic:   sim.Second,
+				SendEvery: 4 * sim.Millisecond,
+				Events:    2,
+				MaxSettle: 30 * sim.Second,
+			},
+		}
+		if *quick {
+			cfg.Trials = 1
+		}
+		sec, err := measure(func() (int64, uint64, error) {
+			res, err := experiments.HostFaultComparison(*seed, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			fmt.Println(experiments.RenderHostFault(res))
+			rep.HostFault = make(map[string]hostFaultJSON)
+			var ops int64
+			var bytes uint64
+			for _, r := range res {
+				ops += int64(r.Campaign.Total.Sent)
+				bytes += r.Counters.CheckpointBytes
+				rep.HostFault[r.Label] = hostFaultJSON{
+					Sent:            r.Campaign.Total.Sent,
+					Delivered:       r.Campaign.Total.Unique,
+					Excused:         r.Campaign.Total.Excused,
+					DeliveryRate:    r.DeliveryRate(),
+					Verdict:         r.Verdict(),
+					Checkpoints:     r.Counters.Checkpoints,
+					CheckpointBytes: r.Counters.CheckpointBytes,
+					Restores:        r.Counters.Restores,
+					Rejoins:         r.Counters.Rejoins,
+					DeadDeclared:    r.Counters.DeadDeclared,
+					Readmissions:    r.Counters.Readmissions,
+					LiveExpelled:    r.Counters.LiveExpelled,
+					RouteGaps:       r.Counters.RouteGaps,
+				}
+			}
+			return ops, bytes, nil
+		})
+		if err != nil {
+			return err
+		}
+		sections["hostfault_campaign"] = sec
 	}
 
 	if doScale {

@@ -1,0 +1,382 @@
+package gm
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// hostFaultConfig: FTGM with the fast recovery/restore timings the shard
+// trials use, plus a send-token pool deep enough that traffic toward a dead
+// host can keep queueing in the Go-Back-N window for the whole outage.
+func hostFaultConfig() Config {
+	cfg := fastRecoveryConfig(ModeFTGM, 1)
+	cfg.Host.SendTokens = 1024
+	return cfg
+}
+
+// idxPayload encodes a message index into a payload the receiver can audit.
+func idxPayload(i int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b, uint32(i))
+	return b
+}
+
+func payloadIdx(b []byte) int { return int(binary.LittleEndian.Uint32(b)) }
+
+// idxRecorder attaches a receive handler that records payload indices in
+// delivery order and recycles the buffers.
+func idxRecorder(p *Port, got *[]int) {
+	p.SetReceiveHandler(func(ev RecvEvent) {
+		*got = append(*got, payloadIdx(ev.Data))
+		_ = p.RecycleReceiveBuffer(ev.Data, PriorityLow)
+	})
+}
+
+// wantExactlyOnceInOrder fails unless got is exactly 0..n-1 in order.
+func wantExactlyOnceInOrder(t *testing.T, dir string, got []int, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("%s: delivered %d of %d", dir, len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("%s: position %d holds index %d (dup, loss or reorder)", dir, i, idx)
+		}
+	}
+}
+
+// drainNode steps the sim until the node reaches a message boundary.
+func drainNode(t *testing.T, cl *Cluster, n *Node) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if n.Drained() {
+			return
+		}
+		cl.Run(10 * Microsecond)
+	}
+	t.Fatalf("%s never drained", n.name)
+}
+
+// wireCheckpoint round-trips a checkpoint through the versioned wire codec,
+// exactly as a standby host would receive it.
+func wireCheckpoint(t *testing.T, c *ckpt.Checkpoint) *ckpt.Checkpoint {
+	t.Helper()
+	dec, err := ckpt.Decode(c.Encode())
+	if err != nil {
+		t.Fatalf("checkpoint wire round-trip: %v", err)
+	}
+	return dec
+}
+
+// TestHostFaultGuards covers the drain/checkpoint/revive error surface:
+// checkpointing an undrained or dead node, reviving a live one, and
+// restoring a checkpoint onto the wrong slot.
+func TestHostFaultGuards(t *testing.T) {
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, err := a.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.SetReceiveHandler(func(ev RecvEvent) {})
+	if err := pb.ProvideReceiveBuffer(4096, PriorityLow); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(Millisecond)
+	if !a.Drained() || !b.Drained() {
+		t.Fatal("idle booted nodes must be drained")
+	}
+
+	if err := pa.Send(b.ID(), 2, PriorityLow, []byte("in flight"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Drained() {
+		t.Fatal("node with a deferred send post reports drained")
+	}
+	if _, err := a.Checkpoint(); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("undrained checkpoint: %v, want ErrNotDrained", err)
+	}
+	cl.Run(5 * Millisecond)
+	if !a.Drained() || !b.Drained() {
+		t.Fatal("nodes must drain once traffic settles")
+	}
+
+	ckA, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckA.UID == ckB.UID || ckB.NodeID != b.ID() {
+		t.Fatalf("checkpoint identities: a=%d b=%d/%d", ckA.UID, ckB.UID, ckB.NodeID)
+	}
+	if len(ckB.RxAcks) == 0 || len(ckB.Ports) != 1 || len(ckB.Ports[0].RecvTokens) != 0 {
+		t.Fatalf("checkpoint shape: %+v", ckB)
+	}
+
+	if err := a.Restore(ckA, nil, nil); !errors.Is(err, ErrNodeAlive) {
+		t.Fatalf("restore of live node: %v, want ErrNodeAlive", err)
+	}
+	b.Kill()
+	b.Kill() // idempotent
+	if !b.Dead() {
+		t.Fatal("killed node not dead")
+	}
+	if _, err := b.Checkpoint(); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("checkpoint of dead node: %v, want ErrNodeDead", err)
+	}
+	if _, err := b.OpenPort(3); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("open port on dead node: %v, want ErrNodeDead", err)
+	}
+	if err := b.Restore(ckA, nil, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("restore with foreign checkpoint: %v, want ErrCheckpointMismatch", err)
+	}
+	if err := b.Restore(nil, nil, nil); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("restore with nil checkpoint: %v, want ErrCheckpointMismatch", err)
+	}
+
+	done := false
+	if err := b.Restore(wireCheckpoint(t, ckB), nil, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(50 * Millisecond)
+	if !done || b.Dead() {
+		t.Fatal("restore did not complete")
+	}
+}
+
+// TestHostDeathRestoreMidBurst kills a host mid-burst with bidirectional
+// traffic in flight, checkpoints at the drain boundary through the wire
+// codec, restores, and requires exactly-once in-order delivery in both
+// directions: the victim's unacknowledged receives are retransmitted by the
+// peer's Go-Back-N window, the victim's own unacknowledged sends are
+// re-posted from the checkpoint with their original sequence numbers, and
+// the peer's receive ACK table dedups whatever the fault window already
+// delivered.
+func TestHostDeathRestoreMidBurst(t *testing.T) {
+	const total = 60
+	const killAt = 25
+
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, err := a.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atB, atA []int
+	idxRecorder(pb, &atB)
+	idxRecorder(pa, &atA)
+	for i := 0; i < 64; i++ {
+		if err := pa.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+		if err := pb.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sentA, sentB := 0, 0
+	bUp := true
+	step := func() {
+		if sentA < total {
+			if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(sentA), nil); err != nil {
+				t.Fatalf("a send %d: %v", sentA, err)
+			}
+			sentA++
+		}
+		if sentB < total && bUp {
+			if err := pb.Send(a.ID(), 2, PriorityLow, idxPayload(sentB), nil); err != nil {
+				t.Fatalf("b send %d: %v", sentB, err)
+			}
+			sentB++
+		}
+		cl.Run(50 * Microsecond)
+	}
+
+	for sentA < killAt {
+		step()
+	}
+
+	// Drain protocol: quiesce at a message boundary, snapshot, kill — the
+	// checkpoint and the death share the same instant.
+	drainNode(t, cl, b)
+	ckB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+	bUp = false
+
+	// Traffic keeps flowing into the dead slot; the sender's Go-Back-N
+	// window holds it.
+	deliveredAtKill := len(atB)
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if len(atB) != deliveredAtKill {
+		t.Fatal("dead host delivered messages")
+	}
+
+	restored := false
+	err = b.Restore(wireCheckpoint(t, ckB), func(ports map[PortID]*Port) {
+		np, ok := ports[2]
+		if !ok {
+			t.Error("restore did not rebuild port 2")
+			return
+		}
+		pb = np
+		idxRecorder(pb, &atB)
+	}, func() { restored, bUp = true, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000 && !restored; i++ {
+		step()
+	}
+	if !restored {
+		t.Fatal("restore never completed")
+	}
+	for sentA < total || sentB < total {
+		step()
+	}
+	cl.Run(200 * Millisecond)
+
+	wantExactlyOnceInOrder(t, "a->b", atB, total)
+	wantExactlyOnceInOrder(t, "b->a", atA, total)
+}
+
+// TestHostDeathRejoinAfterExpulsion: the host dies, stays down long enough
+// that the peer expels it (streams forgotten, routes dropped), then rejoins
+// from its checkpoint. Identity and port shape come back; protocol state
+// restarts at sequence 1 on both sides, and the victim's checkpointed
+// outstanding sends are disowned rather than replayed into reset streams.
+func TestHostDeathRejoinAfterExpulsion(t *testing.T) {
+	const before = 20
+	const after = 20
+
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, err := a.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atB, atA []int
+	idxRecorder(pb, &atB)
+	idxRecorder(pa, &atA)
+	for i := 0; i < 64; i++ {
+		if err := pa.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+		if err := pb.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < before; i++ {
+		if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := pb.Send(a.ID(), 2, PriorityLow, idxPayload(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		cl.Run(50 * Microsecond)
+	}
+	drainNode(t, cl, b)
+
+	// One more burst from b that will still be unacknowledged at the kill:
+	// these are the checkpointed outstanding sends Rejoin must disown.
+	if err := pb.Send(a.ID(), 2, PriorityLow, idxPayload(before), nil); err != nil {
+		t.Fatal(err)
+	}
+	drainNode(t, cl, b)
+	ck, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+
+	// The control plane declares b dead and expels it: the peer marks it
+	// unreachable and, on readmission, forgets both stream directions
+	// (gossip Alive hook / central readmitNode both funnel into resetPeer).
+	a.setPeerUnreachable(b.ID())
+	cl.Run(20 * Millisecond)
+	if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(0), nil); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("send to expelled peer: %v, want ErrPeerUnreachable", err)
+	}
+
+	rejoined := false
+	err = b.Rejoin(wireCheckpoint(t, ck), func(ports map[PortID]*Port) {
+		np, ok := ports[2]
+		if !ok {
+			t.Error("rejoin did not rebuild port 2")
+			return
+		}
+		pb = np
+		idxRecorder(pb, &atB)
+	}, func() { rejoined = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(100 * Millisecond)
+	if !rejoined || b.Dead() {
+		t.Fatal("rejoin did not complete")
+	}
+	a.resetPeer(b.ID())
+
+	// Fresh epoch: both directions must flow again from restarted streams.
+	for i := 0; i < after; i++ {
+		if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(1000+i), nil); err != nil {
+			t.Fatalf("post-rejoin a send %d: %v", i, err)
+		}
+		if err := pb.Send(a.ID(), 2, PriorityLow, idxPayload(1000+i), nil); err != nil {
+			t.Fatalf("post-rejoin b send %d: %v", i, err)
+		}
+		cl.Run(50 * Microsecond)
+	}
+	cl.Run(200 * Millisecond)
+
+	if len(atB) != before+after {
+		t.Fatalf("a->b delivered %d, want %d", len(atB), before+after)
+	}
+	for i, idx := range atB {
+		want := i
+		if i >= before {
+			want = 1000 + i - before
+		}
+		if idx != want {
+			t.Fatalf("a->b position %d holds %d, want %d", i, idx, want)
+		}
+	}
+	// b->a: the pre-kill burst delivered 0..before-1; the extra in-flight
+	// message `before` was disowned by Rejoin (its sender is excused by
+	// death), and the fresh epoch delivers 1000..1000+after-1 exactly once.
+	if len(atA) < before+after || len(atA) > before+1+after {
+		t.Fatalf("b->a delivered %d", len(atA))
+	}
+	tail := atA[len(atA)-after:]
+	for i, idx := range tail {
+		if idx != 1000+i {
+			t.Fatalf("b->a fresh epoch position %d holds %d", i, idx)
+		}
+	}
+	seen := map[int]bool{}
+	for _, idx := range atA {
+		if seen[idx] {
+			t.Fatalf("b->a duplicate delivery of %d", idx)
+		}
+		seen[idx] = true
+	}
+}

@@ -39,6 +39,14 @@ type Node struct {
 	// rejects them synchronously (ErrPeerUnreachable) until readmission.
 	unreachable map[NodeID]bool
 
+	// dead marks a host that was killed (Kill): every library structure is
+	// gone and the interface is down until Restore/Rejoin revives the slot.
+	dead bool
+	// reviveGen increments on every Kill; the deferred stages of a revive
+	// carry the generation they started under and become inert if another
+	// death lands while they are still in flight.
+	reviveGen uint64
+
 	// pendingRecoveries counts ports whose FAULT_DETECTED handler has not
 	// finished yet; when it returns to zero the recovery timeline's
 	// processes-done phase is marked.
@@ -136,12 +144,28 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 	if !n.cluster.booted {
 		return nil, ErrNotBooted
 	}
+	if n.dead {
+		return nil, ErrNodeDead
+	}
 	if int(id) >= MaxPorts {
 		return nil, fmt.Errorf("%w: port %d", ErrBadArgument, id)
 	}
 	if _, open := n.ports[id]; open {
 		return nil, fmt.Errorf("%w: port %d already open", ErrBadArgument, id)
 	}
+	p := n.buildPort(id)
+	if err := n.driver.OpenPort(id, p.mcpSink); err != nil {
+		return nil, err
+	}
+	n.ports[id] = p
+	return p, nil
+}
+
+// buildPort constructs a Port and its deferred dispatchers without touching
+// the driver or the node's port table (OpenPort and the checkpoint-restore
+// path share it). Every dispatcher checks p.open: a host death (Kill) or an
+// explicit close must leave whatever is still queued inert.
+func (n *Node) buildPort(id PortID) *Port {
 	p := &Port{
 		node:       n,
 		id:         id,
@@ -152,9 +176,15 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 	}
 	eng := n.eng
 	p.tokPend = sim.NewDeferred(eng, "gmtok", func(tok gmproto.RecvToken) {
+		if !p.open {
+			return
+		}
 		_ = p.node.m.HostPostRecvToken(p.id, tok)
 	})
 	p.recvPend = sim.NewDeferred(eng, "gmrecv", func(d recvDispatch) {
+		if !p.open {
+			return
+		}
 		if d.poll {
 			p.enqueuePoll(d.ev)
 			return
@@ -170,24 +200,23 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 		}
 	})
 	p.cbPend = sim.NewDeferred(eng, "gmcb", func(d cbDispatch) {
+		if !p.open {
+			return
+		}
 		d.cb(d.status)
 	})
 	p.postPend = sim.NewDeferred(eng, "gmpost", func(tok gmproto.SendToken) {
-		if p.recovering {
+		if !p.open || p.recovering {
 			// The FAULT_DETECTED handler will re-post the whole shadow
 			// queue in sequence order; posting now would overtake the
-			// restored messages.
+			// restored messages. A closed port has nothing to post to.
 			return
 		}
 		// If the interface is down the post fails; the shadow copy will be
 		// restored to the reloaded LANai by the FAULT_DETECTED handler.
 		_ = p.node.m.HostPostSend(tok)
 	})
-	if err := n.driver.OpenPort(id, p.mcpSink); err != nil {
-		return nil, err
-	}
-	n.ports[id] = p
-	return p, nil
+	return p
 }
 
 // ClosePort closes a port.

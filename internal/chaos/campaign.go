@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/gm"
+	"repro/internal/ckpt"
 	"repro/internal/fabric"
 	"repro/internal/gossip"
 	"repro/internal/parallel"
@@ -17,6 +18,16 @@ import (
 const (
 	ackHuntStep   = 500 * sim.Nanosecond
 	ackHuntWindow = 10 * sim.Millisecond
+)
+
+// Drain-hunt parameters: a host death waits for the victim to reach a
+// message boundary (the drain protocol) before checkpointing. If the node
+// never drains inside the window the injection folds away — under heavy
+// compound faults a boundary may never come, and a skipped kill is a valid
+// plan, not an error.
+const (
+	drainHuntStep   = 50 * sim.Microsecond
+	drainHuntWindow = 20 * sim.Millisecond
 )
 
 // CampaignConfig shapes a chaos campaign: Trials independent clusters,
@@ -83,6 +94,12 @@ type TrialResult struct {
 	// exactly the dead, and every survivor rebuilt a full route set.
 	GossipLiveExpelled uint64
 	GossipRouteGaps    uint64
+
+	// Host-death activity (KindHostDeath / KindMapperRebirth trials).
+	Checkpoints     uint64 // recovery anchors serialized at a drain boundary
+	CheckpointBytes uint64 // total encoded checkpoint size
+	HostRestores    uint64 // completed same-epoch restores (KindHostDeath)
+	HostRejoins     uint64 // completed post-expulsion rejoins (KindMapperRebirth)
 }
 
 // CampaignResult aggregates a campaign.
@@ -212,7 +229,10 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	start := cl.Now()
 	stop := start + tcfg.Traffic
 	for i := range nodes {
-		src, port := nodes[i], ports[i]
+		// The port is read through the slice on every tick: a host-death
+		// restore swaps a rebuilt handle into ports[i], and the pump must
+		// follow it (the old handle is permanently closed).
+		src, i := nodes[i], i
 		turn := 0
 		var pump func()
 		pump = func() {
@@ -235,7 +255,7 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 					}
 				}
 			}
-			if err := port.Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, cb); err != nil {
+			if err := ports[i].Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, cb); err != nil {
 				aud.Unsend(key)
 			}
 			cl.After(tcfg.SendEvery, pump)
@@ -283,6 +303,67 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 				return
 			}
 			cl.After(ackHuntStep, hunt)
+		}
+		hunt()
+	}
+
+	// killAndRevive implements the host-death drain protocol: poll the
+	// victim for a message boundary, serialize its recovery anchor through
+	// the versioned wire codec (the restore consumes exactly the bytes a
+	// standby host would hold), kill it, and schedule the revival — Restore
+	// after a standby spin-up delay, or Rejoin once the control plane has
+	// buried it.
+	killAndRevive := func(i int, delay sim.Duration, rejoin bool) {
+		n := nodes[i]
+		deadline := cl.Now() + drainHuntWindow
+		var hunt func()
+		hunt = func() {
+			if !n.Running() || n.Dead() {
+				return // already hung or dead; the fault folds in
+			}
+			if !n.Drained() {
+				if cl.Now() >= deadline {
+					return // no message boundary came; skip this kill
+				}
+				cl.After(drainHuntStep, hunt)
+				return
+			}
+			ck, err := n.Checkpoint()
+			if err != nil {
+				return
+			}
+			enc := ck.Encode()
+			dec, err := ckpt.Decode(enc)
+			if err != nil {
+				return
+			}
+			res.Checkpoints++
+			res.CheckpointBytes += uint64(len(enc))
+			if rejoin {
+				// Rejoin disowns the checkpointed in-flight sends by design:
+				// the peers reset the streams when they expelled the victim.
+				aud.ExcuseSource(n.ID())
+			}
+			n.Kill()
+			cl.After(delay, func() {
+				reattach := func(pm map[gm.PortID]*gm.Port) {
+					p, ok := pm[tcfg.Port]
+					if !ok {
+						return
+					}
+					ports[i] = p
+					self := n.ID()
+					p.SetReceiveHandler(func(ev gm.RecvEvent) {
+						aud.RecordDelivery(self, tcfg.Port, ev)
+						_ = p.RecycleReceiveBuffer(ev.Data, gm.PriorityLow)
+					})
+				}
+				if rejoin {
+					_ = n.Rejoin(dec, reattach, func() { res.HostRejoins++ })
+				} else {
+					_ = n.Restore(dec, reattach, func() { res.HostRestores++ })
+				}
+			})
 		}
 		hunt()
 	}
@@ -369,17 +450,63 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 					aud.ExcuseSource(nodes[ev.Node].ID())
 					nodes[ev.Node].InjectHardHang()
 				})
+			case KindHostDeath:
+				killAndRevive(ev.Node, ev.Window, false)
+			case KindMapperRebirth:
+				// The flap opens an active remap window, exactly like
+				// KindMapperDeath...
+				l := nodes[ev.Node2].Link()
+				l.SetUp(false)
+				cl.After(ev.Window, func() { l.SetUp(true) })
+				// ...and mid-window the mapping node dies — but this time
+				// with a checkpoint taken at the drain boundary, and a
+				// revival scheduled for long after the gossip plane's dead
+				// verdict. The rejoin must be a genuine readmission under
+				// live traffic.
+				cl.After(ev.Window/2, func() { killAndRevive(ev.Node, ev.Revive, true) })
 			}
 		})
 	}
 	res.Events = plan
 
 	cl.RunUntil(stop)
+	// gossipConverged mirrors the end-of-trial view judgment: no live
+	// node's agent may still hold a live peer as dead or be missing its
+	// route. A rebirth trial can satisfy the auditor while the revived
+	// node's own agent is still mid-readmission of the peers it buried
+	// during its death; the drain loop keeps running until membership
+	// agreement settles too (or the budget runs out — for a genuinely
+	// partitioned live node that is the finding, not an error).
+	gossipConverged := func() bool {
+		agents := cl.GossipAgents()
+		if len(agents) == 0 {
+			return true
+		}
+		for i, ag := range agents {
+			if !nodes[i].Running() {
+				continue
+			}
+			view := ag.Members()
+			routes := nodes[i].Driver().Routes()
+			for j, peer := range nodes {
+				if j == i || !peer.Running() {
+					continue
+				}
+				if view[peer.ID()] == gossip.StateDead {
+					return false
+				}
+				if _, ok := routes[peer.ID()]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	// Drain: recoveries and Go-Back-N repair run until the auditor sees
 	// every send delivered, or the settle budget runs out (a broken
 	// scheme never drains — that is the finding, not an error).
 	deadline := stop + tcfg.MaxSettle
-	for !aud.Complete() && cl.Now() < deadline {
+	for (!aud.Complete() || !gossipConverged()) && cl.Now() < deadline {
 		cl.Run(tcfg.SettleStep)
 	}
 

@@ -63,6 +63,26 @@ const (
 	// injector excuses node 0's unfinished sends with Auditor.ExcuseSource
 	// (a dead sender has no delivery contract left).
 	KindMapperDeath
+	// KindHostDeath kills a whole host (not just its interface) mid-burst:
+	// the injector waits for the victim to reach a message boundary,
+	// checkpoints its recovery anchor through the ckpt wire codec, and kills
+	// it — library state, handlers and daemons all gone. After Window (the
+	// standby's spin-up delay) the slot is restored from the checkpoint and
+	// the auditor still demands exactly-once in-order delivery: the victim's
+	// unacknowledged receives ride the peers' Go-Back-N windows, its own
+	// unacknowledged sends are re-posted from the checkpoint. The outage is
+	// shorter than any expulsion verdict, so the membership planes must hold
+	// their fire.
+	KindHostDeath
+	// KindMapperRebirth is mapper death with an afterlife: the mapping node
+	// is checkpointed, killed mid-remap-window like KindMapperDeath, and
+	// revived from the checkpoint after Revive — long past the gossip
+	// plane's dead verdict, so the revival is a genuine readmission under
+	// live traffic (dead-probe, alive rumor, stream resets on both sides,
+	// route reinstallation). Requires the gossip control plane; the central
+	// plane cannot readmit its own dead anchor. The victim's in-flight sends
+	// are excused: rejoin disowns them by design.
+	KindMapperRebirth
 )
 
 // String names the kind.
@@ -88,6 +108,10 @@ func (k EventKind) String() string {
 		return "partition"
 	case KindMapperDeath:
 		return "mapper-death"
+	case KindHostDeath:
+		return "host-death"
+	case KindMapperRebirth:
+		return "mapper-rebirth"
 	default:
 		return fmt.Sprintf("kind?%d", int(k))
 	}
@@ -109,6 +133,13 @@ func NetFaultKinds() []EventKind {
 	return []EventKind{KindTrunkDeath, KindPartition}
 }
 
+// HostFaultKinds returns the host-death classes. KindHostDeath runs under
+// either control plane; KindMapperRebirth needs gm.ControlPlaneGossip (only
+// a distributed membership plane can readmit the dead mapping node).
+func HostFaultKinds() []EventKind {
+	return []EventKind{KindHostDeath, KindMapperRebirth}
+}
+
 // Event is one planned fault injection.
 type Event struct {
 	At   sim.Time
@@ -126,6 +157,9 @@ type Event struct {
 	Seed uint64
 	// Failures is how many MCP reloads fail for a reload-failure event.
 	Failures int
+	// Revive is the delay from a mapper-rebirth kill to the rejoin — long
+	// enough that the gossip plane has declared the victim dead.
+	Revive sim.Duration
 }
 
 func (e Event) String() string {
@@ -141,6 +175,10 @@ func (e Event) String() string {
 		s = fmt.Sprintf("%v %s t%d", e.At, e.Kind, e.Node)
 	case KindMapperDeath:
 		s += fmt.Sprintf(" (flap n%d for %v)", e.Node2, e.Window)
+	case KindHostDeath:
+		s += fmt.Sprintf(" standby %v", e.Window)
+	case KindMapperRebirth:
+		s += fmt.Sprintf(" (flap n%d for %v, revive after %v)", e.Node2, e.Window, e.Revive)
 	}
 	return s
 }
@@ -306,6 +344,21 @@ func PlanEvents(rng *sim.RNG, cfg TrialConfig, start sim.Time) []Event {
 			ev.Node = 0
 			ev.Node2 = 1 + rng.Intn(cfg.Nodes-1)
 			ev.Window = 20*sim.Millisecond + rng.Duration(30*sim.Millisecond)
+		case KindHostDeath:
+			// Never node 0: killing the mapping node is KindMapperDeath /
+			// KindMapperRebirth territory. Window is the standby spin-up
+			// delay between the kill and the restore.
+			ev.Node = 1 + rng.Intn(cfg.Nodes-1)
+			ev.Window = 2*sim.Millisecond + rng.Duration(8*sim.Millisecond)
+		case KindMapperRebirth:
+			// Placed early in the traffic window (not in its rotation slot):
+			// the revival lands Revive after the kill and must still find
+			// live traffic to be readmitted under.
+			ev.At = start + warmup + rng.Duration(warmup)
+			ev.Node = 0
+			ev.Node2 = 1 + rng.Intn(cfg.Nodes-1)
+			ev.Window = 20*sim.Millisecond + rng.Duration(30*sim.Millisecond)
+			ev.Revive = 4*sim.Second + rng.Duration(sim.Second)
 		}
 		events = append(events, ev)
 	}

@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/gm"
+	"repro/internal/sim"
+)
+
+func hostDeathTrialConfig() TrialConfig {
+	cfg := DefaultTrialConfig()
+	cfg.Traffic = sim.Second
+	cfg.SendEvery = 4 * sim.Millisecond
+	cfg.Events = 2
+	cfg.Kinds = []EventKind{KindHostDeath}
+	cfg.MaxSettle = 30 * sim.Second
+	return cfg
+}
+
+// The host-death acceptance campaign, central plane: a host dies mid-burst
+// with traffic in flight in both directions, its recovery anchor having
+// been checkpointed through the wire codec at the drain boundary, and a
+// standby restores the slot moments later. Delivery must stay exactly-once
+// in-order with nothing excused — the victim's unacknowledged receives ride
+// the peers' Go-Back-N windows and its own unacknowledged sends are
+// re-posted from the checkpoint.
+func TestCampaignHostDeathCentralExactlyOnce(t *testing.T) {
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: hostDeathTrialConfig()}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Sent == 0 {
+		t.Fatal("campaign sent nothing")
+	}
+	if !res.AllExactlyOnce {
+		for _, tr := range res.Trials {
+			t.Logf("trial %d: %v dirty=%v (events: %v)", tr.Trial, tr.Audit, tr.Audit.Dirty, tr.Events)
+		}
+		t.Fatalf("host-death audit dirty: %v", res.Total)
+	}
+	if res.Total.Excused != 0 {
+		t.Errorf("restore-path trials excused %d sends; a restored host disowns nothing", res.Total.Excused)
+	}
+	for _, tr := range res.Trials {
+		if tr.Checkpoints == 0 || tr.CheckpointBytes == 0 {
+			t.Errorf("trial %d: no checkpoint ever serialized: %+v", tr.Trial, tr)
+		}
+		if tr.HostRestores == 0 {
+			t.Errorf("trial %d: no restore completed: %+v", tr.Trial, tr)
+		}
+		if tr.HostRestores > tr.Checkpoints {
+			t.Errorf("trial %d: %d restores from %d checkpoints", tr.Trial, tr.HostRestores, tr.Checkpoints)
+		}
+		if tr.HostRejoins != 0 {
+			t.Errorf("trial %d: rejoin activity in a restore-only plan: %+v", tr.Trial, tr)
+		}
+	}
+}
+
+// The same campaign under the gossip membership plane: the outage (standby
+// delay plus MCP reload plus recovery handler) is far shorter than the
+// suspicion timeout, so the plane must hold its fire — zero dead verdicts,
+// zero expulsions of live nodes, zero route gaps — while delivery stays
+// exactly-once.
+func TestCampaignHostDeathGossipNoExpulsions(t *testing.T) {
+	tcfg := hostDeathTrialConfig()
+	tcfg.ControlPlane = gm.ControlPlaneGossip
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: tcfg}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllExactlyOnce {
+		for _, tr := range res.Trials {
+			t.Logf("trial %d: %v dirty=%v (events: %v)", tr.Trial, tr.Audit, tr.Audit.Dirty, tr.Events)
+		}
+		t.Fatalf("host-death audit dirty under gossip: %v", res.Total)
+	}
+	for _, tr := range res.Trials {
+		if tr.Checkpoints == 0 || tr.HostRestores == 0 {
+			t.Errorf("trial %d: host-death machinery never ran: %+v", tr.Trial, tr)
+		}
+		if tr.GossipProbes == 0 {
+			t.Errorf("trial %d: gossip plane never probed: %+v", tr.Trial, tr)
+		}
+		if tr.GossipDeadDeclared != 0 {
+			t.Errorf("trial %d: %d dead verdicts for an outage under the suspicion timeout", tr.Trial, tr.GossipDeadDeclared)
+		}
+		if tr.GossipLiveExpelled != 0 || tr.GossipRouteGaps != 0 {
+			t.Errorf("trial %d: membership damage after restore: expelled=%d gaps=%d",
+				tr.Trial, tr.GossipLiveExpelled, tr.GossipRouteGaps)
+		}
+	}
+}
+
+// Mapper rebirth: the mapping node is checkpointed, killed mid-remap-window
+// and revived long after the gossip plane buried it. The revival must be a
+// genuine readmission under live traffic — dead verdicts and readmissions
+// both observed, stream resets on both sides, and a converged membership
+// with zero live expulsions at the end. The victim's in-flight sends are
+// excused (rejoin disowns them); everything else is exactly-once in-order.
+func TestCampaignMapperRebirthGossipReadmits(t *testing.T) {
+	tcfg := DefaultTrialConfig()
+	tcfg.Traffic = 12 * sim.Second
+	tcfg.SendEvery = 4 * sim.Millisecond
+	tcfg.Events = 1
+	tcfg.Kinds = []EventKind{KindMapperRebirth}
+	tcfg.MaxSettle = 60 * sim.Second
+	tcfg.ControlPlane = gm.ControlPlaneGossip
+	cfg := CampaignConfig{Trials: 1, Mode: gm.ModeFTGM, Trial: tcfg}
+	res, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trials[0]
+	if !res.AllExactlyOnce {
+		t.Fatalf("mapper-rebirth audit dirty: %v dirty=%v (events: %v)", tr.Audit, tr.Audit.Dirty, tr.Events)
+	}
+	if tr.Checkpoints == 0 || tr.HostRejoins == 0 {
+		t.Fatalf("the mapper was never checkpointed and rejoined: %+v", tr)
+	}
+	if tr.HostRestores != 0 {
+		t.Errorf("restore activity in a rejoin-only plan: %+v", tr)
+	}
+	if res.Total.Excused == 0 {
+		t.Error("the reborn mapper's disowned in-flight sends were never excused")
+	}
+	if tr.GossipDeadDeclared == 0 {
+		t.Errorf("the dead mapper was never declared dead: %+v", tr)
+	}
+	if tr.GossipReadmissions == 0 {
+		t.Errorf("the revived mapper was never readmitted: %+v", tr)
+	}
+	if tr.GossipLiveExpelled != 0 || tr.GossipRouteGaps != 0 {
+		t.Errorf("membership did not converge after rebirth: expelled=%d gaps=%d",
+			tr.GossipLiveExpelled, tr.GossipRouteGaps)
+	}
+}
+
+// Host-death campaigns obey both determinism contracts: worker-count
+// fan-out and shard-count execution are bit-for-bit invariant.
+func TestCampaignHostDeathInvariance(t *testing.T) {
+	tcfg := hostDeathTrialConfig()
+	tcfg.ControlPlane = gm.ControlPlaneGossip
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: tcfg}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	cfg.Workers = 1
+	serial, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	fanned, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatalf("results differ across worker counts:\n 1 worker: %+v\n 4 workers: %+v", serial, fanned)
+	}
+
+	cfg.Workers = 0
+	cfg.Trial.Shards = 1
+	base, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{4, 8} {
+		cfg.Trial.Shards = shards
+		got, err := Run(testSeed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Only the config differs; the accounting must not.
+		for i := range got.Trials {
+			if !reflect.DeepEqual(base.Trials[i], got.Trials[i]) {
+				t.Fatalf("trial %d differs between 1 and %d shards:\n 1: %+v\n %d: %+v",
+					i, shards, base.Trials[i], shards, got.Trials[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package ckpt implements the endpoint checkpoint wire codec: a versioned,
+// deterministic binary serialization of a node's recovery anchor — the §4.1
+// host-side backup state that FTGM keeps so a hung interface can be restored.
+// A checkpoint extends that protection to host death: it captures, per node,
+//
+//   - the interface identity (UID, mapped NodeID) and the driver's route
+//     cache;
+//   - the node-level receive commit table (RxAckTable: the last sequence
+//     number committed on every incoming stream — the delayed-ACK state of
+//     §4.1, updated only after the event record lands in host memory);
+//   - per open port: the shadow send-token queue (which carries the
+//     host-generated Go-Back-N sequence numbers of every unacknowledged
+//     message, in posting order), the shadow receive-token queue, and the
+//     per-(remote node, priority) sequence generators.
+//
+// The encoding is deterministic: maps are serialized in sorted key order and
+// every integer is fixed-width little-endian, so two checkpoints of equal
+// state are byte-identical. The stream is framed with a magic number, a
+// format version and a trailing CRC32; Decode rejects truncated, corrupt or
+// foreign input with typed errors and never panics. Decoded checkpoints own
+// their memory (no aliasing of the input buffer).
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+	"repro/internal/gmproto"
+)
+
+// Codec errors.
+var (
+	// ErrTruncated is returned when the stream ends mid-record.
+	ErrTruncated = errors.New("ckpt: checkpoint truncated")
+	// ErrCorrupt is returned on a bad magic number, checksum or framing.
+	ErrCorrupt = errors.New("ckpt: checkpoint corrupt")
+	// ErrVersion is returned on an unknown format version.
+	ErrVersion = errors.New("ckpt: unsupported checkpoint version")
+)
+
+// Magic identifies a checkpoint stream ("GMCK").
+const Magic uint32 = 0x474d434b
+
+// Version is the current format version. Any layout change bumps it; Decode
+// refuses versions it does not understand.
+const Version uint16 = 1
+
+// RxAck is one receive-commit table entry.
+type RxAck struct {
+	Stream gmproto.StreamID
+	Seq    uint32
+}
+
+// Route is one route-cache entry: the source-routed hop bytes toward a node.
+type Route struct {
+	Node gmproto.NodeID
+	Hops []byte
+}
+
+// PortCheckpoint is one open port's recovery anchor.
+type PortCheckpoint struct {
+	Port gmproto.PortID
+	// NextToken is the port's token-id allocator cursor, so a restored port
+	// mints ids that do not collide with outstanding shadow tokens.
+	NextToken uint64
+	// SendTokens are the unacknowledged sends in posting order, each
+	// carrying its host-generated sequence number — the Go-Back-N window
+	// marks (§4.4: "the send tokens contain the sequence numbers of the
+	// messages that have not been acknowledged").
+	SendTokens []gmproto.SendToken
+	// RecvTokens are the provided-but-unconsumed receive buffers in posting
+	// order. Buffer contents are not serialized (a receive buffer has none
+	// until a message lands); BufLen records the allocation size.
+	RecvTokens []RecvTokenCheckpoint
+	// SeqStreams are the per-(remote, priority) sequence generators, sorted.
+	SeqStreams []core.SeqStream
+}
+
+// RecvTokenCheckpoint is the serialized form of a receive token: identity
+// and geometry, not contents.
+type RecvTokenCheckpoint struct {
+	ID     uint64
+	Size   uint32
+	Prio   gmproto.Priority
+	BufLen uint32
+}
+
+// Checkpoint is a node's complete recovery anchor.
+type Checkpoint struct {
+	// UID is the interface's pre-mapping unique id; NodeID its mapped
+	// identity. A restore must present the same UID so the control plane
+	// readmits it as the same member.
+	UID    uint64
+	NodeID gmproto.NodeID
+	// Routes is the driver's route cache, sorted by destination.
+	Routes []Route
+	// RxAcks is the receive commit table, sorted by (node, port, priority).
+	RxAcks []RxAck
+	// Ports holds one record per open port, sorted by port id.
+	Ports []PortCheckpoint
+}
+
+// Minimum encoded sizes, used to sanity-check counts before allocating.
+const (
+	minRoute     = 2 + 2 // node + hop count
+	minRxAck     = 2 + 1 + 1 + 4
+	minSendToken = 8 + 2 + 1 + 1 + 1 + 4 + 1 + 1 + 4 + 4 + 4
+	minRecvToken = 8 + 4 + 1 + 4
+	minSeqStream = 2 + 1 + 4
+	minPort      = 1 + 8 + 4 + 4 + 4
+)
+
+// Encode serializes the checkpoint. The output is deterministic: equal
+// checkpoints produce byte-identical streams.
+func (c *Checkpoint) Encode() []byte {
+	buf := make([]byte, 0, 64)
+	p8 := func(v uint8) { buf = append(buf, v) }
+	p16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	p32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	p64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	pb := func(b []byte) {
+		p32(uint32(len(b)))
+		buf = append(buf, b...)
+	}
+
+	p32(Magic)
+	p16(Version)
+	p16(0) // reserved flags
+	p64(c.UID)
+	p16(uint16(c.NodeID))
+
+	p32(uint32(len(c.Routes)))
+	for _, r := range c.Routes {
+		p16(uint16(r.Node))
+		p16(uint16(len(r.Hops)))
+		buf = append(buf, r.Hops...)
+	}
+
+	p32(uint32(len(c.RxAcks)))
+	for _, a := range c.RxAcks {
+		p16(uint16(a.Stream.Node))
+		p8(uint8(a.Stream.Port))
+		p8(uint8(a.Stream.Prio))
+		p32(a.Seq)
+	}
+
+	p32(uint32(len(c.Ports)))
+	for _, pc := range c.Ports {
+		p8(uint8(pc.Port))
+		p64(pc.NextToken)
+		p32(uint32(len(pc.SendTokens)))
+		for _, t := range pc.SendTokens {
+			p64(t.ID)
+			p16(uint16(t.Dest))
+			p8(uint8(t.DestPort))
+			p8(uint8(t.SrcPort))
+			p8(uint8(t.Prio))
+			p32(t.Seq)
+			p8(boolByte(t.HasSeq))
+			p8(boolByte(t.Directed))
+			p32(t.RegionID)
+			p32(t.RemoteOffset)
+			pb(t.Data)
+		}
+		p32(uint32(len(pc.RecvTokens)))
+		for _, t := range pc.RecvTokens {
+			p64(t.ID)
+			p32(t.Size)
+			p8(uint8(t.Prio))
+			p32(t.BufLen)
+		}
+		p32(uint32(len(pc.SeqStreams)))
+		for _, ss := range pc.SeqStreams {
+			p16(uint16(ss.Node))
+			p8(uint8(ss.Prio))
+			p32(ss.Last)
+		}
+	}
+
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decoder walks the stream with bounds checks; the first overrun latches
+// ErrTruncated and every later read returns zeros, so decode paths need no
+// per-read error plumbing.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.data) {
+		d.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.data[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.data[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+// bytes reads a length-prefixed byte string into fresh memory.
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	out := append([]byte(nil), d.data[d.off:d.off+n]...)
+	d.off += n
+	return out
+}
+
+// count reads a record count and validates it against the bytes remaining at
+// the given minimum record size, so hostile counts cannot force huge
+// allocations.
+func (d *decoder) count(minRecord int) int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if uint64(n) > uint64(len(d.data)-d.off)/uint64(minRecord) {
+		d.err = ErrTruncated
+		return 0
+	}
+	return int(n)
+}
+
+// Decode parses a checkpoint stream, validating framing, version and
+// checksum. It never panics on hostile input and the returned checkpoint
+// shares no memory with data.
+func Decode(data []byte) (*Checkpoint, error) {
+	// Fixed header (magic+version+flags+uid+node) plus trailing CRC.
+	const fixed = 4 + 2 + 2 + 8 + 2
+	if len(data) < fixed+4 {
+		return nil, ErrTruncated
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := &decoder{data: body}
+	if d.u32() != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := d.u16(); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrVersion, v)
+	}
+	d.u16() // flags
+	c := &Checkpoint{UID: d.u64(), NodeID: gmproto.NodeID(d.u16())}
+
+	if n := d.count(minRoute); n > 0 {
+		c.Routes = make([]Route, 0, n)
+		for i := 0; i < n; i++ {
+			node := gmproto.NodeID(d.u16())
+			hopLen := int(d.u16())
+			if !d.need(hopLen) {
+				break
+			}
+			hops := append([]byte(nil), d.data[d.off:d.off+hopLen]...)
+			d.off += hopLen
+			c.Routes = append(c.Routes, Route{Node: node, Hops: hops})
+		}
+	}
+
+	if n := d.count(minRxAck); n > 0 {
+		c.RxAcks = make([]RxAck, 0, n)
+		for i := 0; i < n; i++ {
+			c.RxAcks = append(c.RxAcks, RxAck{
+				Stream: gmproto.StreamID{
+					Node: gmproto.NodeID(d.u16()),
+					Port: gmproto.PortID(d.u8()),
+					Prio: gmproto.Priority(d.u8()),
+				},
+				Seq: d.u32(),
+			})
+		}
+	}
+
+	if n := d.count(minPort); n > 0 {
+		c.Ports = make([]PortCheckpoint, 0, n)
+		for i := 0; i < n; i++ {
+			pc := PortCheckpoint{
+				Port:      gmproto.PortID(d.u8()),
+				NextToken: d.u64(),
+			}
+			if sn := d.count(minSendToken); sn > 0 {
+				pc.SendTokens = make([]gmproto.SendToken, 0, sn)
+				for j := 0; j < sn; j++ {
+					t := gmproto.SendToken{
+						ID:       d.u64(),
+						Dest:     gmproto.NodeID(d.u16()),
+						DestPort: gmproto.PortID(d.u8()),
+						SrcPort:  gmproto.PortID(d.u8()),
+						Prio:     gmproto.Priority(d.u8()),
+						Seq:      d.u32(),
+					}
+					t.HasSeq = d.u8() != 0
+					t.Directed = d.u8() != 0
+					t.RegionID = d.u32()
+					t.RemoteOffset = d.u32()
+					t.Data = d.bytes()
+					pc.SendTokens = append(pc.SendTokens, t)
+				}
+			}
+			if rn := d.count(minRecvToken); rn > 0 {
+				pc.RecvTokens = make([]RecvTokenCheckpoint, 0, rn)
+				for j := 0; j < rn; j++ {
+					pc.RecvTokens = append(pc.RecvTokens, RecvTokenCheckpoint{
+						ID:     d.u64(),
+						Size:   d.u32(),
+						Prio:   gmproto.Priority(d.u8()),
+						BufLen: d.u32(),
+					})
+				}
+			}
+			if qn := d.count(minSeqStream); qn > 0 {
+				pc.SeqStreams = make([]core.SeqStream, 0, qn)
+				for j := 0; j < qn; j++ {
+					pc.SeqStreams = append(pc.SeqStreams, core.SeqStream{
+						Node: gmproto.NodeID(d.u16()),
+						Prio: gmproto.Priority(d.u8()),
+						Last: d.u32(),
+					})
+				}
+			}
+			c.Ports = append(c.Ports, pc)
+		}
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
+	}
+	return c, nil
+}

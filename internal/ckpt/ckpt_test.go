@@ -1,0 +1,176 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gmproto"
+)
+
+// seedCheckpoints returns representative checkpoints: an empty anchor, a
+// minimal one, and a fully populated node mid-burst. The fuzz corpus seeds
+// from these, and the round-trip tests sweep them.
+func seedCheckpoints() []*Checkpoint {
+	return []*Checkpoint{
+		{UID: 1, NodeID: 1},
+		{
+			UID:    7,
+			NodeID: 3,
+			Routes: []Route{{Node: 1, Hops: []byte{0x81}}, {Node: 2, Hops: nil}},
+			RxAcks: []RxAck{{Stream: gmproto.StreamID{Node: 1, Port: 2, Prio: gmproto.PriorityLow}, Seq: 41}},
+			Ports: []PortCheckpoint{{
+				Port:      2,
+				NextToken: 9,
+			}},
+		},
+		{
+			UID:    0xdeadbeefcafe,
+			NodeID: 12,
+			Routes: []Route{
+				{Node: 1, Hops: []byte{0x80, 0x81, 0x82}},
+				{Node: 5, Hops: []byte{0x83}},
+			},
+			RxAcks: []RxAck{
+				{Stream: gmproto.StreamID{Node: 1, Port: 2, Prio: gmproto.PriorityLow}, Seq: 100},
+				{Stream: gmproto.StreamID{Node: 1, Port: 2, Prio: gmproto.PriorityHigh}, Seq: 3},
+				{Stream: gmproto.StreamID{Node: 5, Port: 4, Prio: gmproto.PriorityLow}, Seq: 77},
+			},
+			Ports: []PortCheckpoint{
+				{
+					Port:      2,
+					NextToken: 1234,
+					SendTokens: []gmproto.SendToken{
+						{
+							ID: 17, Dest: 5, DestPort: 2, SrcPort: 2,
+							Prio: gmproto.PriorityLow, Seq: 88, HasSeq: true,
+							Data: []byte("unacked payload"),
+						},
+						{
+							ID: 18, Dest: 5, DestPort: 2, SrcPort: 2,
+							Prio: gmproto.PriorityHigh, Seq: 4, HasSeq: true,
+							Directed: true, RegionID: 3, RemoteOffset: 4096,
+							Data: []byte{},
+						},
+					},
+					RecvTokens: []RecvTokenCheckpoint{
+						{ID: 40, Size: 512, Prio: gmproto.PriorityLow, BufLen: 512},
+						{ID: 41, Size: 4096, Prio: gmproto.PriorityHigh, BufLen: 4096},
+					},
+					SeqStreams: []core.SeqStream{
+						{Node: 1, Prio: gmproto.PriorityLow, Last: 10},
+						{Node: 5, Prio: gmproto.PriorityLow, Last: 88},
+						{Node: 5, Prio: gmproto.PriorityHigh, Last: 4},
+					},
+				},
+				{Port: 4, NextToken: 2},
+			},
+		},
+	}
+}
+
+// TestRoundTrip: Encode then Decode must reproduce the checkpoint exactly;
+// re-encoding the decoded form must be byte-identical (the canonical-form
+// property the fuzz target relies on).
+func TestRoundTrip(t *testing.T) {
+	for i, c := range seedCheckpoints() {
+		enc := c.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", i, err)
+		}
+		if dec.UID != c.UID || dec.NodeID != c.NodeID {
+			t.Fatalf("seed %d: identity %d/%d, want %d/%d", i, dec.UID, dec.NodeID, c.UID, c.NodeID)
+		}
+		if len(dec.Routes) != len(c.Routes) || len(dec.RxAcks) != len(c.RxAcks) || len(dec.Ports) != len(c.Ports) {
+			t.Fatalf("seed %d: section lengths differ", i)
+		}
+		re := dec.Encode()
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("seed %d: re-encode differs (%d vs %d bytes)", i, len(re), len(enc))
+		}
+	}
+}
+
+// TestEncodeDeterministic: two encodes of the same state are byte-identical.
+func TestEncodeDeterministic(t *testing.T) {
+	for i, c := range seedCheckpoints() {
+		if !bytes.Equal(c.Encode(), c.Encode()) {
+			t.Fatalf("seed %d: non-deterministic encode", i)
+		}
+	}
+}
+
+// TestDecodeCopies: a decoded checkpoint must not alias the input buffer.
+func TestDecodeCopies(t *testing.T) {
+	c := seedCheckpoints()[2]
+	enc := c.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHops := append([]byte(nil), dec.Routes[0].Hops...)
+	wantData := append([]byte(nil), dec.Ports[0].SendTokens[0].Data...)
+	for i := range enc {
+		enc[i] = 0xff
+	}
+	if !bytes.Equal(dec.Routes[0].Hops, wantHops) {
+		t.Fatal("route hops alias the input buffer")
+	}
+	if !bytes.Equal(dec.Ports[0].SendTokens[0].Data, wantData) {
+		t.Fatal("send-token data aliases the input buffer")
+	}
+}
+
+// seal appends a valid CRC; reseal re-checksums a mutated sealed stream so
+// inner corruption reaches the structural checks.
+func seal(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+func reseal(b []byte) []byte { return seal(b[:len(b)-4]) }
+
+// TestDecodeRejects: hostile input comes back as typed errors, never panics.
+func TestDecodeRejects(t *testing.T) {
+	good := seedCheckpoints()[2].Encode()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:10], ErrTruncated},
+		{"bitflip", func() []byte {
+			b := append([]byte(nil), good...)
+			b[20] ^= 0x10
+			return b
+		}(), ErrCorrupt},
+		{"bad-magic", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[0:4], 0x12345678)
+			return reseal(b)
+		}(), ErrCorrupt},
+		{"bad-version", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint16(b[4:6], 0xfffe)
+			return reseal(b)
+		}(), ErrVersion},
+		{"hostile-count", func() []byte {
+			b := append([]byte(nil), good...)
+			// Route count lives right after the 18-byte fixed header.
+			binary.LittleEndian.PutUint32(b[18:22], 1<<31)
+			return reseal(b)
+		}(), ErrTruncated},
+		{"truncated-resealed", reseal(good[:len(good)/2]), ErrTruncated},
+		{"trailing-garbage", seal(append(append([]byte(nil), good[:len(good)-4]...), 9, 9)), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		c, err := Decode(tc.data)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode = (%v, %v), want %v", tc.name, c, err, tc.want)
+		}
+	}
+}

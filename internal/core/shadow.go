@@ -18,6 +18,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/gmproto"
 )
 
@@ -159,6 +161,38 @@ func (s *ShadowStore) OutstandingRecvs() []gmproto.RecvToken {
 // Counts reports outstanding send and receive token counts.
 func (s *ShadowStore) Counts() (sends, recvs int) {
 	return len(s.sendTokens), len(s.recvTokens)
+}
+
+// SeqStream is one host-generated sequence stream's cursor: the last
+// sequence number minted toward (Node, Prio). Exposed for endpoint
+// checkpointing (internal/ckpt), which must serialize the generator state
+// deterministically.
+type SeqStream struct {
+	Node gmproto.NodeID
+	Prio gmproto.Priority
+	Last uint32
+}
+
+// SeqStreams returns every sequence-stream cursor, sorted by (node,
+// priority) so the enumeration is deterministic.
+func (s *ShadowStore) SeqStreams() []SeqStream {
+	out := make([]SeqStream, 0, len(s.txSeq))
+	for k, v := range s.txSeq {
+		out = append(out, SeqStream{Node: k.node, Prio: k.prio, Last: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Prio < out[j].Prio
+	})
+	return out
+}
+
+// RestoreSeq reinstates a sequence-stream cursor from a checkpoint: the next
+// NextSeq for (node, prio) returns last+1.
+func (s *ShadowStore) RestoreSeq(node gmproto.NodeID, prio gmproto.Priority, last uint32) {
+	s.txSeq[seqKey{node: node, prio: prio}] = last
 }
 
 // Per-entry sizes of the backup structures, as a C implementation inside

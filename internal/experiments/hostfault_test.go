@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// The host-fault comparison's headline: a checkpointed endpoint survives
+// host death under every revival regime. The restore schemes come back
+// under the suspicion timeout with nothing excused and no dead verdicts;
+// the rebirth scheme is buried, readmitted, and only its own disowned
+// in-flight sends are excused.
+func TestHostFaultComparison(t *testing.T) {
+	cfg := chaos.CampaignConfig{
+		Trials: 1,
+		Trial: chaos.TrialConfig{
+			Nodes:     4,
+			Traffic:   sim.Second,
+			SendEvery: 4 * sim.Millisecond,
+			Events:    2,
+			MaxSettle: 30 * sim.Second,
+		},
+	}
+	results, err := HostFaultComparison(20030623, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byLabel := map[string]HostFaultResult{}
+	for _, r := range results {
+		byLabel[r.Label] = r
+		if v := r.Verdict(); v != "exactly-once in-order" {
+			t.Errorf("%s verdict = %q: %v (dirty=%v)", r.Label, v,
+				r.Campaign.Total, r.Campaign.Total.Dirty)
+		}
+		if r.Counters.Checkpoints == 0 || r.Counters.CheckpointBytes == 0 {
+			t.Errorf("%s never serialized a checkpoint: %+v", r.Label, r.Counters)
+		}
+		if r.Counters.LiveExpelled != 0 || r.Counters.RouteGaps != 0 {
+			t.Errorf("%s membership damage: %+v", r.Label, r.Counters)
+		}
+	}
+	for _, label := range []string{"restore+central", "restore+gossip"} {
+		r := byLabel[label]
+		if r.Counters.Restores == 0 || r.Counters.Rejoins != 0 {
+			t.Errorf("%s revival mix wrong: %+v", label, r.Counters)
+		}
+		if r.Campaign.Total.Excused != 0 {
+			t.Errorf("%s excused %d sends; a restored host disowns nothing",
+				label, r.Campaign.Total.Excused)
+		}
+		if r.Counters.DeadDeclared != 0 {
+			t.Errorf("%s drew dead verdicts for an outage under the suspicion timeout: %+v",
+				label, r.Counters)
+		}
+	}
+	rb := byLabel["rebirth+gossip"]
+	if rb.Counters.Rejoins == 0 || rb.Counters.Restores != 0 {
+		t.Errorf("rebirth revival mix wrong: %+v", rb.Counters)
+	}
+	if rb.Counters.DeadDeclared == 0 || rb.Counters.Readmissions == 0 {
+		t.Errorf("rebirth was never buried and readmitted: %+v", rb.Counters)
+	}
+	if rb.Campaign.Total.Excused == 0 {
+		t.Error("the reborn mapper's disowned in-flight sends were never excused")
+	}
+	out := RenderHostFault(results)
+	for _, want := range []string{"restore+central", "restore+gossip", "rebirth+gossip",
+		"exactly-once in-order", "ckpt-bytes="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
