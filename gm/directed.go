@@ -70,6 +70,13 @@ func (p *Port) DirectedSend(dest NodeID, destPort PortID, regionID, remoteOffset
 	cost := cfg.SendOverhead
 	if p.node.cluster.cfg.Mode == ModeFTGM {
 		cost += cfg.FTGMSendExtra
+		if cfg.PerConnectionSeqSync {
+			// Directed sends share the per-(port, dest) sequence space, so
+			// the §4.1 ablation's synchronization cost applies to them too
+			// (and keeps postPend's due times nondecreasing when directed
+			// and ordinary sends interleave).
+			cost += cfg.SeqSyncOverhead
+		}
 		tok.Seq = p.shadow.NextSeq(dest, gmproto.PriorityLow)
 		tok.HasSeq = true
 	}
@@ -79,14 +86,19 @@ func (p *Port) DirectedSend(dest NodeID, destPort PortID, regionID, remoteOffset
 	}
 	p.node.cpu.ChargeSend(cost)
 	p.stats.Sends++
-	p.node.eng.After(cost, func() {
-		if p.recovering {
-			return
-		}
-		_ = p.node.m.HostPostSend(tok)
-	})
+	// Post through the shared dispatcher, exactly like Send: its dispatch
+	// checks p.open (a Kill leaves the queued post inert) and p.recovering,
+	// and Node.Drained() counts it — a checkpoint cannot be cut with a
+	// directed post still in flight toward the MCP.
+	p.postPend.After(cost, tok)
 	return nil
 }
+
+// Regions returns the port's registered directed-send regions in
+// registration order. After a Restore the reattach hook uses it to find the
+// rebuilt regions: pointers handed out before the host death do not survive
+// it.
+func (p *Port) Regions() []*Region { return p.regions }
 
 // reRegisterRegions re-pins every registered region with a freshly loaded
 // MCP (recovery and naive-restart paths).

@@ -186,6 +186,99 @@ func TestDirectedSendMixedWithRegular(t *testing.T) {
 	}
 }
 
+func TestDirectedRegionSurvivesHostDeath(t *testing.T) {
+	// Regions are part of the recovery anchor: the checkpoint carries the
+	// id allocator, the geometry and the contents (an acknowledged deposit
+	// lives only in the region buffer), and the restore re-registers them
+	// with the replacement MCP before peers' Go-Back-N windows retransmit
+	// the in-flight deposits.
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, _ := a.OpenPort(1)
+	pb, _ := b.OpenPort(1)
+	region, err := pb.RegisterMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slots 0..9 deposited and acknowledged before the death.
+	const preSlots = 10
+	for i := 0; i < preSlots; i++ {
+		if err := pa.DirectedSend(b.ID(), 1, region.ID, uint32(8*i), []byte{byte(i + 1)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		// The post rides the shared dispatcher now, so the sender is
+		// visibly undrained until it reaches the MCP.
+		if a.Drained() {
+			t.Fatal("in-flight directed post invisible to Drained")
+		}
+		cl.Run(500 * Microsecond)
+	}
+	drainNode(t, cl, b)
+	ck, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Ports) != 1 || len(ck.Ports[0].Regions) != 1 ||
+		len(ck.Ports[0].Regions[0].Data) != 1024 || ck.Ports[0].NextRegion != region.ID {
+		t.Fatalf("checkpoint region shape: %+v", ck.Ports)
+	}
+	b.Kill()
+
+	// One more deposit while the slot is dead: it waits in a's Go-Back-N
+	// window and must land exactly once after the restore re-registers the
+	// region.
+	inFlightAcked := false
+	if err := pa.DirectedSend(b.ID(), 1, region.ID, uint32(8*preSlots), []byte{preSlots + 1}, func(s SendStatus) {
+		inFlightAcked = s == SendOK
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(2 * Millisecond)
+	if inFlightAcked {
+		t.Fatal("dead host acknowledged a deposit")
+	}
+
+	restored := false
+	err = b.Restore(wireCheckpoint(t, ck), func(ports map[PortID]*Port) {
+		np, ok := ports[1]
+		if !ok {
+			t.Error("restore did not rebuild port 1")
+			return
+		}
+		pb = np
+	}, func() { restored = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(50 * Millisecond)
+	if !restored {
+		t.Fatal("restore never completed")
+	}
+
+	regions := pb.Regions()
+	if len(regions) != 1 || regions[0].ID != region.ID || len(regions[0].Buf) != 1024 {
+		t.Fatalf("restored regions: %+v", regions)
+	}
+	if !inFlightAcked {
+		t.Fatal("in-flight deposit never acknowledged after restore")
+	}
+	for i := 0; i <= preSlots; i++ {
+		if regions[0].Buf[8*i] != byte(i+1) {
+			t.Fatalf("slot %d = %d after restore", i, regions[0].Buf[8*i])
+		}
+	}
+	// The allocator cursor came back with the checkpoint: a region
+	// registered by the replacement process must not reuse an id peers may
+	// still hold.
+	r2, err := pb.RegisterMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ID <= region.ID {
+		t.Fatalf("region id %d reused after restore (old max %d)", r2.ID, region.ID)
+	}
+}
+
 func TestRegisterMemoryValidation(t *testing.T) {
 	cl, a, _ := twoNodes(t, ModeFTGM)
 	p, _ := a.OpenPort(1)

@@ -26,9 +26,9 @@ import (
 
 // Host-fault errors.
 var (
-	// ErrNotDrained means the endpooint has committed work still in flight
+	// ErrNotDrained means the endpoint has committed work still in flight
 	// toward the application; checkpointing now could lose an acknowledged
-	// message. Retry after the deferred dispatchers drain.
+	// message. Retry after the deferred dispatchers and poll queues drain.
 	ErrNotDrained = errors.New("gm: node not drained")
 	// ErrNodeDead rejects library calls against a killed host.
 	ErrNodeDead = errors.New("gm: node is dead")
@@ -43,20 +43,22 @@ var (
 func (n *Node) Dead() bool { return n.dead }
 
 // Drained reports whether the endpoint sits at a message boundary: no
-// deferred dispatcher of any open port holds work, and no recovery handler
-// is mid-flight. The condition matters because of the delayed ACK (§4.1):
-// the MCP releases a message's ACK only after the host tables commit, and
-// the one window where a committed-and-ACKed message has not yet reached
-// the application is the port's deferred receive dispatch. With every
-// dispatcher empty, everything the node has acknowledged has also been
-// delivered; whatever is still inside the MCP is unacknowledged and the
-// senders' Go-Back-N windows re-deliver it after a restore.
+// deferred dispatcher of any open port holds work, no polling-mode receive
+// queue holds undelivered events, and no recovery handler is mid-flight.
+// The condition matters because of the delayed ACK (§4.1): the MCP releases
+// a message's ACK only after the host tables commit, and the windows where
+// a committed-and-ACKed message has not yet reached the application are the
+// port's deferred receive dispatch and — on a polling port — the receive
+// queue the application has not yet drained with Receive. With every
+// dispatcher and poll queue empty, everything the node has acknowledged has
+// also been delivered; whatever is still inside the MCP is unacknowledged
+// and the senders' Go-Back-N windows re-deliver it after a restore.
 func (n *Node) Drained() bool {
 	if n.dead || n.pendingRecoveries > 0 {
 		return false
 	}
 	for _, p := range n.ports {
-		if p.recovering ||
+		if p.recovering || len(p.pollQueue) > 0 ||
 			p.tokPend.Pending() > 0 || p.recvPend.Pending() > 0 ||
 			p.cbPend.Pending() > 0 || p.postPend.Pending() > 0 {
 			return false
@@ -68,10 +70,13 @@ func (n *Node) Drained() bool {
 // Checkpoint assembles the node's recovery anchor at a drained instant:
 // interface identity, the authoritative route table, the receive ACK table,
 // and per open port the token cursor, the outstanding shadow send/receive
-// tokens in posting order and the sequence-stream cursors. The result is
-// deterministic (sections sorted) and serializes through ckpt.Encode into
-// the versioned wire form the restore side decodes. Refuses with
-// ErrNotDrained while committed work is still in flight to the application.
+// tokens in posting order, the sequence-stream cursors and the registered
+// directed-send regions (geometry and contents: an acknowledged deposit
+// lives only in the region buffer, so the bytes are part of the anchor).
+// The result is deterministic (sections sorted) and serializes through
+// ckpt.Encode into the versioned wire form the restore side decodes.
+// Refuses with ErrNotDrained while committed work is still in flight to
+// the application.
 func (n *Node) Checkpoint() (*ckpt.Checkpoint, error) {
 	if n.dead {
 		return nil, ErrNodeDead
@@ -118,12 +123,18 @@ func (n *Node) Checkpoint() (*ckpt.Checkpoint, error) {
 		pc := ckpt.PortCheckpoint{
 			Port:       id,
 			NextToken:  p.nextToken,
+			NextRegion: p.nextRegion,
 			SendTokens: p.shadow.OutstandingSends(),
 			SeqStreams: p.shadow.SeqStreams(),
 		}
 		for _, rt := range p.shadow.OutstandingRecvs() {
 			pc.RecvTokens = append(pc.RecvTokens, ckpt.RecvTokenCheckpoint{
 				ID: rt.ID, Size: rt.Size, Prio: rt.Prio, BufLen: uint32(len(rt.Buf)),
+			})
+		}
+		for _, r := range p.regions {
+			pc.Regions = append(pc.Regions, ckpt.RegionCheckpoint{
+				ID: r.ID, Data: append([]byte(nil), r.Buf...),
 			})
 		}
 		c.Ports = append(c.Ports, pc)
@@ -161,17 +172,23 @@ func (n *Node) Kill() {
 // Restore revives a killed slot from a checkpoint with full state
 // reinstatement: the replacement host reloads the MCP, reinstalls identity
 // and routes from the checkpoint (its own memory starts empty), rebuilds
-// each port's shadow store, token cursor and sequence streams, and replays
-// the §4.4 order — reopen, reattach, upload receive sequence table, re-post
-// outstanding receive then send tokens with their original sequence
-// numbers. Peers that kept their stream state dedup anything the fault
-// window already delivered, so delivery stays exactly-once and in-order.
+// each port's shadow store, token cursor, sequence streams and directed-send
+// regions (contents included), and replays the §4.4 order — reopen,
+// reattach, upload receive sequence table, re-post outstanding receive then
+// send tokens with their original sequence numbers. Peers that kept their
+// stream state dedup anything the fault window already delivered, so
+// delivery stays exactly-once and in-order.
 //
 // reattach runs as soon as the restored ports exist and before any token is
 // re-posted: the replacement process installs its receive handlers there
-// (handler closures do not survive host death). done fires when the restore
-// completes. Restore must land before the control plane expels the node;
-// after an expulsion use Rejoin.
+// (handler closures do not survive host death). The same applies to send
+// completion callbacks: a checkpointed outstanding send is re-posted and
+// completes, but its pre-death callback closure is gone and nothing fires
+// unless the reattach hook re-arms one via Port.SetSendCompletion (the ids
+// come from Port.OutstandingSendIDs). Applications that pace their pipeline
+// on completions must re-arm or they will stall after a restore. done fires
+// when the restore completes. Restore must land before the control plane
+// expels the node; after an expulsion use Rejoin.
 func (n *Node) Restore(c *ckpt.Checkpoint, reattach func(ports map[PortID]*Port), done func()) error {
 	return n.revive(c, false, reattach, done)
 }
@@ -224,6 +241,7 @@ func (n *Node) revive(c *ckpt.Checkpoint, fresh bool, reattach func(ports map[Po
 		for _, pc := range c.Ports {
 			p := n.buildPort(pc.Port)
 			p.nextToken = pc.NextToken
+			p.nextRegion = pc.NextRegion
 			if !fresh {
 				for _, tok := range pc.SendTokens {
 					p.shadow.AddSendToken(tok)
@@ -241,6 +259,25 @@ func (n *Node) revive(c *ckpt.Checkpoint, fresh bool, reattach func(ports map[Po
 			if err := n.driver.OpenPort(pc.Port, p.mcpSink); err != nil {
 				n.eng.Tracef("node", "%s revive: reopen port %d: %v", n.name, pc.Port, err)
 				continue
+			}
+			// Re-register the directed-send regions with the reloaded MCP
+			// before peers' Go-Back-N windows retransmit into them: an
+			// unregistered region would NACK the retransmissions forever.
+			// Restore reinstates the checkpointed contents (acknowledged
+			// deposits exist only here); Rejoin keeps the geometry — region
+			// ids are application-level rendezvous — but zeroes the bytes,
+			// consistent with disowning the rest of the protocol state.
+			for _, rc := range pc.Regions {
+				r := &Region{ID: rc.ID, Buf: make([]byte, len(rc.Data))}
+				if !fresh {
+					copy(r.Buf, rc.Data)
+				}
+				if err := n.m.HostRegisterRegion(p.id, r.ID, r.Buf); err != nil {
+					n.eng.Tracef("node", "%s revive: region %d on port %d: %v", n.name, rc.ID, pc.Port, err)
+					continue
+				}
+				_ = n.driver.PageTable().PinRange(int(p.id), uint64(r.ID)<<32, uint64(len(r.Buf)))
+				p.regions = append(p.regions, r)
 			}
 			n.ports[pc.Port] = p
 			restored[pc.Port] = p

@@ -256,6 +256,187 @@ func TestHostDeathRestoreMidBurst(t *testing.T) {
 	wantExactlyOnceInOrder(t, "b->a", atA, total)
 }
 
+// TestHostDeathRestorePollingPort: on a polling-mode port the last hop to
+// the application is the receive queue the process drains with Receive(),
+// so a committed-and-ACKed event sitting there must hold off the drain
+// verdict — a checkpoint cut above a non-empty poll queue would record the
+// seqs in its RxAck table and dup-drop the peer's retransmissions after the
+// restore, losing the messages forever. The test then kills and restores
+// the polling port mid-burst and audits exactly-once in-order delivery.
+func TestHostDeathRestorePollingPort(t *testing.T) {
+	const before = 10
+	const after = 10
+
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, err := a.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.EnablePolling()
+	for i := 0; i < 64; i++ {
+		if err := pb.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var atB []int
+	poll := func() {
+		for {
+			ev, ok := pb.Receive()
+			if !ok {
+				return
+			}
+			if ev.Type == EvReceived {
+				atB = append(atB, payloadIdx(ev.Data))
+				_ = pb.RecycleReceiveBuffer(ev.Data, PriorityLow)
+			} else {
+				pb.UnknownEvent(ev)
+			}
+		}
+	}
+
+	for i := 0; i < before; i++ {
+		if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(10 * Millisecond)
+	if pb.Pending() == 0 {
+		t.Fatal("no events queued on the polling port")
+	}
+	// Committed, ACKed, undelivered: the node must not report drained and
+	// must refuse to checkpoint until the application polls the queue dry.
+	if b.Drained() {
+		t.Fatal("node drained with events in the poll queue")
+	}
+	if _, err := b.Checkpoint(); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("checkpoint above a poll queue: %v, want ErrNotDrained", err)
+	}
+	poll()
+	drainNode(t, cl, b)
+
+	ck, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+
+	// Traffic toward the dead slot waits in the sender's Go-Back-N window.
+	for i := before; i < before+after; i++ {
+		if err := pa.Send(b.ID(), 2, PriorityLow, idxPayload(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(2 * Millisecond)
+
+	restored := false
+	err = b.Restore(wireCheckpoint(t, ck), func(ports map[PortID]*Port) {
+		np, ok := ports[2]
+		if !ok {
+			t.Error("restore did not rebuild port 2")
+			return
+		}
+		pb = np
+		pb.EnablePolling() // polling is process state; the replacement re-arms it
+	}, func() { restored = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		cl.Run(100 * Microsecond)
+		if restored {
+			poll()
+		}
+	}
+	if !restored {
+		t.Fatal("restore never completed")
+	}
+	wantExactlyOnceInOrder(t, "a->b", atB, before+after)
+}
+
+// TestRestoreSendCompletionReArm: completion callbacks are closures and do
+// not survive host death; the reattach hook re-arms them for the
+// checkpointed outstanding sends via OutstandingSendIDs/SetSendCompletion,
+// and the re-posted send then completes through the fresh callback.
+func TestRestoreSendCompletionReArm(t *testing.T) {
+	cl, a, b := twoNodesCfg(t, hostFaultConfig())
+	pa, err := a.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.OpenPort(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.SetReceiveHandler(func(ev RecvEvent) {})
+
+	// No receive buffer on a: b's send stays unacknowledged (NACKed and
+	// retried), so it is deterministically outstanding at the checkpoint.
+	preDeath := false
+	if err := pb.Send(a.ID(), 2, PriorityLow, []byte("paced"), func(SendStatus) { preDeath = true }); err != nil {
+		t.Fatal(err)
+	}
+	drainNode(t, cl, b)
+	ck, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Ports) != 1 || len(ck.Ports[0].SendTokens) != 1 {
+		t.Fatalf("checkpoint outstanding sends: %+v", ck.Ports)
+	}
+	b.Kill()
+
+	completed := make(map[uint64]SendStatus)
+	err = b.Restore(wireCheckpoint(t, ck), func(ports map[PortID]*Port) {
+		np, ok := ports[2]
+		if !ok {
+			t.Error("restore did not rebuild port 2")
+			return
+		}
+		pb = np
+		ids := np.OutstandingSendIDs()
+		if len(ids) != 1 {
+			t.Errorf("OutstandingSendIDs = %v, want one id", ids)
+			return
+		}
+		for _, id := range ids {
+			id := id
+			if err := np.SetSendCompletion(id, func(s SendStatus) { completed[id] = s }); err != nil {
+				t.Errorf("SetSendCompletion(%d): %v", id, err)
+			}
+		}
+		if err := np.SetSendCompletion(999999, func(SendStatus) {}); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("SetSendCompletion on unknown token: %v, want ErrBadArgument", err)
+		}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(20 * Millisecond)
+	if err := pa.ProvideReceiveBuffer(64, PriorityLow); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(50 * Millisecond)
+	if preDeath {
+		t.Fatal("pre-death callback closure fired across the host death")
+	}
+	if len(completed) != 1 {
+		t.Fatalf("re-armed completions fired = %d, want 1", len(completed))
+	}
+	for _, s := range completed {
+		if s != SendOK {
+			t.Fatalf("re-armed completion status = %v", s)
+		}
+	}
+	if pb.SendTokensAvailable() != hostFaultConfig().Host.SendTokens {
+		t.Fatalf("send token not returned: %d", pb.SendTokensAvailable())
+	}
+}
+
 // TestHostDeathRejoinAfterExpulsion: the host dies, stays down long enough
 // that the peer expels it (streams forgotten, routes dropped), then rejoins
 // from its checkpoint. Identity and port shape come back; protocol state

@@ -123,6 +123,37 @@ func (p *Port) SetEventHandler(fn func(Event)) { p.eventHandler = fn }
 // SetAlarm asks the interface to post an alarm at virtual time t.
 func (p *Port) SetAlarm(t Time) { p.node.m.HostSetAlarm(p.id, t) }
 
+// OutstandingSendIDs returns the token ids of the port's unacknowledged
+// sends in posting order. After a Restore these are the checkpointed sends
+// whose completion callbacks did not survive host death; the reattach hook
+// pairs it with SetSendCompletion to re-arm them.
+func (p *Port) OutstandingSendIDs() []uint64 {
+	toks := p.shadow.OutstandingSends()
+	ids := make([]uint64, len(toks))
+	for i, t := range toks {
+		ids[i] = t.ID
+	}
+	return ids
+}
+
+// SetSendCompletion installs a completion callback for an outstanding send
+// token. Callback closures do not survive host death, so a restored port's
+// re-posted sends would otherwise complete silently; the reattach hook
+// re-arms pacing callbacks here before any token is re-posted. Replaces an
+// existing callback for the token; errors if the token is not outstanding.
+func (p *Port) SetSendCompletion(tokenID uint64, cb SendCallback) error {
+	if !p.open {
+		return ErrPortClosed
+	}
+	for _, t := range p.shadow.OutstandingSends() {
+		if t.ID == tokenID {
+			p.callbacks[tokenID] = cb
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: send token %d not outstanding", ErrBadArgument, tokenID)
+}
+
 // Send transmits data to (dest, destPort) with a completion callback,
 // consuming a send token. In FTGM mode the library backs up the token and
 // stamps it with the next host-generated sequence number of the (port,
@@ -241,6 +272,18 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 		p.node.cpu.ChargeRecv(cost)
 		p.stats.Receives++
 		p.recvPend.After(cost, recvDispatch{ev: ev, poll: p.polling})
+	case gmproto.EvDirectedDeposit:
+		// A directed deposit committed: no receive token was consumed and
+		// the application is never notified (GM semantics), but the §4.1
+		// ACK table must record the sequence number — the deposit is part
+		// of the checkpointable recovery anchor, and a restored MCP seeded
+		// without it would NACK the stream's retransmissions forever. The
+		// record is consumed here; it never reaches handlers or the poll
+		// queue.
+		if p.node.cluster.cfg.Mode == ModeFTGM {
+			p.node.rxAcks.Update(gmproto.StreamID{Node: ev.Src, Port: ev.SrcPort, Prio: ev.Prio}, ev.Seq)
+			p.node.cpu.Charge(cfg.FTGMRecvExtra)
+		}
 	case gmproto.EvSent, gmproto.EvSendError:
 		// The send token comes back: drop the shadow copy just before the
 		// callback runs (§4.1).

@@ -10,8 +10,11 @@
 //     §4.1, updated only after the event record lands in host memory);
 //   - per open port: the shadow send-token queue (which carries the
 //     host-generated Go-Back-N sequence numbers of every unacknowledged
-//     message, in posting order), the shadow receive-token queue, and the
-//     per-(remote node, priority) sequence generators.
+//     message, in posting order), the shadow receive-token queue, the
+//     per-(remote node, priority) sequence generators, and the registered
+//     directed-send regions (id allocator cursor, geometry and contents —
+//     a deposit the MCP has already acknowledged lives only in the region
+//     buffer, so the buffer is part of the recovery anchor).
 //
 // The encoding is deterministic: maps are serialized in sorted key order and
 // every integer is fixed-width little-endian, so two checkpoints of equal
@@ -77,6 +80,22 @@ type PortCheckpoint struct {
 	RecvTokens []RecvTokenCheckpoint
 	// SeqStreams are the per-(remote, priority) sequence generators, sorted.
 	SeqStreams []core.SeqStream
+	// NextRegion is the port's region-id allocator cursor, so regions
+	// registered after a restore never reuse an id peers may still hold
+	// from before the death.
+	NextRegion uint32
+	// Regions are the registered directed-send regions in registration
+	// order. Contents are serialized: an acknowledged directed deposit
+	// exists only in the region buffer, so dropping the bytes would lose
+	// it — the peer's ACK table dedups the retransmission after a restore.
+	Regions []RegionCheckpoint
+}
+
+// RegionCheckpoint is one registered directed-send region: its id and the
+// pinned buffer bytes (len(Data) is the region size).
+type RegionCheckpoint struct {
+	ID   uint32
+	Data []byte
 }
 
 // RecvTokenCheckpoint is the serialized form of a receive token: identity
@@ -110,7 +129,8 @@ const (
 	minSendToken = 8 + 2 + 1 + 1 + 1 + 4 + 1 + 1 + 4 + 4 + 4
 	minRecvToken = 8 + 4 + 1 + 4
 	minSeqStream = 2 + 1 + 4
-	minPort      = 1 + 8 + 4 + 4 + 4
+	minRegion    = 4 + 4
+	minPort      = 1 + 8 + 4 + 4 + 4 + 4 + 4
 )
 
 // Encode serializes the checkpoint. The output is deterministic: equal
@@ -177,6 +197,12 @@ func (c *Checkpoint) Encode() []byte {
 			p16(uint16(ss.Node))
 			p8(uint8(ss.Prio))
 			p32(ss.Last)
+		}
+		p32(pc.NextRegion)
+		p32(uint32(len(pc.Regions)))
+		for _, r := range pc.Regions {
+			p32(r.ID)
+			pb(r.Data)
 		}
 	}
 
@@ -367,6 +393,16 @@ func Decode(data []byte) (*Checkpoint, error) {
 						Node: gmproto.NodeID(d.u16()),
 						Prio: gmproto.Priority(d.u8()),
 						Last: d.u32(),
+					})
+				}
+			}
+			pc.NextRegion = d.u32()
+			if gn := d.count(minRegion); gn > 0 {
+				pc.Regions = make([]RegionCheckpoint, 0, gn)
+				for j := 0; j < gn; j++ {
+					pc.Regions = append(pc.Regions, RegionCheckpoint{
+						ID:   d.u32(),
+						Data: d.bytes(),
 					})
 				}
 			}

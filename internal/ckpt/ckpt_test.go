@@ -65,6 +65,11 @@ func seedCheckpoints() []*Checkpoint {
 						{Node: 5, Prio: gmproto.PriorityLow, Last: 88},
 						{Node: 5, Prio: gmproto.PriorityHigh, Last: 4},
 					},
+					NextRegion: 3,
+					Regions: []RegionCheckpoint{
+						{ID: 1, Data: []byte("acked deposit bytes")},
+						{ID: 3, Data: make([]byte, 64)},
+					},
 				},
 				{Port: 4, NextToken: 2},
 			},
@@ -114,6 +119,7 @@ func TestDecodeCopies(t *testing.T) {
 	}
 	wantHops := append([]byte(nil), dec.Routes[0].Hops...)
 	wantData := append([]byte(nil), dec.Ports[0].SendTokens[0].Data...)
+	wantRegion := append([]byte(nil), dec.Ports[0].Regions[0].Data...)
 	for i := range enc {
 		enc[i] = 0xff
 	}
@@ -122,6 +128,9 @@ func TestDecodeCopies(t *testing.T) {
 	}
 	if !bytes.Equal(dec.Ports[0].SendTokens[0].Data, wantData) {
 		t.Fatal("send-token data aliases the input buffer")
+	}
+	if !bytes.Equal(dec.Ports[0].Regions[0].Data, wantRegion) {
+		t.Fatal("region contents alias the input buffer")
 	}
 }
 

@@ -344,6 +344,12 @@ const (
 	EvFaultDetected // posted by the FTD after reloading the MCP (§4.3)
 	EvAlarm
 	EvNoRecvBuffer
+	// EvDirectedDeposit is a library-internal commit record: a directed
+	// deposit landed, carrying the sequence number the host ACK table must
+	// learn (§4.1). The receiving process is never notified (GM's
+	// directed-send semantics) — the gm library consumes the record without
+	// dispatching it.
+	EvDirectedDeposit
 )
 
 // String names the event type.
@@ -361,6 +367,8 @@ func (t EventType) String() string {
 		return "ALARM"
 	case EvNoRecvBuffer:
 		return "NO_RECV_BUFFER"
+	case EvDirectedDeposit:
+		return "DIRECTED_DEPOSIT"
 	default:
 		return fmt.Sprintf("Ev?%d", uint8(t))
 	}

@@ -297,21 +297,23 @@ func (m *MCP) deliverDispatch() {
 	m.deliverHead++
 	if it.directed {
 		// Deposit complete: the receiver process is not notified (GM's
-		// directed-send semantics); commit the sequence number and, under
-		// FTGM, release the delayed ACK.
+		// directed-send semantics). Stock GM commits the sequence number
+		// and is done (the ACK already left at arrival). FTGM falls through
+		// to the event-DMA stage below with the internal commit record: the
+		// host ACK table must learn the deposit's sequence number — it is
+		// part of the checkpointable recovery anchor, and a restored MCP
+		// seeded without it would NACK the stream forever — and the §4.1
+		// delayed ACK leaves only after that record lands in host memory.
 		m.stats.DirectedDeposits++
-		if it.seq > it.rs.committedSeq {
-			it.rs.committedSeq = it.seq
+		if m.mode != ModeFTGM {
+			if it.seq > it.rs.committedSeq {
+				it.rs.committedSeq = it.seq
+			}
+			return
 		}
-		if m.mode == ModeFTGM && !m.cfg.ImmediateAck {
-			m.sendControl(gmproto.AckHeader{
-				Src: m.nodeID, Dst: it.src, SrcPort: it.port, Prio: it.prio,
-				AckSeq: it.rs.committedSeq,
-			})
-		}
-		return
+	} else {
+		m.stats.MsgsDelivered++
 	}
-	m.stats.MsgsDelivered++
 	if m.mode == ModeFTGM {
 		if m.edmaHead > 0 && m.edmaHead == len(m.edmaQ) {
 			m.edmaQ = m.edmaQ[:0]

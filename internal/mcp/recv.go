@@ -337,7 +337,20 @@ func (m *MCP) maybeCommit(ps *portState, rs *rxStream, id gmproto.StreamID, p *p
 		src: p.hdr.Src, port: id.Port, prio: id.Prio,
 		seq: p.hdr.Seq, directed: p.directed,
 	}
-	if !p.directed {
+	if p.directed {
+		// Library-internal commit record: under FTGM it is DMAed to the
+		// host so the §4.1 ACK table learns the deposit's sequence number
+		// before the ACK leaves — the deposit becomes part of the
+		// checkpointable recovery anchor.
+		it.ev = gmproto.Event{
+			Type:    gmproto.EvDirectedDeposit,
+			Port:    p.hdr.DstPort,
+			Src:     p.hdr.Src,
+			SrcPort: p.hdr.SrcPort,
+			Prio:    p.hdr.Prio,
+			Seq:     p.hdr.Seq,
+		}
+	} else {
 		it.ev = gmproto.Event{
 			Type:    gmproto.EvReceived,
 			Port:    p.hdr.DstPort,
