@@ -75,17 +75,21 @@ ckpt-short:
 # and speculative (-shards 4 with the monitor ring) variants — plus the
 # bit-for-bit shard-invariance trials (chaos, netfault, and the 256-node
 # speculation trial with forced rollbacks) and the speculation unit suite.
+# The second line is the speculating-fabric chaos cell: hang + link flap +
+# host death with node and switch domains running ahead, audited
+# exactly-once and bit-identical to the conservative books at 1/4/8 shards.
 scale-short:
 	go test -race -run 'TestScaleShort|TestShardInvariance|TestSpec|TestRNGState|TestZeroLookahead' \
 		./internal/sim/ ./internal/experiments/ ./gm/
+	go test -race -short -run 'TestCampaignSpeculationInvariance' ./internal/chaos/
 
 # Full harness benchmark: regenerates the Figure 7/8, netfault,
 # control-plane, host-fault, large-cluster scaling and multi-core matrix
 # metrics with per-section wall-clock/allocation accounting and regression
-# comparison against the committed baseline. Rewrites BENCH_8.json.
+# comparison against the committed baseline. Rewrites BENCH_9.json.
 bench:
 	go run ./cmd/gmbench -mode bw,lat,netfault,controlplane,hostfault,scale,scale_mc \
-		-benchjson BENCH_8.json -baseline BENCH_7.json
+		-benchjson BENCH_9.json -baseline BENCH_8.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

@@ -151,10 +151,12 @@ func (n *Node) Kill() {
 	if n.dead {
 		return
 	}
+	n.specTouch()
 	n.dead = true
 	n.reviveGen++
 	n.m.InjectHardHang()
 	for id, p := range n.ports {
+		p.specTouch()
 		p.open = false
 		p.recvHandler, p.alarmHandler, p.eventHandler = nil, nil, nil
 		p.callbacks = nil
@@ -163,6 +165,7 @@ func (n *Node) Kill() {
 	}
 	n.ports = make(map[PortID]*Port)
 	n.rxAcks = core.NewRxAckTable()
+	n.rxAcks.Bind(n.eng)
 	n.unreachable = make(map[NodeID]bool)
 	n.pendingRecoveries = 0
 	n.recoveryBusyUntil = 0
@@ -217,6 +220,7 @@ func (n *Node) revive(c *ckpt.Checkpoint, fresh bool, reattach func(ports map[Po
 	for _, r := range c.Routes {
 		routes[r.Node] = append([]byte(nil), r.Hops...)
 	}
+	n.specTouch()
 	n.driver.SetRoutes(c.NodeID, routes)
 	n.dead = false
 	gen := n.reviveGen
@@ -227,10 +231,13 @@ func (n *Node) revive(c *ckpt.Checkpoint, fresh bool, reattach func(ports map[Po
 		if n.dead || n.reviveGen != gen {
 			return // another death landed while the MCP was loading
 		}
+		n.specTouch()
+		n.cpu.SpecTouch(n.eng)
 		cfg := n.cluster.cfg.Host
 		n.m.UploadRoutes(n.driver.Routes())
 		n.m.RegisterPageTable(n.driver.PageTable().Len())
 		n.rxAcks = core.NewRxAckTable()
+		n.rxAcks.Bind(n.eng)
 		if !fresh {
 			for _, a := range c.RxAcks {
 				n.rxAcks.Update(a.Stream, a.Seq)
@@ -276,6 +283,7 @@ func (n *Node) revive(c *ckpt.Checkpoint, fresh bool, reattach func(ports map[Po
 					n.eng.Tracef("node", "%s revive: region %d on port %d: %v", n.name, rc.ID, pc.Port, err)
 					continue
 				}
+				n.driver.PageTable().SpecTouch(n.eng)
 				_ = n.driver.PageTable().PinRange(int(p.id), uint64(r.ID)<<32, uint64(len(r.Buf)))
 				p.regions = append(p.regions, r)
 			}

@@ -57,6 +57,10 @@ type Node struct {
 	// open ports at the time of failure", §5.2).
 	recoveryBusyUntil sim.Time
 
+	// Speculation journaling (gm spec.go).
+	specMark   uint64
+	specShadow nodeShadow
+
 	// Recovered is invoked when every port of the node finished its
 	// FAULT_DETECTED handler after a recovery.
 	Recovered func()
@@ -72,6 +76,7 @@ func newNode(c *Cluster, eng *sim.Engine, name string, index int) *Node {
 		ports:       make(map[PortID]*Port),
 		unreachable: make(map[NodeID]bool),
 	}
+	n.rxAcks.Bind(eng)
 	n.pci = host.NewPCIBus(eng, name+"/pci", c.cfg.PCI)
 	n.chip = lanai.New(eng, name+"/lanai", c.cfg.Lanai, n.pci)
 	n.m = mcp.New(n.chip, c.cfg.MCP, c.cfg.Mode)
@@ -157,6 +162,7 @@ func (n *Node) OpenPort(id PortID) (*Port, error) {
 	if err := n.driver.OpenPort(id, p.mcpSink); err != nil {
 		return nil, err
 	}
+	n.specTouch()
 	n.ports[id] = p
 	return p, nil
 }
@@ -174,6 +180,7 @@ func (n *Node) buildPort(id PortID) *Port {
 		callbacks:  make(map[uint64]SendCallback),
 		open:       true,
 	}
+	p.shadow.Bind(n.eng)
 	eng := n.eng
 	p.tokPend = sim.NewDeferred(eng, "gmtok", func(tok gmproto.RecvToken) {
 		if !p.open {
@@ -222,6 +229,8 @@ func (n *Node) buildPort(id PortID) *Port {
 // ClosePort closes a port.
 func (n *Node) ClosePort(id PortID) {
 	if p, ok := n.ports[id]; ok {
+		n.specTouch()
+		p.specTouch()
 		p.open = false
 		n.driver.ClosePort(id)
 		delete(n.ports, id)
@@ -239,6 +248,7 @@ func (n *Node) setPeerUnreachable(peer NodeID) {
 	if peer == 0 || n.unreachable[peer] {
 		return
 	}
+	n.specTouch()
 	n.unreachable[peer] = true
 	n.m.FailPeer(peer)
 }
@@ -251,6 +261,7 @@ func (n *Node) resetPeer(peer NodeID) {
 	if peer == 0 {
 		return
 	}
+	n.specTouch()
 	delete(n.unreachable, peer)
 	n.m.ResetPeerStreams(peer)
 	n.rxAcks.Forget(peer)
@@ -334,6 +345,9 @@ func (n *Node) NaiveRestart(done func()) {
 // re-posted in sequence order when the port reopens.
 func (n *Node) dispatchRecovery(p *Port) {
 	cfg := n.cluster.cfg.Host
+	n.specTouch()
+	p.specTouch()
+	n.cpu.SpecTouch(n.eng)
 	n.pendingRecoveries++
 	p.recovering = true
 	nsend, nrecv := p.shadow.Counts()
@@ -348,6 +362,8 @@ func (n *Node) dispatchRecovery(p *Port) {
 	end := start + handlerCost
 	n.recoveryBusyUntil = end
 	n.eng.At(end, func() {
+		n.specTouch()
+		p.specTouch()
 		p.recovering = false
 		// Re-pin the directed-send regions with the reloaded MCP.
 		p.reRegisterRegions()
@@ -370,6 +386,7 @@ func (n *Node) dispatchRecovery(p *Port) {
 		n.pendingRecoveries--
 		if n.pendingRecoveries == 0 {
 			if n.ftd != nil {
+				n.ftd.SpecTouch()
 				n.ftd.Timeline().Mark(core.PhaseProcessesDone, n.eng.Now())
 			}
 			if n.Recovered != nil {

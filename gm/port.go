@@ -84,6 +84,10 @@ type Port struct {
 	postPend *sim.Deferred[gmproto.SendToken]
 
 	stats PortStats
+
+	// Speculation journaling (gm spec.go).
+	specMark   uint64
+	specShadow portShadow
 }
 
 // recvDispatch is one committed delivery waiting out the host receive
@@ -147,6 +151,7 @@ func (p *Port) SetSendCompletion(tokenID uint64, cb SendCallback) error {
 	}
 	for _, t := range p.shadow.OutstandingSends() {
 		if t.ID == tokenID {
+			p.specTouch()
 			p.callbacks[tokenID] = cb
 			return nil
 		}
@@ -173,6 +178,8 @@ func (p *Port) Send(dest NodeID, destPort PortID, prio Priority, data []byte, cb
 	if p.sendTokens <= 0 {
 		return ErrNoSendTokens
 	}
+	p.specTouch()
+	p.node.cpu.SpecTouch(p.node.eng)
 	p.sendTokens--
 	p.nextToken++
 	tok := gmproto.SendToken{
@@ -240,6 +247,8 @@ func (p *Port) RecycleReceiveBuffer(buf []byte, prio Priority) error {
 }
 
 func (p *Port) postRecvToken(tok gmproto.RecvToken) {
+	p.specTouch()
+	p.node.cpu.SpecTouch(p.node.eng)
 	p.nextToken++
 	tok.ID = p.nextToken
 	p.shadow.AddRecvToken(tok)
@@ -253,6 +262,8 @@ func (p *Port) postRecvToken(tok gmproto.RecvToken) {
 // dispatches to the application after the host receive overhead.
 func (p *Port) mcpSink(ev gmproto.Event) {
 	cfg := p.node.cluster.cfg.Host
+	p.specTouch()
+	p.node.cpu.SpecTouch(p.node.eng)
 	switch ev.Type {
 	case gmproto.EvReceived:
 		// Commit-time bookkeeping: the event carries the sequence number
@@ -320,6 +331,7 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 func (p *Port) Unknown(ev gmproto.Event) {
 	switch ev.Type {
 	case gmproto.EvFaultDetected:
+		p.specTouch()
 		p.stats.Recoveries++
 		p.node.dispatchRecovery(p)
 	case gmproto.EvAlarm:

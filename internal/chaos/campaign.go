@@ -100,6 +100,12 @@ type TrialResult struct {
 	CheckpointBytes uint64 // total encoded checkpoint size
 	HostRestores    uint64 // completed same-epoch restores (KindHostDeath)
 	HostRejoins     uint64 // completed post-expulsion rejoins (KindMapperRebirth)
+
+	// Speculation activity (zero unless TrialConfig.Speculate): spans the
+	// barrier committed and rolled back. Both are pure functions of the
+	// window schedule, so they are bit-identical across shard counts.
+	SpecCommits   uint64
+	SpecRollbacks uint64
 }
 
 // CampaignResult aggregates a campaign.
@@ -146,6 +152,27 @@ func modeName(m gm.Mode) string {
 	return "GM"
 }
 
+// portCell holds one node's live port handle. The pump reads it from the
+// control domain; a host-death revive swaps in the rebuilt handle from the
+// victim's own domain. The swap is node-domain state, so on a speculating
+// trial it journals itself like any other domain-resident mutation
+// (DESIGN.md §16): a rolled-back revive rolls the handle back too, and the
+// replayed revive installs the replayed port.
+type portCell struct {
+	eng    *sim.Engine
+	mark   uint64
+	p      *gm.Port
+	shadow *gm.Port
+}
+
+func (c *portCell) SpecSave()    { c.shadow = c.p }
+func (c *portCell) SpecRestore() { c.p = c.shadow }
+
+func (c *portCell) set(p *gm.Port) {
+	c.eng.SpecTouch(&c.mark, c)
+	c.p = p
+}
+
 // RunTrial builds one cluster, drives the all-to-all traffic, applies the
 // trial's injection plan, drains, and audits.
 func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResult, error) {
@@ -163,6 +190,7 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	gcfg.NetWatch.Enabled = tcfg.NetWatch
 	gcfg.ControlPlane = tcfg.ControlPlane
 	gcfg.Shards = tcfg.Shards
+	gcfg.Speculate = tcfg.Speculate
 
 	cl := gm.NewCluster(gcfg)
 	var (
@@ -203,20 +231,34 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	}
 
 	aud := NewAuditor()
-	ports := make([]*gm.Port, tcfg.Nodes)
+	// attach wires the audited receive handler onto a port (at open, and
+	// again onto every revive-rebuilt handle). The handler runs on the
+	// receiver's own domain; with speculation armed it decodes in place —
+	// the buffer is recycled the moment the handler returns — and defers
+	// the accounting through the journaled control queue, so a delivery
+	// executed in a rolled-back span is never counted (the replay re-issues
+	// it). Without speculation the historical inline path is kept, bit for
+	// bit.
+	attach := func(n *gm.Node, p *gm.Port) {
+		self, eng := n.ID(), n.Engine()
+		p.SetReceiveHandler(func(ev gm.RecvEvent) {
+			if tcfg.Speculate {
+				rec := DecodeDelivery(self, tcfg.Port, ev)
+				eng.Control(func() { aud.CommitDelivery(rec) })
+			} else {
+				aud.RecordDelivery(self, tcfg.Port, ev)
+			}
+			_ = p.RecycleReceiveBuffer(ev.Data, gm.PriorityLow)
+		})
+	}
+	ports := make([]*portCell, tcfg.Nodes)
 	for i, n := range nodes {
 		p, err := n.OpenPort(tcfg.Port)
 		if err != nil {
 			return res, err
 		}
-		ports[i] = p
-		self := n.ID()
-		p.SetReceiveHandler(func(ev gm.RecvEvent) {
-			// RecordDelivery decodes ev.Data before returning, so the buffer
-			// can be recycled as the next receive slot immediately.
-			aud.RecordDelivery(self, tcfg.Port, ev)
-			_ = p.RecycleReceiveBuffer(ev.Data, gm.PriorityLow)
-		})
+		ports[i] = &portCell{eng: n.Engine(), p: p}
+		attach(n, p)
 		for j := 0; j < 512; j++ {
 			if err := p.ProvideReceiveBuffer(uint32(tcfg.MsgBytes), gm.PriorityLow); err != nil {
 				return res, err
@@ -249,13 +291,21 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 				// peers); the auditor excuses what the library disowned.
 				// Single-switch trials keep the historical nil callback so
 				// their accounting is bit-identical to earlier campaigns.
+				// The callback runs on the sender's domain; a speculating
+				// trial defers the accounting past the span (buf is
+				// app-owned and immutable, so the decode can wait too).
+				eng := src.Engine()
 				cb = func(st gm.SendStatus) {
 					if st != gm.SendOK {
-						aud.RecordSendFailure(buf)
+						if tcfg.Speculate {
+							eng.Control(func() { aud.RecordSendFailure(buf) })
+						} else {
+							aud.RecordSendFailure(buf)
+						}
 					}
 				}
 			}
-			if err := ports[i].Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, cb); err != nil {
+			if err := ports[i].p.Send(dst.ID(), tcfg.Port, gm.PriorityLow, buf, cb); err != nil {
 				aud.Unsend(key)
 			}
 			cl.After(tcfg.SendEvery, pump)
@@ -351,17 +401,24 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 					if !ok {
 						return
 					}
-					ports[i] = p
-					self := n.ID()
-					p.SetReceiveHandler(func(ev gm.RecvEvent) {
-						aud.RecordDelivery(self, tcfg.Port, ev)
-						_ = p.RecycleReceiveBuffer(ev.Data, gm.PriorityLow)
-					})
+					ports[i].set(p)
+					attach(n, p)
+				}
+				// The done callbacks fire on the victim's domain; a
+				// speculating trial defers the counter past the span, so
+				// a revive completed inside a rolled-back span is counted
+				// exactly once — by its replay.
+				onDone := func(fn func()) func() {
+					if !tcfg.Speculate {
+						return fn
+					}
+					eng := n.Engine()
+					return func() { eng.Control(fn) }
 				}
 				if rejoin {
-					_ = n.Rejoin(dec, reattach, func() { res.HostRejoins++ })
+					_ = n.Rejoin(dec, reattach, onDone(func() { res.HostRejoins++ }))
 				} else {
-					_ = n.Restore(dec, reattach, func() { res.HostRestores++ })
+					_ = n.Restore(dec, reattach, onDone(func() { res.HostRestores++ }))
 				}
 			})
 		}
@@ -576,6 +633,7 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 	for _, s := range switches {
 		res.SwitchDeadDrops += s.Stats().DroppedDead
 	}
+	res.SpecCommits, res.SpecRollbacks, _, _ = cl.Engine().SpecStats()
 	// Counters are harvested; quiesce the trial so every pooled packet the
 	// cluster still holds — rings, in-service handlers, in-flight deliveries
 	// — returns to the arena instead of leaking with the abandoned engine.

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/gm"
+	"repro/internal/sim"
+)
+
+// speculationTrialConfig is the speculating-fabric chaos cell: ACK-hunted
+// processor hangs, link flaps and a host death with a standby restore, all
+// while the cluster's node and switch domains run speculatively past their
+// conservative window bounds (DESIGN.md §16).
+func speculationTrialConfig() TrialConfig {
+	cfg := DefaultTrialConfig()
+	cfg.Traffic = sim.Second
+	cfg.SendEvery = 4 * sim.Millisecond
+	cfg.Kinds = []EventKind{KindHang, KindLinkFlap, KindHostDeath}
+	cfg.Events = 3
+	cfg.MaxSettle = 30 * sim.Second
+	cfg.Speculate = true
+	return cfg
+}
+
+// TestCampaignSpeculationInvariance is the speculation acceptance cell: a
+// compound-fault campaign (hang + link flap + host death) with the whole
+// fabric speculating must deliver exactly-once in-order, provably exercise
+// both speculative outcomes (spans committed AND rolled back, with a revive
+// riding the speculative schedule), and produce accounting bit-identical to
+// the conservative run at 1, 4 and 8 shards — rollbacks may never leak a
+// delivery, a duplicate, or a phantom counter into the books.
+func TestCampaignSpeculationInvariance(t *testing.T) {
+	cfg := CampaignConfig{Trials: 2, Mode: gm.ModeFTGM, Trial: speculationTrialConfig()}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	// The conservative baseline: identical windowed schedule, no run-ahead.
+	cfg.Trial.Speculate = false
+	cfg.Trial.Shards = 1
+	cons, err := Run(testSeed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cons.AllExactlyOnce {
+		t.Fatalf("conservative baseline audit dirty: %v", cons.Total)
+	}
+	cfg.Trial.Speculate = true
+	for _, shards := range []int{1, 4, 8} {
+		cfg.Trial.Shards = shards
+		got, err := Run(testSeed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.AllExactlyOnce {
+			t.Fatalf("speculating campaign audit dirty at %d shards: %v", shards, got.Total)
+		}
+		// Both speculative outcomes must occur somewhere in the campaign.
+		// Per-trial is too strict: a trial whose fault schedule defeats
+		// every probe span legitimately ends with zero commits — the
+		// rollback cooloff throttling a hopeless domain is the controller
+		// working, not the test losing coverage.
+		var commits, rollbacks uint64
+		for _, tr := range got.Trials {
+			commits += tr.SpecCommits
+			rollbacks += tr.SpecRollbacks
+		}
+		if commits == 0 || rollbacks == 0 {
+			t.Fatalf("campaign at %d shards never exercised both speculative outcomes: commits=%d rollbacks=%d",
+				shards, commits, rollbacks)
+		}
+		for i, tr := range got.Trials {
+			if tr.Checkpoints == 0 || tr.HostRestores == 0 {
+				t.Fatalf("trial %d at %d shards never restored the dead host under speculation: %+v",
+					i, shards, tr)
+			}
+			// Speculation must be invisible: zero its telemetry and the
+			// accounting must match the conservative run field for field.
+			tr.SpecCommits, tr.SpecRollbacks = 0, 0
+			if !reflect.DeepEqual(cons.Trials[i], tr) {
+				t.Fatalf("trial %d differs from the conservative run at %d shards:\n cons: %+v\n spec: %+v",
+					i, shards, cons.Trials[i], tr)
+			}
+		}
+	}
+}

@@ -60,6 +60,10 @@ type Driver struct {
 	mcpLoadFailures int
 
 	stats DriverStats
+
+	// Speculation journaling (core spec.go).
+	specMark uint64
+	shadow   driverShadow
 }
 
 // DriverStats counts driver-level events.
@@ -115,6 +119,7 @@ func (d *Driver) SetOnNetFault(fn func(target gmproto.NodeID)) { d.onNetFault = 
 // interrupt, the handler itself cannot run a remap (not in process
 // context), so it only forwards to the daemon.
 func (d *Driver) handleNetFault(target gmproto.NodeID) {
+	d.specTouch()
 	d.stats.NetFaultReports++
 	d.eng.After(d.cfg.InterruptLatency, func() {
 		if d.onNetFault != nil {
@@ -126,6 +131,7 @@ func (d *Driver) handleNetFault(target gmproto.NodeID) {
 // SetRoutes stores the authoritative route table (mapper output); the FTD
 // restores it into a recovering LANai.
 func (d *Driver) SetRoutes(id gmproto.NodeID, routes map[gmproto.NodeID][]byte) {
+	d.specTouch()
 	d.nodeID = id
 	d.routes = make(map[gmproto.NodeID][]byte, len(routes))
 	for k, v := range routes {
@@ -155,8 +161,10 @@ func (d *Driver) LoadMCP(done func()) {
 // time is always charged, but an injected failure leaves the chip stopped
 // and reports ok=false so the FTD can retry with backoff.
 func (d *Driver) LoadMCPChecked(done func(ok bool)) {
+	d.specTouch()
 	d.stats.MCPLoads++
 	d.eng.After(d.cfg.MCPLoadTime, func() {
+		d.specTouch()
 		if d.mcpLoadFailures > 0 {
 			d.mcpLoadFailures--
 			d.stats.MCPLoadFailures++
@@ -177,7 +185,10 @@ func (d *Driver) LoadMCPChecked(done func(ok bool)) {
 }
 
 // SetMCPLoadFailures makes the next n MCP loads fail (fault injection).
-func (d *Driver) SetMCPLoadFailures(n int) { d.mcpLoadFailures = n }
+func (d *Driver) SetMCPLoadFailures(n int) {
+	d.specTouch()
+	d.mcpLoadFailures = n
+}
 
 // OpenPort opens a GM port through the driver, remembering the sink for
 // recovery-time reopen.
@@ -185,13 +196,16 @@ func (d *Driver) OpenPort(port gmproto.PortID, sink mcp.EventSink) error {
 	if err := d.m.HostOpenPort(port, sink); err != nil {
 		return err
 	}
+	d.specTouch()
 	d.openPorts[port] = sink
 	return nil
 }
 
 // ClosePort closes a port and forgets it.
 func (d *Driver) ClosePort(port gmproto.PortID) {
+	d.specTouch()
 	d.m.HostClosePort(port)
+	d.pageTable.SpecTouch(d.eng)
 	d.pageTable.UnpinPort(int(port))
 	delete(d.openPorts, port)
 }
@@ -218,6 +232,7 @@ func (d *Driver) handleInterrupt(isr uint32) {
 	if isr&lanai.ISRTimer1 == 0 {
 		return
 	}
+	d.specTouch()
 	if d.fataled {
 		// A recovery is already in hand. Don't wake the FTD again —
 		// remember the report and re-deliver it once delivery is re-armed,
@@ -239,6 +254,7 @@ func (d *Driver) handleInterrupt(isr uint32) {
 // that was suppressed during the recovery is re-delivered now; the FTD's
 // magic-word verification then decides whether it still warrants a reset.
 func (d *Driver) ClearFatal() {
+	d.specTouch()
 	d.fataled = false
 	if !d.pendingFatal {
 		return
@@ -260,6 +276,7 @@ func (d *Driver) ClearFatal() {
 // messages that were ACKed but not yet DMAed are gone (Figure 5). The
 // caller re-posts whatever tokens the application still remembers.
 func (d *Driver) NaiveRestart(done func()) {
+	d.specTouch()
 	d.stats.NaiveRestarts++
 	d.chip.Reset()
 	d.chip.ClearSRAM()

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/gmproto"
+	"repro/internal/sim"
 )
 
 // ShadowStore is one port's backup copy of the state the LANai holds on its
@@ -41,6 +42,16 @@ type ShadowStore struct {
 	// remote node on a per-port basis" (§4.1), with GM's two priority
 	// levels carrying separate spaces.
 	txSeq map[seqKey]uint32
+
+	// Speculation journaling (core spec.go): a per-operation undo log —
+	// these maps mutate on every send and receive, so a whole-map shadow
+	// per span would be far more expensive than logging displaced entries.
+	eng                      *sim.Engine
+	specMark                 uint64
+	ops                      []shadowOp
+	sendLen, recvLen         int
+	sendSnapped, recvSnapped bool
+	sendSnap, recvSnap       []uint64
 }
 
 type seqKey struct {
@@ -63,7 +74,9 @@ func (s *ShadowStore) Port() gmproto.PortID { return s.port }
 
 // NextSeq mints the next sequence number of the (dest, priority) stream.
 func (s *ShadowStore) NextSeq(dest gmproto.NodeID, prio gmproto.Priority) uint32 {
+	s.specTouch()
 	k := seqKey{node: dest, prio: prio}
+	s.logSeq(k)
 	s.txSeq[k]++
 	return s.txSeq[k]
 }
@@ -73,8 +86,13 @@ func (s *ShadowStore) NextSeq(dest gmproto.NodeID, prio gmproto.Priority) uint32
 // terminal send failures left gaps in the old streams, so both sides restart
 // at sequence 1 (the receive side forgets via RxAckTable.Forget).
 func (s *ShadowStore) ResetPeerSeqs(node gmproto.NodeID) {
-	delete(s.txSeq, seqKey{node: node, prio: gmproto.PriorityLow})
-	delete(s.txSeq, seqKey{node: node, prio: gmproto.PriorityHigh})
+	s.specTouch()
+	lo := seqKey{node: node, prio: gmproto.PriorityLow}
+	hi := seqKey{node: node, prio: gmproto.PriorityHigh}
+	s.logSeq(lo)
+	s.logSeq(hi)
+	delete(s.txSeq, lo)
+	delete(s.txSeq, hi)
 }
 
 // AddSendToken records a token handed to the LANai; "when a call to any of
@@ -82,11 +100,28 @@ func (s *ShadowStore) ResetPeerSeqs(node gmproto.NodeID) {
 // queue" (§4.1). Re-adding an id that was removed places it at the back of
 // the queue (it is a fresh token that happens to reuse the id).
 func (s *ShadowStore) AddSendToken(tok gmproto.SendToken) {
+	s.specTouch()
 	if _, dup := s.sendTokens[tok.ID]; !dup {
-		s.sendOrder = scrubID(s.sendOrder, tok.ID)
+		if hasID(s.sendOrder, tok.ID) {
+			s.snapSendOrder()
+			s.sendOrder = scrubID(s.sendOrder, tok.ID)
+		}
 		s.sendOrder = append(s.sendOrder, tok.ID)
 	}
+	s.logSend(tok.ID)
 	s.sendTokens[tok.ID] = tok
+}
+
+// hasID reports whether id occurs in order (a stale occurrence means the
+// scrub will rewrite content in place, which the speculation journal must
+// snapshot first; a plain append needs only the saved length).
+func hasID(order []uint64, id uint64) bool {
+	for _, v := range order {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // scrubID drops stale occurrences of id left behind by a removal.
@@ -103,15 +138,22 @@ func scrubID(order []uint64, id uint64) []uint64 {
 // RemoveSendToken drops the copy "just before the callback function for
 // that send token is invoked" (§4.1).
 func (s *ShadowStore) RemoveSendToken(id uint64) {
+	s.specTouch()
+	s.logSend(id)
 	delete(s.sendTokens, id)
 }
 
 // AddRecvToken records a provided receive buffer.
 func (s *ShadowStore) AddRecvToken(tok gmproto.RecvToken) {
+	s.specTouch()
 	if _, dup := s.recvTokens[tok.ID]; !dup {
-		s.recvOrder = scrubID(s.recvOrder, tok.ID)
+		if hasID(s.recvOrder, tok.ID) {
+			s.snapRecvOrder()
+			s.recvOrder = scrubID(s.recvOrder, tok.ID)
+		}
 		s.recvOrder = append(s.recvOrder, tok.ID)
 	}
+	s.logRecv(tok.ID)
 	s.recvTokens[tok.ID] = tok
 }
 
@@ -119,6 +161,8 @@ func (s *ShadowStore) AddRecvToken(tok gmproto.RecvToken) {
 // this time, also deletes the corresponding copy of the receive token",
 // §4.1).
 func (s *ShadowStore) RemoveRecvToken(id uint64) {
+	s.specTouch()
+	s.logRecv(id)
 	delete(s.recvTokens, id)
 }
 
@@ -127,11 +171,16 @@ func (s *ShadowStore) RemoveRecvToken(id uint64) {
 // not been acknowledged" (§4.4). Order matters: restored messages must
 // re-enter the window in sequence order.
 func (s *ShadowStore) OutstandingSends() []gmproto.SendToken {
+	s.specTouch()
 	out := make([]gmproto.SendToken, 0, len(s.sendTokens))
 	live := s.sendOrder[:0]
 	for _, id := range s.sendOrder {
 		tok, ok := s.sendTokens[id]
 		if !ok {
+			// First stale entry: the compaction below starts rewriting
+			// content in place, and up to here every write was an identity,
+			// so the span-start prefix is still intact to snapshot.
+			s.snapSendOrder()
 			continue
 		}
 		live = append(live, id)
@@ -144,11 +193,13 @@ func (s *ShadowStore) OutstandingSends() []gmproto.SendToken {
 // OutstandingRecvs returns the receive tokens the LANai still owes buffers
 // for, in posting order.
 func (s *ShadowStore) OutstandingRecvs() []gmproto.RecvToken {
+	s.specTouch()
 	out := make([]gmproto.RecvToken, 0, len(s.recvTokens))
 	live := s.recvOrder[:0]
 	for _, id := range s.recvOrder {
 		tok, ok := s.recvTokens[id]
 		if !ok {
+			s.snapRecvOrder()
 			continue
 		}
 		live = append(live, id)
@@ -192,7 +243,10 @@ func (s *ShadowStore) SeqStreams() []SeqStream {
 // RestoreSeq reinstates a sequence-stream cursor from a checkpoint: the next
 // NextSeq for (node, prio) returns last+1.
 func (s *ShadowStore) RestoreSeq(node gmproto.NodeID, prio gmproto.Priority, last uint32) {
-	s.txSeq[seqKey{node: node, prio: prio}] = last
+	s.specTouch()
+	k := seqKey{node: node, prio: prio}
+	s.logSeq(k)
+	s.txSeq[k] = last
 }
 
 // Per-entry sizes of the backup structures, as a C implementation inside
@@ -220,6 +274,12 @@ func (s *ShadowStore) FootprintBytes(maxSendTokens, maxRecvTokens, maxNodes int)
 // includes in every receive event.
 type RxAckTable struct {
 	last map[gmproto.StreamID]uint32
+
+	// Speculation journaling (core spec.go): per-operation undo log — the
+	// table takes a write per received message.
+	eng      *sim.Engine
+	specMark uint64
+	ops      []rxAckOp
 }
 
 // NewRxAckTable returns an empty table.
@@ -230,6 +290,8 @@ func NewRxAckTable() *RxAckTable {
 // Update records a received (and host-committed) sequence number.
 func (t *RxAckTable) Update(id gmproto.StreamID, seq uint32) {
 	if seq > t.last[id] {
+		t.specTouch()
+		t.logEntry(id)
 		t.last[id] = seq
 	}
 }
@@ -249,8 +311,10 @@ func (t *RxAckTable) Snapshot() map[gmproto.StreamID]uint32 {
 // Forget drops every stream originating at one remote node. Used on
 // readmission of an expelled peer, whose streams restart at sequence 1.
 func (t *RxAckTable) Forget(node gmproto.NodeID) {
+	t.specTouch()
 	for id := range t.last {
 		if id.Node == node {
+			t.logEntry(id)
 			delete(t.last, id)
 		}
 	}

@@ -57,15 +57,17 @@ type ScaleOptions struct {
 	Seed uint64
 	// Monitors attaches one co-simulated load-monitor domain per leaf: a
 	// ticker ring exchanging digests over its own lookahead edges, each
-	// registering speculation state hooks. The gm node and switch domains
-	// have no checkpoint hooks and always run conservatively; the monitors
-	// are what a Speculate run actually speculates on (FTHP-style
+	// registering wholesale save/restore speculation hooks (FTHP-style
 	// co-simulated daemons). Their schedule does not feed the fabric, so
 	// node-level counters are identical with or without them.
 	Monitors bool
-	// Speculate arms speculative run-ahead on the engine (only
-	// hook-registered domains — the monitors — run past their conservative
-	// bound). Requires Shards >= 1.
+	// Speculate arms speculative run-ahead on the engine
+	// (gm.Config.Speculate, DESIGN.md §16): the gm node and switch domains
+	// journal their mutations through incremental undo logs and run past
+	// their conservative window bounds, as do the monitors via their
+	// wholesale hooks. The harness's own per-node workload counters live in
+	// journaled cells so a rolled-back span never leaks into the totals.
+	// Requires Shards >= 1.
 	Speculate bool
 	// SpecHorizon bounds how far past the conservative bound a span may
 	// run; zero picks the cluster default (8x the link propagation delay).
@@ -92,12 +94,21 @@ type ScaleResult struct {
 	Virtual   sim.Duration `json:"virtual_ns"`
 	WallNs    int64        `json:"wall_ns"`
 
-	// Speculation outcome, nonzero only on Monitors+Speculate runs.
+	// Speculation outcome, nonzero only on Speculate runs.
 	Speculative   bool   `json:"speculative,omitempty"`
 	Threshold     int    `json:"threshold,omitempty"`
 	MonitorTicks  uint64 `json:"monitor_ticks,omitempty"`
 	SpecCommits   uint64 `json:"spec_commits,omitempty"`
 	SpecRollbacks uint64 `json:"spec_rollbacks,omitempty"`
+	// Adaptive-horizon telemetry (DESIGN.md §16): the spread of per-domain
+	// effective horizons when the run ended. Like the commit/rollback
+	// counters these are pure functions of the window schedule, so they are
+	// bit-identical across executor counts and gate the single-core
+	// overhead story: a low mean relative to SpecHorizon shows the AIMD
+	// controller throttling speculation where it keeps losing.
+	HorizonLo   sim.Duration `json:"horizon_lo,omitempty"`
+	HorizonHi   sim.Duration `json:"horizon_hi,omitempty"`
+	HorizonMean sim.Duration `json:"horizon_mean,omitempty"`
 }
 
 // closShape picks a two-tier Clos for n nodes: the widest per-leaf fan-in
@@ -172,6 +183,7 @@ type monitorMsg struct {
 type monitorBoundary struct {
 	src, dst *sim.Engine
 	tgt      *scaleMonitor
+	class    uint32 // arrival ordering class (sim.AtArrival)
 	q        []monitorMsg
 	noted    bool
 }
@@ -192,7 +204,7 @@ func (b *monitorBoundary) FlushBoundary() {
 	b.noted = false
 	for _, m := range b.q {
 		m := m
-		b.dst.AtLabel(m.at, "mon", func() { b.tgt.fold(m.v ^ 0x5bd1e995) })
+		b.dst.AtArrival(m.at, b.class, "mon", func() { b.tgt.fold(m.v ^ 0x5bd1e995) })
 	}
 	b.q = b.q[:0]
 }
@@ -263,7 +275,7 @@ func attachMonitors(c *gm.Cluster, leaves int, lat sim.Duration) []*scaleMonitor
 	}
 	for i, m := range mons {
 		next := mons[(i+1)%leaves]
-		m.out = &monitorBoundary{src: m.eng, dst: next.eng, tgt: next}
+		m.out = &monitorBoundary{src: m.eng, dst: next.eng, tgt: next, class: next.eng.ArrivalClass()}
 		m.eng.ObserveEdgeLookahead(next.eng, lat)
 		m.eng.EnableSpeculation(m.save, m.restore)
 	}
@@ -272,6 +284,43 @@ func attachMonitors(c *gm.Cluster, leaves int, lat sim.Duration) []*scaleMonitor
 		m.eng.AtLabel(sim.Time(500+i*11)*sim.Nanosecond, "mon", m.run)
 	}
 	return mons
+}
+
+// scaleCell is one node's workload state — the peer cursor and the traffic
+// counters the harness mutates from inside that node's event domain. Node
+// domains genuinely speculate now (DESIGN.md §16), so these mutations must
+// ride the same undo journal as the library's own state: every callback
+// touches the cell before mutating it, and a rolled-back span restores the
+// shadow. Without this, a replayed tick would double-count its send.
+type scaleCell struct {
+	eng  *sim.Engine
+	mark uint64
+
+	peer      int
+	sent      int64
+	rejected  int64
+	delivered int64
+	recovered int
+
+	shadow scaleSnap
+}
+
+type scaleSnap struct {
+	peer                      int
+	sent, rejected, delivered int64
+	recovered                 int
+}
+
+func (w *scaleCell) touch() { w.eng.SpecTouch(&w.mark, w) }
+
+func (w *scaleCell) SpecSave() {
+	w.shadow = scaleSnap{w.peer, w.sent, w.rejected, w.delivered, w.recovered}
+}
+
+func (w *scaleCell) SpecRestore() {
+	s := w.shadow
+	w.peer, w.sent, w.rejected, w.delivered, w.recovered =
+		s.peer, s.sent, s.rejected, s.delivered, s.recovered
 }
 
 // RunScale executes one scaling trial and reports its schedule counters
@@ -325,10 +374,7 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 		Speculative: opts.Speculate,
 		Threshold:   opts.ParallelThreshold,
 	}
-	sent := make([]int64, n)
-	rejected := make([]int64, n)
-	delivered := make([]int64, n)
-	recovered := make([]int, n)
+	cells := make([]*scaleCell, n)
 	ports := make([]*gm.Port, n)
 	for i, node := range topo.Nodes {
 		p, err := node.OpenPort(2)
@@ -336,9 +382,11 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 			return ScaleResult{}, err
 		}
 		ports[i] = p
-		i := i
+		w := &scaleCell{eng: node.Engine(), peer: (i + 1) % n}
+		cells[i] = w
 		p.SetReceiveHandler(func(ev gm.RecvEvent) {
-			delivered[i]++
+			w.touch()
+			w.delivered++
 			_ = p.RecycleReceiveBuffer(ev.Data, ev.Prio)
 		})
 		slots := 32
@@ -363,24 +411,25 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 		}
 		i := i
 		eng := node.Engine()
-		peer := (i + 1) % n
+		w := cells[i]
 		var tick func()
 		tick = func() {
 			if eng.Now() >= stopAt {
 				return
 			}
+			w.touch()
 			dst := 0
 			if opts.Pattern == PatternAllToAll {
-				if peer == i {
-					peer = (peer + 1) % n
+				if w.peer == i {
+					w.peer = (w.peer + 1) % n
 				}
-				dst = peer
-				peer = (peer + 1) % n
+				dst = w.peer
+				w.peer = (w.peer + 1) % n
 			}
 			if err := ports[i].Send(topo.Nodes[dst].ID(), 2, gm.PriorityLow, payload, nil); err != nil {
-				rejected[i]++
+				w.rejected++
 			} else {
-				sent[i]++
+				w.sent++
 			}
 			eng.After(opts.TickEvery, tick)
 		}
@@ -394,8 +443,12 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 			if i%8 != 3 {
 				continue
 			}
-			i, node := i, node
-			node.Recovered = func() { recovered[i]++ }
+			node := node
+			w := cells[i]
+			node.Recovered = func() {
+				w.touch()
+				w.recovered++
+			}
 			c.After(opts.Duration/2, func() { node.InjectHang() })
 		}
 	}
@@ -419,11 +472,11 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 	c.Shutdown(sim.Millisecond)
 	res.WallNs = time.Since(start).Nanoseconds()
 
-	for i := range topo.Nodes {
-		res.Sent += sent[i]
-		res.Rejected += rejected[i]
-		res.Delivered += delivered[i]
-		res.Recovered += recovered[i]
+	for _, w := range cells {
+		res.Sent += w.sent
+		res.Rejected += w.rejected
+		res.Delivered += w.delivered
+		res.Recovered += w.recovered
 	}
 	res.Events = c.Engine().ExecutedAll()
 	res.Now = c.Now()
@@ -432,6 +485,9 @@ func RunScale(opts ScaleOptions) (ScaleResult, error) {
 		res.MonitorTicks += m.counter
 	}
 	res.SpecCommits, res.SpecRollbacks, _, _ = c.Engine().SpecStats()
+	if opts.Speculate {
+		res.HorizonLo, res.HorizonHi, res.HorizonMean = c.Engine().SpecHorizonStats()
+	}
 	if opts.Storm && res.Recovered == 0 {
 		return res, fmt.Errorf("scale: storm injected but no node completed recovery")
 	}
@@ -547,7 +603,9 @@ func ScaleMatrix(nodes int, shardCounts, thresholds []int, dur sim.Duration) ([]
 		o := **ref
 		if r.Sent != o.Sent || r.Delivered != o.Delivered || r.Events != o.Events ||
 			r.Now != o.Now || r.MonitorTicks != o.MonitorTicks ||
-			r.SpecCommits != o.SpecCommits || r.SpecRollbacks != o.SpecRollbacks {
+			r.SpecCommits != o.SpecCommits || r.SpecRollbacks != o.SpecRollbacks ||
+			r.HorizonLo != o.HorizonLo || r.HorizonHi != o.HorizonHi ||
+			r.HorizonMean != o.HorizonMean {
 			return fmt.Errorf("scale matrix %s: schedule diverged from its reference cell:\n  ref: %+v\n  got: %+v", label, o, r)
 		}
 		return nil
@@ -604,13 +662,13 @@ func ScaleMatrix(nodes int, shardCounts, thresholds []int, dur sim.Duration) ([]
 func RenderScaleMatrix(nodes int, pts []MatrixPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Multi-core scale matrix at %d nodes: shards x {conservative, speculative}\n", nodes)
-	fmt.Fprintf(&b, "%-10s  %6s  %4s  %12s  %10s  %10s  %8s  %8s  %10s\n",
-		"cell", "shards", "thr", "events", "delivered", "mon ticks", "commits", "rollbk", "wall ms")
+	fmt.Fprintf(&b, "%-10s  %6s  %4s  %12s  %10s  %10s  %8s  %8s  %9s  %10s\n",
+		"cell", "shards", "thr", "events", "delivered", "mon ticks", "commits", "rollbk", "hmean ns", "wall ms")
 	for _, p := range pts {
 		r := p.Result
-		fmt.Fprintf(&b, "%-10s  %6d  %4d  %12d  %10d  %10d  %8d  %8d  %10.1f\n",
+		fmt.Fprintf(&b, "%-10s  %6d  %4d  %12d  %10d  %10d  %8d  %8d  %9d  %10.1f\n",
 			p.Label, r.Shards, r.Threshold, r.Events, r.Delivered,
-			r.MonitorTicks, r.SpecCommits, r.SpecRollbacks, float64(r.WallNs)/1e6)
+			r.MonitorTicks, r.SpecCommits, r.SpecRollbacks, int64(r.HorizonMean), float64(r.WallNs)/1e6)
 	}
 	return b.String()
 }

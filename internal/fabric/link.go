@@ -55,12 +55,18 @@ func (a *Attachment) Link() *Link { return a.link }
 // profile can additionally drop or corrupt packets in flight.
 func (a *Attachment) Send(pkt *Packet) {
 	l := a.link
+	eng := l.engs[a.end]
+	eng.SpecTouch(&l.tx[a.end].mark, &l.tx[a.end])
+	if !l.cross {
+		// One engine owns both sides of an intra-domain link, so the send
+		// path below writes the receiver-owned delivery ring directly.
+		eng.SpecTouch(&l.rx[a.end].mark, &l.rx[a.end])
+	}
 	if !l.up {
 		l.stats[a.end].Dropped++
-		pkt.Release()
+		pkt.ReleaseSpec(eng)
 		return
 	}
-	eng := l.engs[a.end]
 	start := eng.Now()
 	if l.nextFree[a.end] > start {
 		start = l.nextFree[a.end]
@@ -78,7 +84,7 @@ func (a *Attachment) Send(pkt *Packet) {
 			st.Dropped++
 			st.FaultDropped++
 			eng.Tracef(l.name, "fault drop %v", pkt)
-			pkt.Release()
+			pkt.ReleaseSpec(eng)
 			return
 		}
 		if l.faults.CorruptProb > 0 && l.faultRNG[a.end].Float64() < l.faults.CorruptProb {
@@ -88,11 +94,11 @@ func (a *Attachment) Send(pkt *Packet) {
 				// staging SRAM): reseal so the link-level check passes and
 				// the corruption travels on undetected (Table 1 "Messages
 				// Corrupted").
-				pkt.CorruptPayload(bit, true)
+				pkt.SpecCorruptPayload(eng, bit, true)
 			} else {
 				// Wire-level bit flip on the sealed packet: the receiver's
 				// CRC check catches and drops it.
-				pkt.CorruptPayload(bit, false)
+				pkt.SpecCorruptPayload(eng, bit, false)
 			}
 			st.Corrupted++
 			eng.Tracef(l.name, "fault corrupt %v bit %d", pkt, bit)
@@ -170,16 +176,20 @@ func (b *linkBoundary) FlushBoundary() {
 	}
 	l.xq[end] = l.xq[end][:0]
 	if l.delivWake[end] == nil && !l.delivDraining[end] {
-		l.delivWake[end] = l.engs[1-end].AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
+		l.delivWake[end] = l.engs[1-end].AtArrival(l.deliv[end][l.delivHead[end]].at, l.class[end], "link", l.drainFns[end])
 	}
 }
 
 // drainDeliveries delivers every due packet for one direction and re-arms a
 // wake for the next pending one. Runs on the receiving device's engine.
 func (l *Link) drainDeliveries(end int) {
+	eng := l.engs[1-end]
+	// Touch before the transient flags flip, so the first-touch checkpoint
+	// captures the quiescent between-callback shape.
+	eng.SpecTouch(&l.rx[end].mark, &l.rx[end])
 	l.delivWake[end] = nil
 	l.delivDraining[end] = true
-	now := l.engs[1-end].Now()
+	now := eng.Now()
 	peer := &l.ends[1-end]
 	for l.delivHead[end] < len(l.deliv[end]) {
 		d := &l.deliv[end][l.delivHead[end]]
@@ -191,7 +201,7 @@ func (l *Link) drainDeliveries(end int) {
 		l.delivHead[end]++
 		if !l.up {
 			l.rxDropped[end]++
-			pkt.Release()
+			pkt.ReleaseSpec(eng)
 			continue
 		}
 		peer.dev.RecvPacket(pkt, peer)
@@ -206,7 +216,11 @@ func (l *Link) drainDeliveries(end int) {
 		l.delivHead[end] = 0
 	}
 	if l.delivHead[end] < len(l.deliv[end]) {
-		l.delivWake[end] = l.engs[1-end].AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
+		if l.cross {
+			l.delivWake[end] = l.engs[1-end].AtArrival(l.deliv[end][l.delivHead[end]].at, l.class[end], "link", l.drainFns[end])
+		} else {
+			l.delivWake[end] = l.engs[1-end].AtLabel(l.deliv[end][l.delivHead[end]].at, "link", l.drainFns[end])
+		}
 	}
 }
 
@@ -280,6 +294,11 @@ type Link struct {
 	xq     [2][]delivery
 	xnoted [2]bool
 	xb     [2]linkBoundary
+	// class is the per-direction arrival ordering class (sim.AtArrival) the
+	// receiver-side wake events are scheduled under, so same-instant ties
+	// against receiver-local events resolve independently of which barrier
+	// flushed the packets. Zero (intra-domain link) means local scheduling.
+	class [2]uint32
 
 	faults FaultProfile
 	// faultRNG draws fault decisions per direction. On an intra-domain link
@@ -288,6 +307,91 @@ type Link struct {
 	// a cross-domain link each direction gets an independent stream so the
 	// two sending domains never race on generator state.
 	faultRNG [2]*sim.RNG
+
+	// Speculation journaling (sim spec.go): per direction, the sender-owned
+	// state (serialization cursor, counters, fault RNG, outbox) and the
+	// receiver-owned state (delivery ring) checkpoint through separate savers,
+	// because on a cross-domain link they belong to different engines and
+	// their spans open and resolve independently.
+	tx [2]linkTxSide
+	rx [2]linkRxSide
+}
+
+// linkTxSide journals direction end's sender-owned state; its SpecTouch runs
+// on engs[end] at the top of Attachment.Send.
+type linkTxSide struct {
+	l      *Link
+	end    int
+	mark   uint64
+	shadow linkTxShadow
+}
+
+type linkTxShadow struct {
+	nextFree sim.Time
+	stats    LinkStats
+	rng      uint64
+	xq       []delivery
+	xnoted   bool
+}
+
+func (t *linkTxSide) SpecSave() {
+	l, end := t.l, t.end
+	t.shadow.nextFree = l.nextFree[end]
+	t.shadow.stats = l.stats[end]
+	if l.faultRNG[end] != nil {
+		t.shadow.rng = l.faultRNG[end].State()
+	}
+	t.shadow.xq = append(t.shadow.xq[:0], l.xq[end]...)
+	t.shadow.xnoted = l.xnoted[end]
+}
+
+func (t *linkTxSide) SpecRestore() {
+	l, end := t.l, t.end
+	l.nextFree[end] = t.shadow.nextFree
+	l.stats[end] = t.shadow.stats
+	if l.faultRNG[end] != nil {
+		l.faultRNG[end].Restore(t.shadow.rng)
+	}
+	for i := len(t.shadow.xq); i < len(l.xq[end]); i++ {
+		l.xq[end][i] = delivery{}
+	}
+	l.xq[end] = append(l.xq[end][:0], t.shadow.xq...)
+	l.xnoted[end] = t.shadow.xnoted
+}
+
+// linkRxSide journals direction end's receiver-owned delivery ring; its
+// SpecTouch runs on engs[1-end] (drainDeliveries, and Send on intra-domain
+// links, where both sides share one engine).
+type linkRxSide struct {
+	l      *Link
+	end    int
+	mark   uint64
+	shadow linkRxShadow
+}
+
+type linkRxShadow struct {
+	deliv     []delivery
+	wake      *sim.Event
+	rxDropped uint64
+}
+
+func (r *linkRxSide) SpecSave() {
+	l, end := r.l, r.end
+	r.shadow.deliv = append(r.shadow.deliv[:0], l.deliv[end][l.delivHead[end]:]...)
+	r.shadow.wake = l.delivWake[end]
+	r.shadow.rxDropped = l.rxDropped[end]
+}
+
+func (r *linkRxSide) SpecRestore() {
+	l, end := r.l, r.end
+	for i := len(r.shadow.deliv); i < len(l.deliv[end]); i++ {
+		l.deliv[end][i] = delivery{}
+	}
+	l.deliv[end] = append(l.deliv[end][:0], r.shadow.deliv...)
+	l.delivHead[end] = 0
+	l.delivWake[end] = r.shadow.wake
+	l.delivDraining[end] = false
+	l.rxDropped[end] = r.shadow.rxDropped
 }
 
 // NewLink creates a link between devices a and b and returns it. Attachment
@@ -315,12 +419,18 @@ func NewLinkEngines(ea, eb *sim.Engine, cfg LinkConfig, a, b Device) *Link {
 	l.drainFns[1] = func() { l.drainDeliveries(1) }
 	l.xb[0] = linkBoundary{l: l, end: 0}
 	l.xb[1] = linkBoundary{l: l, end: 1}
+	l.tx[0] = linkTxSide{l: l, end: 0}
+	l.tx[1] = linkTxSide{l: l, end: 1}
+	l.rx[0] = linkRxSide{l: l, end: 0}
+	l.rx[1] = linkRxSide{l: l, end: 1}
 	if l.cross {
 		if cfg.PropDelay <= 0 {
 			panic(fmt.Sprintf("fabric: cross-domain link %s needs a positive PropDelay lookahead", l.name))
 		}
 		ea.ObserveEdgeLookahead(eb, cfg.PropDelay)
 		eb.ObserveEdgeLookahead(ea, cfg.PropDelay)
+		l.class[0] = eb.ArrivalClass()
+		l.class[1] = ea.ArrivalClass()
 	}
 	return l
 }

@@ -45,6 +45,39 @@ type Switch struct {
 	fwdWake     *sim.Event
 	fwdDraining bool
 	fwdDrainFn  func() // cached; arming a drain must not allocate
+
+	// Speculation journaling (sim spec.go): first-touch checkpoint of the
+	// forwarding ring and counters. dead is excluded — SetPortDead is
+	// control-plane, and control code never runs with a span open.
+	specMark uint64
+	shadow   switchShadow
+}
+
+// switchShadow is the restore image for Switch.SpecSave/SpecRestore.
+type switchShadow struct {
+	stats SwitchStats
+	fwdQ  []swFwd
+	wake  *sim.Event
+}
+
+// SpecSave / SpecRestore implement sim.SpecSaver: live-region copy of the
+// forwarding ring, rebuilt canonically (head 0) on rollback. Slot positions
+// inside the array are unobservable, so the rebuild is bit-for-bit safe.
+func (s *Switch) SpecSave() {
+	s.shadow.stats = s.stats
+	s.shadow.fwdQ = append(s.shadow.fwdQ[:0], s.fwdQ[s.fwdHead:]...)
+	s.shadow.wake = s.fwdWake
+}
+
+func (s *Switch) SpecRestore() {
+	s.stats = s.shadow.stats
+	for i := len(s.shadow.fwdQ); i < len(s.fwdQ); i++ {
+		s.fwdQ[i] = swFwd{}
+	}
+	s.fwdQ = append(s.fwdQ[:0], s.shadow.fwdQ...)
+	s.fwdHead = 0
+	s.fwdWake = s.shadow.wake
+	s.fwdDraining = false
 }
 
 // NewSwitch creates a switch with cfg.Ports empty ports.
@@ -129,18 +162,19 @@ func (s *Switch) PortFor(a *Attachment) int {
 // switches likewise discard packets routed into dead links, and it is the
 // mapper's job to avoid such routes.
 func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
+	s.eng.SpecTouch(&s.specMark, s)
 	if len(pkt.Route) == 0 {
 		s.stats.DroppedNoPort++
 		if s.eng.TraceEnabled() {
 			s.eng.Tracef(s.name, "drop %v: route exhausted at switch", pkt)
 		}
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
 	in := s.PortFor(on)
 	if in < 0 {
 		s.stats.DroppedNoPort++
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
 	if s.dead[in] {
@@ -148,9 +182,10 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 		if s.eng.TraceEnabled() {
 			s.eng.Tracef(s.name, "drop %v: input port %d dead", pkt, in)
 		}
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
+	pkt.SpecTouch(s.eng)
 	delta := int(int8(pkt.Route[0]))
 	pkt.Route = pkt.Route[1:]
 	out := (in + delta%len(s.ports) + len(s.ports)) % len(s.ports)
@@ -159,7 +194,7 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 		if s.eng.TraceEnabled() {
 			s.eng.Tracef(s.name, "drop %v: no port %d", pkt, out)
 		}
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
 	if s.dead[out] {
@@ -167,7 +202,7 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 		if s.eng.TraceEnabled() {
 			s.eng.Tracef(s.name, "drop %v: port %d dead", pkt, out)
 		}
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
 	dst := s.ports[out]
@@ -176,7 +211,7 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 		if s.eng.TraceEnabled() {
 			s.eng.Tracef(s.name, "drop %v: port %d link down", pkt, out)
 		}
-		pkt.Release()
+		pkt.ReleaseSpec(s.eng)
 		return
 	}
 	s.stats.Forwarded++
@@ -196,6 +231,9 @@ func (s *Switch) RecvPacket(pkt *Packet, on *Attachment) {
 // drainForwards emits every due queued forward and re-arms a wake for the
 // next pending one.
 func (s *Switch) drainForwards() {
+	// Touch before the transient flags flip, so the first-touch checkpoint
+	// captures the quiescent between-callback shape.
+	s.eng.SpecTouch(&s.specMark, s)
 	s.fwdWake = nil
 	s.fwdDraining = true
 	now := s.eng.Now()

@@ -1,0 +1,175 @@
+package gossip
+
+import (
+	"repro/internal/gmproto"
+	"repro/internal/sim"
+)
+
+// Speculation journaling (sim spec.go). The agent is node-engine event code
+// — probe rounds, timeouts and packet handling all run as simulation
+// callbacks on the node's own domain — so once the node domain speculates it
+// can execute inside an open span and must be restorable.
+//
+// Relative to spans the agent is cold: it acts every ProbeInterval
+// (milliseconds) while spans are microseconds wide, so most spans never
+// touch it and a whole-view first-touch shadow costs nothing on the common
+// path. The member rows are restored IN PLACE (the members map gains and
+// loses no rows after SeedView, and row pointers are cached nowhere), while
+// the small bookkeeping maps (pending, busy, relays, updates, paths) are
+// rebuilt from value copies — no event code holds their row pointers across
+// callbacks. The endorser sets are compared only by membership and length,
+// never iterated, so rebuilding them fresh cannot perturb replay.
+//
+// The agent's private RNG is part of the image: a rolled-back span re-draws
+// the same jitter on replay, which is what keeps a speculating gossip
+// cluster bit-for-bit identical to the conservative run.
+
+// memberShadow is the restore image of one membership row.
+type memberShadow struct {
+	state       State
+	inc         uint32
+	suspectedAt sim.Time
+	endorsers   map[gmproto.NodeID]bool
+}
+
+// agentShadow is the restore image for Agent.SpecSave/SpecRestore.
+type agentShadow struct {
+	inc       uint32
+	ringIdx   int
+	seq       uint32
+	deadProbe bool
+	started   bool
+	stopped   bool
+	stats     Stats
+	rng       sim.RNG
+
+	members map[gmproto.NodeID]memberShadow
+	pending map[uint32]pendingProbe
+	busy    map[gmproto.NodeID]bool
+	relays  map[uint32]relayEntry
+	updates map[gmproto.NodeID]update
+	paths   map[gmproto.NodeID]pathUpdate
+}
+
+func (a *Agent) specTouch() { a.eng.SpecTouch(&a.specMark, a) }
+
+// SpecSave / SpecRestore implement sim.SpecSaver.
+func (a *Agent) SpecSave() {
+	sh := &a.shadow
+	sh.inc = a.inc
+	sh.ringIdx = a.ringIdx
+	sh.seq = a.seq
+	sh.deadProbe = a.deadProbe
+	sh.started = a.started
+	sh.stopped = a.stopped
+	sh.stats = a.stats
+	sh.rng = *a.rng
+
+	if sh.members == nil {
+		sh.members = make(map[gmproto.NodeID]memberShadow, len(a.members))
+	} else {
+		clear(sh.members)
+	}
+	for id, m := range a.members {
+		ms := memberShadow{state: m.state, inc: m.inc, suspectedAt: m.suspectedAt}
+		if m.endorsers != nil {
+			ms.endorsers = make(map[gmproto.NodeID]bool, len(m.endorsers))
+			for k, v := range m.endorsers {
+				ms.endorsers[k] = v
+			}
+		}
+		sh.members[id] = ms
+	}
+
+	if sh.pending == nil {
+		sh.pending = make(map[uint32]pendingProbe, len(a.pending))
+	} else {
+		clear(sh.pending)
+	}
+	for s, p := range a.pending {
+		sh.pending[s] = *p
+	}
+	if sh.busy == nil {
+		sh.busy = make(map[gmproto.NodeID]bool, len(a.busy))
+	} else {
+		clear(sh.busy)
+	}
+	for id, v := range a.busy {
+		sh.busy[id] = v
+	}
+	if sh.relays == nil {
+		sh.relays = make(map[uint32]relayEntry, len(a.relays))
+	} else {
+		clear(sh.relays)
+	}
+	for s, r := range a.relays {
+		sh.relays[s] = r
+	}
+	if sh.updates == nil {
+		sh.updates = make(map[gmproto.NodeID]update, len(a.updates))
+	} else {
+		clear(sh.updates)
+	}
+	for id, u := range a.updates {
+		sh.updates[id] = *u
+	}
+	if sh.paths == nil {
+		sh.paths = make(map[gmproto.NodeID]pathUpdate, len(a.paths))
+	} else {
+		clear(sh.paths)
+	}
+	for id, u := range a.paths {
+		sh.paths[id] = *u
+	}
+}
+
+func (a *Agent) SpecRestore() {
+	sh := &a.shadow
+	a.inc = sh.inc
+	a.ringIdx = sh.ringIdx
+	a.seq = sh.seq
+	a.deadProbe = sh.deadProbe
+	a.started = sh.started
+	a.stopped = sh.stopped
+	a.stats = sh.stats
+	*a.rng = sh.rng
+
+	for id, ms := range sh.members {
+		m := a.members[id]
+		m.state = ms.state
+		m.inc = ms.inc
+		m.suspectedAt = ms.suspectedAt
+		if ms.endorsers == nil {
+			m.endorsers = nil
+		} else {
+			m.endorsers = make(map[gmproto.NodeID]bool, len(ms.endorsers))
+			for k, v := range ms.endorsers {
+				m.endorsers[k] = v
+			}
+		}
+	}
+
+	clear(a.pending)
+	for s, p := range sh.pending {
+		pp := p
+		a.pending[s] = &pp
+	}
+	clear(a.busy)
+	for id, v := range sh.busy {
+		a.busy[id] = v
+	}
+	clear(a.relays)
+	for s, r := range sh.relays {
+		a.relays[s] = r
+	}
+	clear(a.updates)
+	for id, u := range sh.updates {
+		uu := u
+		a.updates[id] = &uu
+	}
+	clear(a.paths)
+	for id, u := range sh.paths {
+		uu := u
+		a.paths[id] = &uu
+	}
+}

@@ -39,7 +39,8 @@ func (m *MCP) RawTransmit(route []byte, payload []byte) {
 		// Exec would drop the callback; don't queue an orphan packet.
 		return
 	}
-	pkt := fabric.GetPacket()
+	m.specTouch()
+	pkt := fabric.GetPacketSpec(m.eng)
 	// Unlike the route table, the mapper reuses and mutates its route
 	// buffers, so this path copies instead of interning.
 	pkt.CopyRoute(route)
@@ -56,9 +57,11 @@ func (m *MCP) RawTransmit(route []byte, payload []byte) {
 
 // rawDispatch injects the oldest queued mapper packet.
 func (m *MCP) rawDispatch() {
+	m.specTouch()
 	pkt := m.rawQ[m.rawHead]
 	m.rawQ[m.rawHead] = nil
 	m.rawHead++
+	pkt.SpecTouch(m.eng)
 	pkt.Injected = m.eng.Now()
 	m.chip.TransmitPacket(pkt)
 }

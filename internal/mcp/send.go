@@ -59,6 +59,10 @@ type txStream struct {
 	// generation it was armed under (a reload invalidates armed timers).
 	rtxFn  func()
 	rtxGen uint64
+
+	// Speculation journaling (sim spec.go, DESIGN.md §16).
+	specMark uint64
+	shadow   txStreamShadow
 }
 
 type txMsg struct {
@@ -69,6 +73,10 @@ type txMsg struct {
 	sending  bool // fragment chain in progress
 	needRtx  bool // scheduled for retransmission (NACK or timeout)
 	failed   bool // unroutable; swept out of the window lazily
+
+	// Speculation journaling (sim spec.go, DESIGN.md §16).
+	specMark uint64
+	shadow   txMsgShadow
 }
 
 func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
@@ -82,6 +90,7 @@ func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
 			if m.gen != s.rtxGen || !m.chip.Running() {
 				return
 			}
+			m.touchTx(s)
 			s.rtx = nil
 			m.retransmitWindow(s)
 		}
@@ -94,6 +103,7 @@ func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
 			s.nextSeq = uint32(m.gen) * 100000
 		}
 		m.tx[id] = s
+		m.eng.SpecUndo(txMapUndoInsert, m.tx, s, 0, 0)
 	}
 	return s
 }
@@ -101,8 +111,9 @@ func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
 func (m *MCP) rxStream(id gmproto.StreamID) *rxStream {
 	s, ok := m.rx[id]
 	if !ok {
-		s = &rxStream{}
+		s = &rxStream{id: id}
 		m.rx[id] = s
+		m.eng.SpecUndo(rxMapUndoInsert, m.rx, s, 0, 0)
 	}
 	return s
 }
@@ -110,6 +121,7 @@ func (m *MCP) rxStream(id gmproto.StreamID) *rxStream {
 // serviceSendQueues drains every open port's send queue into the per-stream
 // windows and pumps the touched streams.
 func (m *MCP) serviceSendQueues() {
+	m.specTouch()
 	touched := m.touched[:0] // ordered: simulation must be deterministic
 	for _, ps := range m.ports {
 		if ps == nil || !ps.open {
@@ -135,6 +147,7 @@ func (m *MCP) serviceSendQueues() {
 					id.Port = gmproto.ConnectionPort
 				}
 				s := m.txStreamFor(id)
+				m.touchTx(s)
 				msg := m.getTxMsg()
 				msg.tok, msg.msgID = tok, m.nextMsgID
 				m.nextMsgID++
@@ -167,6 +180,9 @@ func (m *MCP) serviceSendQueues() {
 		}
 		// Truncate in place, dropping the token payload references so the
 		// retained backing array cannot pin host buffers.
+		if len(ps.sendQ) > 0 {
+			m.touchPort(ps)
+		}
 		for i := range ps.sendQ {
 			ps.sendQ[i] = gmproto.SendToken{}
 		}
@@ -190,6 +206,7 @@ func (m *MCP) serviceSendQueues() {
 // sweepFailed drops unroutable messages from the window, recycling their
 // records (they completed with an error when they were marked).
 func (m *MCP) sweepFailed(s *txStream) {
+	m.touchTx(s)
 	w := s.window[:0]
 	for _, msg := range s.window {
 		if !msg.failed {
@@ -204,6 +221,7 @@ func (m *MCP) sweepFailed(s *txStream) {
 // pumpStream starts transmission of the first window message that needs
 // the wire (never sent, or marked for retransmission), oldest first.
 func (m *MCP) pumpStream(s *txStream) {
+	m.touchTx(s)
 	m.sweepFailed(s)
 	if s.txBusy {
 		return
@@ -229,6 +247,9 @@ func (m *MCP) pumpStream(s *txStream) {
 // header build and packet injection). Fragments of one message go back to
 // back; distinct messages pipeline through the window.
 func (m *MCP) transmitMsg(s *txStream, msg *txMsg, isRtx bool) {
+	m.specTouch()
+	m.touchTx(s)
+	m.touchMsg(msg)
 	route, ok := m.routes[s.id.Node]
 	if !ok {
 		if !m.deadPeers[s.id.Node] && isRtx {
@@ -291,7 +312,10 @@ func (m *MCP) startFrag(s *txStream) {
 // injectFrag is the send_chunk tail: build the fragment header, seal, and
 // inject; then chain to the next fragment or finish the message.
 func (m *MCP) injectFrag(s *txStream) {
+	m.specTouch()
+	m.touchTx(s)
 	msg := s.cur
+	m.touchMsg(msg)
 	h := gmproto.DataHeader{
 		Src:          m.nodeID,
 		Dst:          s.id.Node,
@@ -306,7 +330,7 @@ func (m *MCP) injectFrag(s *txStream) {
 		RegionID:     msg.tok.RegionID,
 		RemoteOffset: msg.tok.RemoteOffset,
 	}
-	pkt := fabric.GetPacket()
+	pkt := fabric.GetPacketSpec(m.eng)
 	// The route slice is interned, not copied: UploadRoutes installs fresh
 	// copies per epoch and never mutates them, and switches only re-slice
 	// pkt.Route, so every packet of a (stream, route-epoch) can alias one
@@ -353,6 +377,7 @@ func (m *MCP) injectFrag(s *txStream) {
 
 // armRtx (re)arms the stream's Go-Back-N retransmission timer.
 func (m *MCP) armRtx(s *txStream) {
+	m.touchTx(s)
 	if s.rtx != nil {
 		s.rtx.Cancel()
 	}
@@ -363,6 +388,8 @@ func (m *MCP) armRtx(s *txStream) {
 // retransmitWindow marks every in-flight unacknowledged message of the
 // stream for resend, oldest first (Go-Back-N on timeout).
 func (m *MCP) retransmitWindow(s *txStream) {
+	m.specTouch()
+	m.touchTx(s)
 	m.sweepFailed(s)
 	any := false
 	for i, msg := range s.window {
@@ -370,6 +397,7 @@ func (m *MCP) retransmitWindow(s *txStream) {
 			break
 		}
 		if msg.inFlight && !msg.sending {
+			m.touchMsg(msg)
 			msg.needRtx = true
 			any = true
 		}
@@ -401,6 +429,8 @@ func (m *MCP) handleAck(h gmproto.AckHeader) {
 	if !ok {
 		return
 	}
+	m.specTouch()
+	m.touchTx(s)
 	s.stalls = 0 // control traffic heard: the path is alive
 	m.sweepFailed(s)
 	rest := s.window[:0]
@@ -439,6 +469,8 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 	if !ok {
 		return
 	}
+	m.specTouch()
+	m.touchTx(s)
 	s.stalls = 0 // control traffic heard: the path is alive
 	m.sweepFailed(s)
 	expected := h.AckSeq
@@ -465,6 +497,7 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 	if !found {
 		if m.adoptNackSeq && len(s.window) > 0 {
 			for i, msg := range s.window {
+				m.touchMsg(msg)
 				msg.seq = expected + uint32(i)
 				msg.inFlight = false
 			}
@@ -481,6 +514,7 @@ func (m *MCP) handleNack(h gmproto.AckHeader) {
 			break
 		}
 		if msg.seq >= expected && msg.inFlight && !msg.sending {
+			m.touchMsg(msg)
 			msg.needRtx = true
 		}
 	}
@@ -555,11 +589,18 @@ func rxStreamIDs(m map[gmproto.StreamID]*rxStream) []gmproto.StreamID {
 // node fail immediately — the graceful-degradation half of the network
 // watchdog's verdict. ResetPeerStreams readmits the peer.
 func (m *MCP) FailPeer(node gmproto.NodeID) {
+	m.specTouch()
+	if !m.deadPeers[node] {
+		m.eng.SpecUndo(deadUndoInsert, m.deadPeers, nil, uint64(node), 0)
+	}
 	m.deadPeers[node] = true
 	// Queued tokens that never reached a window.
 	for _, ps := range m.ports {
 		if ps == nil || !ps.open {
 			continue
+		}
+		if len(ps.sendQ) > 0 {
+			m.touchPort(ps)
 		}
 		keep := ps.sendQ[:0]
 		for _, tok := range ps.sendQ {
@@ -575,6 +616,7 @@ func (m *MCP) FailPeer(node gmproto.NodeID) {
 	// Window messages, in sorted stream order for determinism.
 	for _, id := range streamIDsToward(node, txStreamIDs(m.tx)) {
 		s := m.tx[id]
+		m.touchTx(s)
 		if s.rtx != nil {
 			s.rtx.Cancel()
 			s.rtx = nil
@@ -583,12 +625,14 @@ func (m *MCP) FailPeer(node gmproto.NodeID) {
 			if msg.failed {
 				continue
 			}
+			m.touchMsg(msg)
 			msg.failed = true
 			m.stats.UnreachableFails++
 			m.completeSend(msg, gmproto.SendErrorUnreachable)
 		}
 		s.window = nil
 		delete(m.tx, id)
+		m.eng.SpecUndo(txMapUndoDelete, m.tx, s, 0, 0)
 	}
 }
 
@@ -597,17 +641,25 @@ func (m *MCP) FailPeer(node gmproto.NodeID) {
 // — so a readmitted peer and this node meet again on fresh streams (both
 // sides restart at sequence 1 via the FTGM first-contact path).
 func (m *MCP) ResetPeerStreams(node gmproto.NodeID) {
+	m.specTouch()
+	if m.deadPeers[node] {
+		m.eng.SpecUndo(deadUndoDelete, m.deadPeers, nil, uint64(node), 0)
+	}
 	delete(m.deadPeers, node)
 	for _, id := range streamIDsToward(node, txStreamIDs(m.tx)) {
 		s := m.tx[id]
+		m.touchTx(s)
 		if s.rtx != nil {
 			s.rtx.Cancel()
 			s.rtx = nil
 		}
 		delete(m.tx, id)
+		m.eng.SpecUndo(txMapUndoDelete, m.tx, s, 0, 0)
 	}
 	for _, id := range streamIDsToward(node, rxStreamIDs(m.rx)) {
+		rs := m.rx[id]
 		delete(m.rx, id)
+		m.eng.SpecUndo(rxMapUndoDelete, m.rx, rs, 0, 0)
 	}
 }
 
@@ -618,6 +670,7 @@ func (m *MCP) PeerUnreachable(node gmproto.NodeID) bool { return m.deadPeers[nod
 // route wait in the ctrl ring for the AckProc slot; the cached callback
 // builds and injects the packet, so a control send allocates nothing.
 func (m *MCP) sendControl(h gmproto.AckHeader) {
+	m.specTouch()
 	route, ok := m.routes[h.Dst]
 	if !ok {
 		return

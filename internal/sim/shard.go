@@ -151,6 +151,10 @@ type coord struct {
 	// so the barrier can skip the promotion pass entirely on quiet windows.
 	anyCtrl atomic.Bool
 
+	// arrivalClasses allocates AtArrival ordering classes (sim.go): one per
+	// cross-domain arrival source, in construction order.
+	arrivalClasses uint32
+
 	// parThreshold is the number of domains with due work below which a
 	// window executes inline on the coordinator: dispatching to the worker
 	// pool costs ~a microsecond of channel and barrier traffic, which only
@@ -161,17 +165,32 @@ type coord struct {
 	parThreshold int
 	sparseStreak int
 
-	// Speculation (spec.go): horizon past the conservative bound that
-	// hook-registered domains may run, the deadline clip for spans, and the
-	// outcome counters.
+	// Speculation (spec.go): specHorizon is the armed initial/maximum
+	// run-ahead past the conservative bound; horizons holds each domain's
+	// adaptive effective horizon (AIMD on observed commit/rollback outcomes,
+	// see noteSpecOutcome), read by domain executors during a window and
+	// written only by the coordinator at barriers. specSkip/specBackoff are
+	// the rollback cooloff (see noteSpecOutcome): skip counts windows the
+	// domain still sits out, decremented by its own executor at the moment a
+	// span would otherwise open (each index is touched only by its owning
+	// domain during a window and only by the coordinator at barriers, the
+	// same discipline as horizons). specClip is the deadline clip for
+	// spans; specSpanSeq issues globally unique span ids for the
+	// first-touch journal dedupe (SpecTouch).
 	specHorizon        Duration
+	horizons           []Duration
+	specSkip           []uint32
+	specBackoff        []uint32
 	specClip           Time
 	anySpec            bool
 	specScratch        []*Engine
+	specSpanSeq        atomic.Uint64
 	specCommits        uint64
 	specRollbacks      uint64
 	specCommitEvents   uint64
 	specRollbackEvents uint64
+	specDomCommits     []uint64
+	specDomRollbacks   []uint64
 }
 
 // defaultParallelThreshold is the dispatch threshold when
@@ -273,6 +292,21 @@ func (e *Engine) DomainIndex() int { return e.domIdx }
 // domain and legacy engines).
 func (e *Engine) DomainName() string { return e.dname }
 
+// domLabel names the engine's domain for diagnostics: the NewDomain name
+// with the index appended, or "control" / "legacy" for unnamed roots.
+func (e *Engine) domLabel() string {
+	if e.dname != "" {
+		return fmt.Sprintf("%q (domain %d)", e.dname, e.domIdx)
+	}
+	if e.co != nil && e.domIdx == 0 {
+		return "control (domain 0)"
+	}
+	if e.co == nil {
+		return "legacy engine"
+	}
+	return fmt.Sprintf("domain %d", e.domIdx)
+}
+
 // ObserveLookahead tells the coordinator a cross-domain boundary exists with
 // the given minimum latency, without saying which domains it connects. The
 // unattributed latency clamps every domain's window bound; boundaries that
@@ -299,7 +333,13 @@ func (e *Engine) ObserveLookahead(d Duration) {
 // topology-construction time).
 func (e *Engine) ObserveEdgeLookahead(dst *Engine, d Duration) {
 	if d <= 0 {
-		panic("sim: ObserveEdgeLookahead needs a positive latency (it bounds the synchronization window)")
+		src, tgt := e.domLabel(), "?"
+		if dst != nil {
+			tgt = dst.domLabel()
+		}
+		panic(fmt.Sprintf("sim: ObserveEdgeLookahead(%s -> %s) registered latency %v; "+
+			"a directed edge's latency bounds the synchronization window and must be positive "+
+			"(check the boundary built between these two domains)", src, tgt, d))
 	}
 	c := e.co
 	if c == nil || dst == nil || dst.co != c {
@@ -392,13 +432,121 @@ func (e *Engine) runDomainWindow(end Time) {
 	if c.specHorizon <= 0 || !e.specCapable {
 		return
 	}
-	limit := end + c.specHorizon
+	limit := end + c.horizons[e.domIdx]
 	if limit < end || limit > c.specClip { // overflow or deadline clip
 		limit = c.specClip
 	}
 	if limit > end {
 		e.speculate(limit)
 	}
+}
+
+// ensureHorizons sizes the per-domain adaptive-horizon state, seeding new
+// domains at the armed maximum (SetSpeculation's value). Existing entries
+// keep their adapted value across Run calls, so a long campaign's controller
+// state survives RunUntil stepping.
+func (c *coord) ensureHorizons() {
+	if c.specHorizon <= 0 {
+		return
+	}
+	for len(c.horizons) < len(c.engines) {
+		c.horizons = append(c.horizons, c.specHorizon)
+	}
+	for len(c.specSkip) < len(c.engines) {
+		c.specSkip = append(c.specSkip, 0)
+		c.specBackoff = append(c.specBackoff, 0)
+	}
+	for len(c.specDomCommits) < len(c.engines) {
+		c.specDomCommits = append(c.specDomCommits, 0)
+		c.specDomRollbacks = append(c.specDomRollbacks, 0)
+	}
+}
+
+// noteSpecOutcome adapts domain i's speculation horizon from a span
+// outcome: additive increase on commit (an eighth of the maximum per
+// committed span, capped at the maximum), multiplicative decrease on
+// rollback (halved, floored at a sixteenth of the maximum) — AIMD, so a
+// domain sitting in a rollback storm throttles toward a narrow probe span
+// within a handful of barriers while occasional rollbacks barely dent a
+// wide horizon.
+//
+// Horizon adaptation alone bounds how FAR a losing domain runs ahead, not
+// how OFTEN: on a saturated fabric even a floor-width span loses most of
+// the time, and each one still pays the open/resolve cost plus the
+// conservative re-execution of everything it journaled. So a rollback also
+// charges an exponential cooloff — the domain sits out specBackoff windows
+// (doubling per rollback, capped at specSkipMax) before its next probe
+// span, while a commit pays the backoff down by one: a chronic loser's
+// occasional lucky commit barely re-arms it, but a domain whose spans keep
+// committing holds backoff at zero and speculates every window. Outcomes
+// are schedule-deterministic, so the adapted horizons and cooloffs — and
+// every window bound derived from them — stay executor-count invariant.
+func (c *coord) noteSpecOutcome(i int, committed bool) {
+	max := c.specHorizon
+	h := c.horizons[i]
+	if committed {
+		c.specDomCommits[i]++
+		h += max/8 + 1
+		if h > max {
+			h = max
+		}
+		if c.specBackoff[i] > 0 {
+			c.specBackoff[i]--
+		}
+	} else {
+		c.specDomRollbacks[i]++
+		h /= 2
+		floor := max / 16
+		if floor < 1 {
+			floor = 1
+		}
+		if h < floor {
+			h = floor
+		}
+		bo := c.specBackoff[i]*2 + 1
+		if bo > specSkipMax {
+			bo = specSkipMax
+		}
+		c.specBackoff[i] = bo
+		c.specSkip[i] = bo
+	}
+	c.horizons[i] = h
+}
+
+// specSkipMax caps the rollback cooloff: a domain in a permanent rollback
+// storm still probes every ~64 windows, so it rediscovers a quiet phase
+// within a bounded number of barriers rather than never.
+const specSkipMax = 63
+
+// SpecHorizonStats reports the adaptive controller's current per-domain
+// horizons across speculation-capable domains: the minimum, maximum and mean
+// effective horizon. All zeros when speculation is unarmed or no domain
+// registered hooks.
+func (e *Engine) SpecHorizonStats() (lo, hi, mean Duration) {
+	if e.co == nil || e.co.specHorizon <= 0 {
+		return 0, 0, 0
+	}
+	c := e.co
+	var sum Duration
+	n := 0
+	for i, d := range c.engines {
+		if !d.specCapable || i >= len(c.horizons) {
+			continue
+		}
+		h := c.horizons[i]
+		if n == 0 || h < lo {
+			lo = h
+		}
+		if h > hi {
+			hi = h
+		}
+		sum += h
+		n++
+	}
+	if n > 0 {
+		mean = sum / Duration(n)
+	}
+	return lo, hi, mean
 }
 
 // run is the domain-mode main loop: per-domain windows bounded by the edge
@@ -418,6 +566,7 @@ func (c *coord) run(deadline Time) Time {
 	if deadline != Forever {
 		c.specClip = deadline + 1
 	}
+	c.ensureHorizons()
 	rw := c.startWorkers()
 	defer func() {
 		c.running = false
@@ -834,6 +983,7 @@ func (c *coord) resolveSpeculation() {
 		// replay every span conservatively.
 		for _, d := range specs {
 			d.rollbackSpec()
+			c.noteSpecOutcome(d.domIdx, false)
 		}
 		return
 	}
@@ -845,8 +995,10 @@ func (c *coord) resolveSpeculation() {
 		}
 		if bound >= d.now {
 			d.commitSpec()
+			c.noteSpecOutcome(d.domIdx, true)
 		} else {
 			d.rollbackSpec()
+			c.noteSpecOutcome(d.domIdx, false)
 		}
 	}
 }

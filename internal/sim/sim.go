@@ -64,8 +64,15 @@ func (t Time) String() string {
 // callback (every caller in this repo does); calling Cancel through a stale
 // handle after the callback ran may cancel an unrelated, later event.
 type Event struct {
-	when     Time
-	seq      uint64 // FIFO tiebreak among events at the same instant
+	when Time
+	// pri is the event's arrival class: 0 for locally scheduled events,
+	// >0 for cross-domain arrivals (AtArrival). It sorts between when and
+	// seq so that an arrival's position among same-instant events is a
+	// stable property of its source, not of which window barrier happened
+	// to flush it — the ingredient that makes results invariant under
+	// window-schedule changes (shard count, speculation horizon, resume).
+	pri      uint32
+	seq      uint64 // FIFO tiebreak among events at the same (when, pri)
 	index    int    // heap index, -1 when not queued
 	canceled bool
 	// specNew marks an event scheduled inside a speculative span (spec.go):
@@ -97,11 +104,19 @@ func (e *Event) Cancel() {
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
 // eventBefore is the queue's strict total order: by timestamp, then by
-// scheduling sequence. A total order means any valid heap arrangement pops
-// events in exactly one order, so compaction cannot perturb determinism.
+// arrival class (local events before cross-domain arrivals, arrivals by
+// source class), then by scheduling sequence. A total order means any valid
+// heap arrangement pops events in exactly one order, so compaction cannot
+// perturb determinism. Ranking arrivals by class rather than raw sequence
+// keeps same-instant ties independent of WHEN a barrier flushed the
+// arrival: sequence numbers are assigned at flush time, which moves with
+// the window schedule, while the class is fixed at construction.
 func eventBefore(a, b *Event) bool {
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }
@@ -133,6 +148,9 @@ type Engine struct {
 	// free recycles fired/discarded Event objects so scheduling on the hot
 	// path does not allocate.
 	free []*Event
+	// arrivalClasses allocates AtArrival ordering classes for a legacy
+	// (coordinator-less) engine; domained engines allocate from the coord.
+	arrivalClasses uint32
 
 	// Domain-mode plumbing (see shard.go). A legacy engine has co == nil and
 	// none of these fields are touched.
@@ -147,8 +165,10 @@ type Engine struct {
 
 	// Speculation plumbing (see spec.go). specCapable domains may run past
 	// their conservative bound into a journaled span that the barrier
-	// commits or rolls back.
+	// commits or rolls back. specFree pools the one span journal an engine
+	// ever needs (spans never nest), so reopening reuses its arenas.
 	spec        *specState
+	specFree    *specState
 	specCapable bool
 	specSave    func() any
 	specRestore func(any)
@@ -260,6 +280,36 @@ func (e *Engine) At(t Time, fn func()) *Event {
 
 // AtLabel is At with a label attached for diagnostics.
 func (e *Engine) AtLabel(t Time, label string, fn func()) *Event {
+	return e.schedule(t, label, 0, fn)
+}
+
+// ArrivalClass allocates a stable ordering class for one cross-domain
+// arrival source (one direction of a boundary). Classes are handed out in
+// construction order — which the determinism contract already requires to
+// be fixed — so they are identical across shard counts, speculation
+// horizons and resumed runs. Class 0 is reserved for local events.
+func (e *Engine) ArrivalClass() uint32 {
+	if e.co != nil {
+		e.co.arrivalClasses++
+		return e.co.arrivalClasses
+	}
+	e.arrivalClasses++
+	return e.arrivalClasses
+}
+
+// AtArrival schedules a cross-domain arrival: an event injected into this
+// engine by a boundary flush (or a wake derived from one). Same-instant
+// ordering is local events first, then arrivals by class — a pure function
+// of (time, source, sender FIFO order), never of which barrier performed
+// the flush. Every TimedBoundary implementation must schedule its
+// receiver-side events (including deferred-wake re-arms) through the class
+// it allocated at construction, or same-instant ties would make results
+// depend on the window schedule.
+func (e *Engine) AtArrival(t Time, class uint32, label string, fn func()) *Event {
+	return e.schedule(t, label, class, fn)
+}
+
+func (e *Engine) schedule(t Time, label string, pri uint32, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("%v: at %v, now %v", ErrPastTime, t, e.now))
 	}
@@ -271,7 +321,7 @@ func (e *Engine) AtLabel(t Time, label string, fn func()) *Event {
 	} else {
 		ev = new(Event)
 	}
-	*ev = Event{when: t, seq: e.nextSeq, fn: fn, label: label, eng: e}
+	*ev = Event{when: t, pri: pri, seq: e.nextSeq, fn: fn, label: label, eng: e}
 	e.nextSeq++
 	if e.spec != nil {
 		ev.specNew = true

@@ -52,7 +52,7 @@ func buildToyRing(n, shards int, horizon Duration, deadline Time) *toyRing {
 	}
 	for i, d := range doms {
 		next := doms[(i+1)%n]
-		d.out = &toyBoundary{src: d.eng, dst: next.eng, owner: next}
+		d.out = &toyBoundary{src: d.eng, dst: next.eng, owner: next, class: next.eng.ArrivalClass()}
 		d.eng.ObserveEdgeLookahead(next.eng, lat)
 	}
 	for _, d := range doms {

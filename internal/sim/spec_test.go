@@ -25,6 +25,7 @@ type toyMsg struct {
 type toyBoundary struct {
 	src, dst *Engine
 	owner    *toyDom // receiving component
+	class    uint32  // arrival ordering class (AtArrival)
 	q        []toyMsg
 	noted    bool
 }
@@ -45,7 +46,7 @@ func (b *toyBoundary) FlushBoundary() {
 	b.noted = false
 	for _, m := range b.q {
 		m := m
-		b.dst.AtLabel(m.at, "xfer", func() { b.owner.recv(m.v) })
+		b.dst.AtArrival(m.at, b.class, "xfer", func() { b.owner.recv(m.v) })
 	}
 	b.q = b.q[:0]
 }
@@ -152,7 +153,7 @@ func runToyRing(n, shards, threshold int, horizon Duration, deadline Time) (stri
 	}
 	for i, d := range doms {
 		next := doms[(i+1)%n]
-		d.out = &toyBoundary{src: d.eng, dst: next.eng, owner: next}
+		d.out = &toyBoundary{src: d.eng, dst: next.eng, owner: next, class: next.eng.ArrivalClass()}
 		d.eng.ObserveEdgeLookahead(next.eng, lat)
 	}
 	for _, d := range doms {
@@ -218,7 +219,7 @@ func runToyRollback(shards int, horizon Duration) (string, uint64, uint64) {
 	// lands at the start of a span B has already executed through, forcing
 	// a rollback.
 	a := &toyDom{eng: ea, idx: 0, lat: lat, sendMod: 199, deadline: deadline}
-	a.out = &toyBoundary{src: ea, dst: eb, owner: b}
+	a.out = &toyBoundary{src: ea, dst: eb, owner: b, class: eb.ArrivalClass()}
 	ea.ObserveEdgeLookahead(eb, lat)
 	eb.ObserveEdgeLookahead(ea, lat)
 	if horizon > 0 {

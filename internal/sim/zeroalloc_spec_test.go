@@ -1,0 +1,182 @@
+//go:build !race
+
+// Zero-allocation guard for the speculation machinery: a speculating
+// steady state — spans opening, journaled components touching in
+// (SpecTouch + SpecUndo), digests crossing a boundary forcing rollbacks,
+// the AIMD horizon adapting — must allocate nothing per message once the
+// pooled arenas, event free lists and queue capacities are warm. This is
+// the engine-side half of the 0 allocs/msg contract; the packet-path half
+// lives in internal/fabric and internal/mcp's zeroalloc guards. Excluded
+// under the race detector, whose instrumentation allocates.
+
+package sim
+
+import "testing"
+
+// zaDom is a journaled workload domain: a dense ticker folding a digest
+// (SpecTouch'd cell) plus a raw-journaled counter word (SpecUndo), with a
+// periodic transfer into the peer's inbox across a boundary. All closures
+// are bound once at setup so the steady state schedules only pooled events.
+type zaDom struct {
+	eng  *Engine
+	mark uint64
+
+	counter uint64
+	digest  uint64
+	word    uint64 // mutated via SpecUndo, not the wholesale snapshot
+
+	out    *zaBoundary
+	tickFn func()
+	shadow zaSnap
+}
+
+type zaSnap struct {
+	counter uint64
+	digest  uint64
+}
+
+func (d *zaDom) SpecSave()    { d.shadow = zaSnap{d.counter, d.digest} }
+func (d *zaDom) SpecRestore() { d.counter, d.digest = d.shadow.counter, d.shadow.digest }
+
+// undoWord is the package-level SpecUndo target (a closure here would
+// allocate per record).
+func undoWord(a, b any, v1, v2 uint64) { *(a.(*uint64)) = v1 }
+
+func (d *zaDom) fold(v uint64) {
+	h := d.digest ^ v
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	d.digest = h ^ (h >> 27)
+}
+
+func (d *zaDom) tick() {
+	d.eng.SpecTouch(&d.mark, d)
+	d.eng.SpecUndo(undoWord, &d.word, nil, d.word, 0)
+	d.word += 3
+	d.counter++
+	d.fold(d.counter)
+	d.fold(d.eng.RNG().Uint64())
+	if d.counter%16 == 0 {
+		d.out.send(d.digest, 2*Microsecond)
+	}
+	d.eng.After(100*Nanosecond, d.tickFn)
+}
+
+// zaBoundary delivers digests into the receiver's journaled inbox. The
+// drain closure is bound once; each message costs one pooled arrival event
+// plus an append into a warm slice.
+type zaBoundary struct {
+	src, dst *Engine
+	tgt      *zaDom
+	class    uint32
+	q        []toyMsg
+	noted    bool
+
+	inbox   []uint64
+	head    int
+	mark    uint64
+	shadow  zaBoxSnap
+	drainFn func()
+}
+
+type zaBoxSnap struct {
+	n    int
+	head int
+}
+
+func (b *zaBoundary) SpecSave()    { b.shadow = zaBoxSnap{len(b.inbox), b.head} }
+func (b *zaBoundary) SpecRestore() { b.inbox = b.inbox[:b.shadow.n]; b.head = b.shadow.head }
+
+func (b *zaBoundary) BoundaryTarget() *Engine { return b.dst }
+
+func (b *zaBoundary) EarliestPending() Time {
+	min := Forever
+	for _, m := range b.q {
+		if m.at < min {
+			min = m.at
+		}
+	}
+	return min
+}
+
+func (b *zaBoundary) FlushBoundary() {
+	b.noted = false
+	for _, m := range b.q {
+		b.dst.SpecTouch(&b.mark, b)
+		b.inbox = append(b.inbox, m.v)
+		b.dst.AtArrival(m.at, b.class, "xfer", b.drainFn)
+	}
+	b.q = b.q[:0]
+}
+
+func (b *zaBoundary) send(v uint64, lat Duration) {
+	b.q = append(b.q, toyMsg{at: b.src.Now() + lat, v: v})
+	if !b.noted {
+		b.noted = true
+		b.src.NoteBoundary(b)
+	}
+}
+
+func (b *zaBoundary) drain() {
+	b.dst.SpecTouch(&b.mark, b)
+	if b.head < len(b.inbox) {
+		b.tgt.eng.SpecTouch(&b.tgt.mark, b.tgt)
+		b.tgt.fold(b.inbox[b.head] ^ 0xabcdef)
+		b.head++
+	}
+	if b.head == len(b.inbox) {
+		b.inbox = b.inbox[:0]
+		b.head = 0
+	}
+}
+
+// TestZeroAllocSpeculation pins the 0 allocs/msg contract with speculation
+// armed: after a warmup that sizes every pool and arena, advancing the
+// speculating pair through steady-state windows — including spans that
+// roll back when a neighbor's transfer lands inside them — allocates
+// nothing.
+func TestZeroAllocSpeculation(t *testing.T) {
+	root := NewEngine(2003)
+	root.SetShards(1)
+	// Keep every window on the calling goroutine: worker handoff is not
+	// the machinery under test and its parking can allocate.
+	root.SetParallelThreshold(1 << 20)
+	root.SetSpeculation(4 * Microsecond)
+
+	a := &zaDom{eng: root.NewDomain("a")}
+	b := &zaDom{eng: root.NewDomain("b")}
+	wire := func(src, dst *zaDom) {
+		bd := &zaBoundary{src: src.eng, dst: dst.eng, tgt: dst, class: dst.eng.ArrivalClass()}
+		bd.drainFn = bd.drain
+		src.out = bd
+		src.eng.ObserveEdgeLookahead(dst.eng, 2*Microsecond)
+	}
+	wire(a, b)
+	wire(b, a)
+	for _, d := range []*zaDom{a, b} {
+		d := d
+		d.tickFn = d.tick
+		// Fully journaled domains: the wholesale hooks have nothing to copy.
+		d.eng.EnableSpeculation(func() any { return nil }, func(any) {})
+		d.eng.AtLabel(Time(100), "tick", d.tickFn)
+	}
+
+	// Warm every pool: event free lists, span arenas, inbox/queue caps.
+	next := root.RunUntil(Time(2 * Millisecond))
+	warmC, warmR, _, _ := root.SpecStats()
+	if warmC == 0 || warmR == 0 {
+		t.Fatalf("warmup never exercised both speculative outcomes: commits=%d rollbacks=%d", warmC, warmR)
+	}
+
+	const step = Time(20 * Microsecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		next += step
+		root.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("speculating steady state allocates %.2f/step, want 0", allocs)
+	}
+	c2, r2, _, _ := root.SpecStats()
+	if c2 <= warmC || r2 <= warmR {
+		t.Fatalf("measured window did not keep speculating: commits %d->%d rollbacks %d->%d", warmC, c2, warmR, r2)
+	}
+}
