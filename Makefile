@@ -2,9 +2,13 @@
 # (internal/parallel), so the race detector is part of the gate, not an
 # optional extra; bench-short smoke-runs every benchmark once so a broken
 # bench path cannot land.
-.PHONY: tier1 build vet fmt static test race chaos netfault gossip gossip-short ckpt ckpt-short bench bench-short benchdiff quickbench scale-short
+.PHONY: tier1 build vet fmt static test race chaos netfault gossip gossip-short ckpt ckpt-short ckpt-delta-short bench bench-short benchdiff quickbench scale-short
 
-tier1: build vet fmt static race scale-short gossip-short ckpt-short bench-short
+tier1: build vet fmt static race scale-short gossip-short ckpt-short ckpt-delta-short bench-short
+
+# Fuzz campaign duration for the timed targets (gossip, ckpt); override
+# with e.g. `make ckpt FUZZTIME=2m`.
+FUZZTIME ?= 30s
 
 build:
 	go build ./...
@@ -47,7 +51,7 @@ netfault:
 gossip:
 	go test -race -v -run 'Gossip|ControlPlane|MapperDeath|Wire' \
 		./internal/gossip/ ./gm/ ./internal/chaos/ ./internal/experiments/
-	go test -fuzz FuzzDecodeGossip -fuzztime 30s ./internal/gossip/
+	go test -fuzz FuzzDecodeGossip -fuzztime $(FUZZTIME) ./internal/gossip/
 
 # Gossip smoke gate (tier1): the plane's unit suite and the fuzz corpus
 # as plain tests under the race detector (no open-ended fuzzing in CI).
@@ -59,9 +63,9 @@ gossip-short:
 # campaigns, the experiment comparison, whole-sim snapshot/resume), then a
 # timed fuzz campaign over the checkpoint wire codec.
 ckpt:
-	go test -race -v -run 'HostFault|HostDeath|MapperRebirth|Checkpoint|SnapshotResume' \
+	go test -race -v -run 'HostFault|HostDeath|MapperRebirth|Checkpoint|SnapshotResume|Periodic|Delta|ReplayChain' \
 		./internal/ckpt/ ./internal/sim/ ./gm/ ./internal/chaos/ ./internal/experiments/
-	go test -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/ckpt/
+	go test -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/ckpt/
 
 # Checkpoint smoke gate (tier1): the wire codec's unit suite and fuzz
 # corpus as plain tests plus the endpoint drain/kill/restore suite and the
@@ -69,6 +73,15 @@ ckpt:
 ckpt-short:
 	go test -race -run 'Checkpoint|Fuzz' ./internal/ckpt/
 	go test -race -run 'HostFault|HostDeath|SnapshotResume' ./gm/ ./internal/sim/
+
+# Incremental-checkpoint smoke gate (tier1): the delta codec (round-trip,
+# chain replay, reject cases, zero-alloc build), the periodic pipeline
+# (bounded drain, chain replay bit-identity, restore-from-chain) and the
+# periodic-ckpt chaos class (kill mid-chain, replay, exactly-once audit,
+# shard/speculation invariance), all under the race detector.
+ckpt-delta-short:
+	go test -race -run 'Delta|ReplayChain|ApplyMerges|Fuzz' ./internal/ckpt/
+	go test -race -run 'Periodic' ./gm/ ./internal/chaos/
 
 # Sharded-engine smoke gate (tier1): the 64-node Clos storm trial on the
 # sharded conservative-time engine under the race detector — conservative
@@ -86,10 +99,10 @@ scale-short:
 # Full harness benchmark: regenerates the Figure 7/8, netfault,
 # control-plane, host-fault, large-cluster scaling and multi-core matrix
 # metrics with per-section wall-clock/allocation accounting and regression
-# comparison against the committed baseline. Rewrites BENCH_9.json.
+# comparison against the committed baseline. Rewrites BENCH_10.json.
 bench:
 	go run ./cmd/gmbench -mode bw,lat,netfault,controlplane,hostfault,scale,scale_mc \
-		-benchjson BENCH_9.json -baseline BENCH_8.json
+		-benchjson BENCH_10.json -baseline BENCH_9.json
 
 # Bench smoke gate (tier1): every go-test benchmark runs once.
 bench-short:

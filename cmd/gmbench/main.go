@@ -145,6 +145,15 @@ type hostFaultJSON struct {
 	Readmissions    uint64  `json:"readmissions"`
 	LiveExpelled    uint64  `json:"live_expelled"`
 	RouteGaps       uint64  `json:"route_gaps"`
+
+	// Incremental-checkpoint telemetry (the periodic+central scheme):
+	// base+delta frames shipped, bounded-drain accounting and the worst
+	// per-checkpoint drain pause observed across the campaign.
+	PeriodicFrames  uint64 `json:"periodic_frames,omitempty"`
+	PeriodicBytes   uint64 `json:"periodic_bytes,omitempty"`
+	PeriodicSkips   uint64 `json:"periodic_skips,omitempty"`
+	MaxDrainPauseNs int64  `json:"max_drain_pause_ns,omitempty"`
+	ChainMismatches uint64 `json:"chain_mismatches,omitempty"`
 }
 
 type table2JSON struct {
@@ -357,6 +366,9 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	threshold := flag.Float64("threshold", 0.10, "benchdiff: fractional regression that fails the gate")
+	ckptEvery := flag.Int("ckpt-every", 0, "hostfault: write the resumable campaign artifact every N completed trials (0 = off)")
+	ckptFile := flag.String("ckpt-file", "hostfault_campaign.ckpt.json", "hostfault: resumable campaign artifact path")
+	resumeFrom := flag.String("resume-from", "", "hostfault: resume the campaign from a prior artifact file")
 	flag.Parse()
 
 	if *mode == "benchdiff" {
@@ -591,11 +603,20 @@ func run() error {
 				MaxSettle: 30 * sim.Second,
 			},
 		}
+		// Pin the audited message size so the throughput accounting below
+		// can count delivered payload bytes the way fig7_bw does.
+		cfg.Trial.MsgBytes = chaos.DefaultTrialConfig().MsgBytes
 		if *quick {
 			cfg.Trials = 1
 		}
 		sec, err := measure(func() (int64, uint64, error) {
-			res, err := experiments.HostFaultComparison(*seed, cfg)
+			var res []experiments.HostFaultResult
+			var err error
+			if *ckptEvery > 0 || *resumeFrom != "" {
+				res, err = runHostFaultResumable(*seed, cfg, *ckptEvery, *ckptFile, *resumeFrom)
+			} else {
+				res, err = experiments.HostFaultComparison(*seed, cfg)
+			}
 			if err != nil {
 				return 0, 0, err
 			}
@@ -605,7 +626,10 @@ func run() error {
 			var bytes uint64
 			for _, r := range res {
 				ops += int64(r.Campaign.Total.Sent)
-				bytes += r.Counters.CheckpointBytes
+				// Delivered payload bytes, like fig7_bw: unique deliveries
+				// times the audited message size (checkpoint bytes are
+				// recovery metadata, not moved payload).
+				bytes += r.Campaign.Total.Unique * uint64(cfg.Trial.MsgBytes)
 				rep.HostFault[r.Label] = hostFaultJSON{
 					Sent:            r.Campaign.Total.Sent,
 					Delivered:       r.Campaign.Total.Unique,
@@ -620,6 +644,11 @@ func run() error {
 					Readmissions:    r.Counters.Readmissions,
 					LiveExpelled:    r.Counters.LiveExpelled,
 					RouteGaps:       r.Counters.RouteGaps,
+					PeriodicFrames:  r.Counters.PeriodicFrames,
+					PeriodicBytes:   r.Counters.PeriodicBytes,
+					PeriodicSkips:   r.Counters.PeriodicSkips,
+					MaxDrainPauseNs: int64(r.Counters.MaxDrainPause),
+					ChainMismatches: r.Counters.ChainMismatches,
 				}
 			}
 			return ops, bytes, nil

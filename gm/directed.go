@@ -38,6 +38,7 @@ func (p *Port) RegisterMemory(size uint32) (*Region, error) {
 		return nil, err
 	}
 	p.regions = append(p.regions, r)
+	p.markNewRegion()
 	p.node.cpu.Charge(p.node.cluster.cfg.Host.ProvideOverhead)
 	return r, nil
 }
@@ -57,6 +58,7 @@ func (p *Port) DirectedSend(dest NodeID, destPort PortID, regionID, remoteOffset
 		return ErrNoSendTokens
 	}
 	p.specTouch()
+	p.markCkpt()
 	p.node.cpu.SpecTouch(p.node.eng)
 	p.sendTokens--
 	p.nextToken++

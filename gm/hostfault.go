@@ -154,6 +154,13 @@ func (n *Node) Kill() {
 	n.specTouch()
 	n.dead = true
 	n.reviveGen++
+	// Host death takes the periodic checkpointer with it: its scheduled
+	// events go inert (generation mismatch) and the chain ends here. The
+	// frozen-port state dies with the MCP's port table below.
+	if n.pc != nil && n.pc.s.active {
+		n.pc.s.active = false
+		n.pc.s.emitting = false
+	}
 	n.m.InjectHardHang()
 	for id, p := range n.ports {
 		p.specTouch()

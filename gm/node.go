@@ -57,6 +57,13 @@ type Node struct {
 	// open ports at the time of failure", §5.2).
 	recoveryBusyUntil sim.Time
 
+	// pc drives periodic background checkpointing (gm periodic.go); nil
+	// until StartPeriodicCheckpoint. ckptEpoch is the monotonic dirty-mark
+	// epoch the port stamps compare against: it survives Start/Stop cycles
+	// so stale marks from an earlier run never read dirty.
+	pc        *periodicCkpt
+	ckptEpoch uint64
+
 	// Speculation journaling (gm spec.go).
 	specMark   uint64
 	specShadow nodeShadow
@@ -232,6 +239,9 @@ func (n *Node) ClosePort(id PortID) {
 		n.specTouch()
 		p.specTouch()
 		p.open = false
+		if n.pc != nil && n.pc.s.active {
+			n.pc.s.removedSince[id] = true
+		}
 		n.driver.ClosePort(id)
 		delete(n.ports, id)
 	}
@@ -266,6 +276,8 @@ func (n *Node) resetPeer(peer NodeID) {
 	n.m.ResetPeerStreams(peer)
 	n.rxAcks.Forget(peer)
 	for _, p := range n.ports {
+		p.specTouch()
+		p.markCkpt()
 		p.shadow.ResetPeerSeqs(peer)
 	}
 }

@@ -85,6 +85,13 @@ type Port struct {
 
 	stats PortStats
 
+	// Periodic-checkpoint dirty bits (gm periodic.go): epoch stamps in the
+	// SpecTouch first-touch style. ckptMark == node.ckptEpoch means the
+	// port's checkpointable state changed this interval; regionMarks
+	// parallels regions and stamps directed-deposit targets.
+	ckptMark    uint64
+	regionMarks []uint64
+
 	// Speculation journaling (gm spec.go).
 	specMark   uint64
 	specShadow portShadow
@@ -179,6 +186,7 @@ func (p *Port) Send(dest NodeID, destPort PortID, prio Priority, data []byte, cb
 		return ErrNoSendTokens
 	}
 	p.specTouch()
+	p.markCkpt()
 	p.node.cpu.SpecTouch(p.node.eng)
 	p.sendTokens--
 	p.nextToken++
@@ -248,6 +256,7 @@ func (p *Port) RecycleReceiveBuffer(buf []byte, prio Priority) error {
 
 func (p *Port) postRecvToken(tok gmproto.RecvToken) {
 	p.specTouch()
+	p.markCkpt()
 	p.node.cpu.SpecTouch(p.node.eng)
 	p.nextToken++
 	tok.ID = p.nextToken
@@ -273,6 +282,7 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 		if p.node.cluster.cfg.Mode == ModeFTGM {
 			p.node.rxAcks.Update(gmproto.StreamID{Node: ev.Src, Port: ev.SrcPort, Prio: ev.Prio}, ev.Seq)
 		}
+		p.markCkpt()
 		p.shadow.RemoveRecvToken(ev.TokenID)
 		cost := cfg.RecvOverhead
 		if p.node.cluster.cfg.Mode == ModeFTGM {
@@ -295,9 +305,11 @@ func (p *Port) mcpSink(ev gmproto.Event) {
 			p.node.rxAcks.Update(gmproto.StreamID{Node: ev.Src, Port: ev.SrcPort, Prio: ev.Prio}, ev.Seq)
 			p.node.cpu.Charge(cfg.FTGMRecvExtra)
 		}
+		p.markRegion(ev.RegionID)
 	case gmproto.EvSent, gmproto.EvSendError:
 		// The send token comes back: drop the shadow copy just before the
 		// callback runs (§4.1).
+		p.markCkpt()
 		p.shadow.RemoveSendToken(ev.TokenID)
 		p.sendTokens++
 		cb := p.callbacks[ev.TokenID]

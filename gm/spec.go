@@ -50,6 +50,10 @@ type portShadow struct {
 	// appends (RegisterMemory, revival), so restore is a truncation.
 	regionsLen int
 	stats      PortStats
+	// Periodic-checkpoint dirty bits. regionMarks is value-copied: entries
+	// are overwritten in place (markRegion), not only appended.
+	ckptMark    uint64
+	regionMarks []uint64
 
 	callbacks map[uint64]SendCallback
 	// pollQ copies the queue's live region; restore rebuilds it canonically.
@@ -71,6 +75,8 @@ func (p *Port) SpecSave() {
 	sh.nextRegion = p.nextRegion
 	sh.regionsLen = len(p.regions)
 	sh.stats = p.stats
+	sh.ckptMark = p.ckptMark
+	sh.regionMarks = append(sh.regionMarks[:0], p.regionMarks...)
 	if sh.callbacks == nil {
 		sh.callbacks = make(map[uint64]SendCallback, len(p.callbacks))
 	} else {
@@ -91,6 +97,8 @@ func (p *Port) SpecRestore() {
 	p.recovering = sh.recovering
 	p.nextRegion = sh.nextRegion
 	p.stats = sh.stats
+	p.ckptMark = sh.ckptMark
+	p.regionMarks = append(p.regionMarks[:0], sh.regionMarks...)
 	// A Kill inside the span nils the callback table; the pre-span table was
 	// always non-nil (buildPort), so rebuild it on that path.
 	if p.callbacks == nil {
@@ -122,6 +130,14 @@ type nodeShadow struct {
 
 	ports       [MaxPorts]*Port
 	unreachable map[NodeID]bool
+
+	// Periodic checkpointer: the instance pointer plus a value copy of its
+	// journaled state block. The encode arenas are deliberately outside the
+	// copy — a rolled-back span re-executes deterministically and rebuilds
+	// them with identical bytes.
+	pc        *periodicCkpt
+	pcs       periodicState
+	ckptEpoch uint64
 }
 
 func (n *Node) specTouch() { n.eng.SpecTouch(&n.specMark, n) }
@@ -146,6 +162,11 @@ func (n *Node) SpecSave() {
 	for id, v := range n.unreachable {
 		sh.unreachable[id] = v
 	}
+	sh.pc = n.pc
+	if n.pc != nil {
+		sh.pcs = n.pc.s
+	}
+	sh.ckptEpoch = n.ckptEpoch
 }
 
 func (n *Node) SpecRestore() {
@@ -167,4 +188,9 @@ func (n *Node) SpecRestore() {
 	for id, v := range sh.unreachable {
 		n.unreachable[id] = v
 	}
+	n.pc = sh.pc
+	if n.pc != nil {
+		n.pc.s = sh.pcs
+	}
+	n.ckptEpoch = sh.ckptEpoch
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/gm"
@@ -101,6 +102,17 @@ type TrialResult struct {
 	HostRestores    uint64 // completed same-epoch restores (KindHostDeath)
 	HostRejoins     uint64 // completed post-expulsion rejoins (KindMapperRebirth)
 
+	// Incremental-checkpoint activity (KindPeriodicDeath trials): frames
+	// shipped by the victims' periodic checkpointers, the bounded-drain
+	// accounting, and the chain-replay verification verdict (a mismatch
+	// means ReplayChain over the shipped frames did not re-encode
+	// bit-identical to a fresh full checkpoint at the kill instant).
+	PeriodicFrames          uint64
+	PeriodicBytes           uint64
+	PeriodicSkips           uint64
+	PeriodicMaxPause        sim.Duration
+	PeriodicChainMismatches uint64
+
 	// Speculation activity (zero unless TrialConfig.Speculate): spans the
 	// barrier committed and rolled back. Both are pure functions of the
 	// window schedule, so they are bit-identical across shard counts.
@@ -132,7 +144,17 @@ func Run(seed uint64, cfg CampaignConfig) (CampaignResult, error) {
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	res := CampaignResult{Seed: seed, Mode: modeName(cfg.Mode), Trials: trials, AllExactlyOnce: true}
+	return AssembleCampaign(seed, cfg.Mode, trials), nil
+}
+
+// AssembleCampaign folds per-trial results into a CampaignResult, exactly as
+// Run does. The resumable campaign runner (gmbench -ckpt-every /
+// -resume-from) executes trials one at a time — possibly across processes —
+// and folds the accumulated artifact here; trial results are pure functions
+// of (seed, index), so the fold is identical however the trials were
+// distributed.
+func AssembleCampaign(seed uint64, mode gm.Mode, trials []TrialResult) CampaignResult {
+	res := CampaignResult{Seed: seed, Mode: modeName(mode), Trials: trials, AllExactlyOnce: true}
 	for _, tr := range trials {
 		res.Total.merge(tr.Audit)
 		if tr.Audit.ExactlyOnceInOrder {
@@ -142,7 +164,7 @@ func Run(seed uint64, cfg CampaignConfig) (CampaignResult, error) {
 		}
 	}
 	res.Total.ExactlyOnceInOrder = res.AllExactlyOnce && res.Total.Sent > 0
-	return res, nil
+	return res
 }
 
 func modeName(m gm.Mode) string {
@@ -425,7 +447,135 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 		hunt()
 	}
 
+	// Periodic-checkpoint chains: one per KindPeriodicDeath victim. The sink
+	// runs on the victim's own domain (conservatively, or at barrier commit
+	// under speculation), so trial-local appends follow the auditor idiom —
+	// deferred through the journaled control queue when speculating, inline
+	// otherwise. Frames for one node commit oldest-first, so chain order is
+	// the emission order either way.
+	type ckptChain struct {
+		base   []byte
+		deltas [][]byte
+	}
+	const (
+		periodicInterval = 500 * sim.Microsecond
+		periodicBudget   = 200 * sim.Microsecond
+	)
+	chains := make(map[int]*ckptChain)
+	startPeriodic := func(i int) {
+		if _, ok := chains[i]; ok {
+			return
+		}
+		ch := &ckptChain{}
+		chains[i] = ch
+		n := nodes[i]
+		eng := n.Engine()
+		sink := func(f gm.PeriodicFrame) {
+			// Bytes are only valid during the call; the chain owns a copy.
+			b := append([]byte(nil), f.Bytes...)
+			kind := f.Kind
+			rec := func() {
+				if kind == gm.FrameBase {
+					ch.base = b
+					ch.deltas = ch.deltas[:0]
+				} else {
+					ch.deltas = append(ch.deltas, b)
+				}
+				res.PeriodicFrames++
+				res.PeriodicBytes += uint64(len(b))
+			}
+			if tcfg.Speculate {
+				eng.Control(rec)
+			} else {
+				rec()
+			}
+		}
+		cl.After(sim.Microsecond, func() {
+			if n.Running() && !n.Dead() {
+				_ = n.StartPeriodicCheckpoint(periodicInterval, periodicBudget, sink)
+			}
+		})
+	}
+
+	// killFromChain is the incremental-checkpoint variant of killAndRevive:
+	// the hunt additionally waits for the shipped chain to catch up with the
+	// checkpointer (every emitted frame landed in the trial's copy), forces a
+	// final delta at the drain boundary, verifies base+chain replay against a
+	// fresh full checkpoint bit for bit, kills the victim, and revives it
+	// from the replayed chain — the restore consumes only bytes a standby
+	// host could have accumulated frame by frame.
+	killFromChain := func(i int, delay sim.Duration) {
+		n := nodes[i]
+		ch := chains[i]
+		if ch == nil {
+			return
+		}
+		deadline := cl.Now() + drainHuntWindow
+		var hunt func()
+		hunt = func() {
+			if !n.Running() || n.Dead() {
+				return // already hung or dead; the fault folds in
+			}
+			st := n.PeriodicCheckpointStats()
+			caughtUp := ch.base != nil && uint64(1+len(ch.deltas)) == st.Frames
+			if !n.Drained() || !caughtUp {
+				if cl.Now() >= deadline {
+					return // no drained-and-caught-up instant came; skip
+				}
+				cl.After(drainHuntStep, hunt)
+				return
+			}
+			// Snapshot the chain before forcing: the forced frame also goes
+			// through the sink (possibly deferred under speculation), and the
+			// replay list must hold it exactly once.
+			replay := make([][]byte, len(ch.deltas))
+			copy(replay, ch.deltas)
+			frame, emitted, err := n.ForceCheckpointFrame()
+			if err != nil {
+				return // checkpointer already stopped (earlier kill); fold in
+			}
+			if emitted {
+				replay = append(replay, append([]byte(nil), frame...))
+			}
+			replayed, err := ckpt.ReplayChain(ch.base, replay)
+			if err != nil {
+				res.PeriodicChainMismatches++
+				return
+			}
+			fresh, err := n.Checkpoint()
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(fresh.Encode(), replayed.Encode()) {
+				res.PeriodicChainMismatches++
+			}
+			n.Kill()
+			cl.After(delay, func() {
+				reattach := func(pm map[gm.PortID]*gm.Port) {
+					p, ok := pm[tcfg.Port]
+					if !ok {
+						return
+					}
+					ports[i].set(p)
+					attach(n, p)
+				}
+				onDone := func() { res.HostRestores++ }
+				if tcfg.Speculate {
+					eng := n.Engine()
+					onDone = func() { eng.Control(func() { res.HostRestores++ }) }
+				}
+				_ = n.Restore(replayed, reattach, onDone)
+			})
+		}
+		hunt()
+	}
+
 	plan := PlanEvents(rng, tcfg, start)
+	for _, ev := range plan {
+		if ev.Kind == KindPeriodicDeath {
+			startPeriodic(ev.Node)
+		}
+	}
 	for _, ev := range plan {
 		ev := ev
 		cl.At(ev.At, func() {
@@ -509,6 +659,8 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 				})
 			case KindHostDeath:
 				killAndRevive(ev.Node, ev.Window, false)
+			case KindPeriodicDeath:
+				killFromChain(ev.Node, ev.Window)
 			case KindMapperRebirth:
 				// The flap opens an active remap window, exactly like
 				// KindMapperDeath...
@@ -628,6 +780,18 @@ func RunTrial(seed uint64, index int, mode gm.Mode, tcfg TrialConfig) (TrialResu
 					res.GossipRouteGaps++
 				}
 			}
+		}
+	}
+	for i := range nodes {
+		if _, ok := chains[i]; !ok {
+			continue
+		}
+		// Drain-budget accounting survives the kill: Kill deactivates the
+		// checkpointer but keeps its stats block for post-mortem harvest.
+		st := nodes[i].PeriodicCheckpointStats()
+		res.PeriodicSkips += st.Skips
+		if st.MaxPause > res.PeriodicMaxPause {
+			res.PeriodicMaxPause = st.MaxPause
 		}
 	}
 	for _, s := range switches {

@@ -83,6 +83,16 @@ const (
 	// plane cannot readmit its own dead anchor. The victim's in-flight sends
 	// are excused: rejoin disowns them by design.
 	KindMapperRebirth
+	// KindPeriodicDeath is host death under the incremental checkpoint
+	// pipeline: the victim runs Node.StartPeriodicCheckpoint for the whole
+	// trial, shipping base+delta frames to a (simulated) standby as it goes.
+	// The injector waits for the chain to catch up at a drained instant,
+	// forces a final delta, kills the host mid-burst, and revives the slot
+	// from ckpt.ReplayChain over the shipped frames — verifying along the way
+	// that the replayed chain re-encodes bit-identical to the full checkpoint
+	// the victim would have cut at the same instant. Exactly-once in-order
+	// delivery is audited exactly as for KindHostDeath.
+	KindPeriodicDeath
 )
 
 // String names the kind.
@@ -112,6 +122,8 @@ func (k EventKind) String() string {
 		return "host-death"
 	case KindMapperRebirth:
 		return "mapper-rebirth"
+	case KindPeriodicDeath:
+		return "periodic-ckpt"
 	default:
 		return fmt.Sprintf("kind?%d", int(k))
 	}
@@ -138,6 +150,13 @@ func NetFaultKinds() []EventKind {
 // a distributed membership plane can readmit the dead mapping node).
 func HostFaultKinds() []EventKind {
 	return []EventKind{KindHostDeath, KindMapperRebirth}
+}
+
+// PeriodicCkptKinds returns the incremental-checkpoint host-death class.
+// Kept out of HostFaultKinds so the established hostfault campaigns (and
+// their benchmark baselines) keep their exact workload.
+func PeriodicCkptKinds() []EventKind {
+	return []EventKind{KindPeriodicDeath}
 }
 
 // Event is one planned fault injection.
@@ -179,6 +198,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" standby %v", e.Window)
 	case KindMapperRebirth:
 		s += fmt.Sprintf(" (flap n%d for %v, revive after %v)", e.Node2, e.Window, e.Revive)
+	case KindPeriodicDeath:
+		s += fmt.Sprintf(" standby %v", e.Window)
 	}
 	return s
 }
@@ -357,6 +378,11 @@ func PlanEvents(rng *sim.RNG, cfg TrialConfig, start sim.Time) []Event {
 			// Never node 0: killing the mapping node is KindMapperDeath /
 			// KindMapperRebirth territory. Window is the standby spin-up
 			// delay between the kill and the restore.
+			ev.Node = 1 + rng.Intn(cfg.Nodes-1)
+			ev.Window = 2*sim.Millisecond + rng.Duration(8*sim.Millisecond)
+		case KindPeriodicDeath:
+			// Same shape as KindHostDeath: never the mapping node, Window is
+			// the standby spin-up delay before the replayed-chain revival.
 			ev.Node = 1 + rng.Intn(cfg.Nodes-1)
 			ev.Window = 2*sim.Millisecond + rng.Duration(8*sim.Millisecond)
 		case KindMapperRebirth:

@@ -133,80 +133,133 @@ const (
 	minPort      = 1 + 8 + 4 + 4 + 4 + 4 + 4
 )
 
+// enc appends fixed-width little-endian fields to a caller-owned buffer. It
+// is shared by the base-checkpoint and delta encoders so both frame families
+// serialize tokens, streams and regions with identical byte layouts.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) route(r *Route) {
+	e.u16(uint16(r.Node))
+	e.u16(uint16(len(r.Hops)))
+	e.b = append(e.b, r.Hops...)
+}
+
+func (e *enc) rxAck(a *RxAck) {
+	e.u16(uint16(a.Stream.Node))
+	e.u8(uint8(a.Stream.Port))
+	e.u8(uint8(a.Stream.Prio))
+	e.u32(a.Seq)
+}
+
+func (e *enc) sendToken(t *gmproto.SendToken) {
+	e.u64(t.ID)
+	e.u16(uint16(t.Dest))
+	e.u8(uint8(t.DestPort))
+	e.u8(uint8(t.SrcPort))
+	e.u8(uint8(t.Prio))
+	e.u32(t.Seq)
+	e.u8(boolByte(t.HasSeq))
+	e.u8(boolByte(t.Directed))
+	e.u32(t.RegionID)
+	e.u32(t.RemoteOffset)
+	e.bytes(t.Data)
+}
+
+func (e *enc) recvToken(t *RecvTokenCheckpoint) {
+	e.u64(t.ID)
+	e.u32(t.Size)
+	e.u8(uint8(t.Prio))
+	e.u32(t.BufLen)
+}
+
+func (e *enc) seqStream(ss *core.SeqStream) {
+	e.u16(uint16(ss.Node))
+	e.u8(uint8(ss.Prio))
+	e.u32(ss.Last)
+}
+
+// seal appends the CRC32 of everything appended since start and returns the
+// finished frame.
+func (e *enc) seal(start int) []byte {
+	return binary.LittleEndian.AppendUint32(e.b, crc32.ChecksumIEEE(e.b[start:]))
+}
+
+// AppendTo serializes the checkpoint onto buf and returns the extended
+// slice. The appended bytes are a complete frame (identical to Encode's
+// output); passing a retained buffer with buf[:0] makes repeated encodes
+// allocation-free once the buffer has grown to steady-state size.
+func (c *Checkpoint) AppendTo(buf []byte) []byte {
+	e := enc{b: buf}
+	start := len(buf)
+
+	e.u32(Magic)
+	e.u16(Version)
+	e.u16(0) // reserved flags
+	e.u64(c.UID)
+	e.u16(uint16(c.NodeID))
+
+	e.u32(uint32(len(c.Routes)))
+	for i := range c.Routes {
+		e.route(&c.Routes[i])
+	}
+
+	e.u32(uint32(len(c.RxAcks)))
+	for i := range c.RxAcks {
+		e.rxAck(&c.RxAcks[i])
+	}
+
+	e.u32(uint32(len(c.Ports)))
+	for i := range c.Ports {
+		pc := &c.Ports[i]
+		e.u8(uint8(pc.Port))
+		e.u64(pc.NextToken)
+		e.u32(uint32(len(pc.SendTokens)))
+		for j := range pc.SendTokens {
+			e.sendToken(&pc.SendTokens[j])
+		}
+		e.u32(uint32(len(pc.RecvTokens)))
+		for j := range pc.RecvTokens {
+			e.recvToken(&pc.RecvTokens[j])
+		}
+		e.u32(uint32(len(pc.SeqStreams)))
+		for j := range pc.SeqStreams {
+			e.seqStream(&pc.SeqStreams[j])
+		}
+		e.u32(pc.NextRegion)
+		e.u32(uint32(len(pc.Regions)))
+		for j := range pc.Regions {
+			e.u32(pc.Regions[j].ID)
+			e.bytes(pc.Regions[j].Data)
+		}
+	}
+
+	return e.seal(start)
+}
+
 // Encode serializes the checkpoint. The output is deterministic: equal
 // checkpoints produce byte-identical streams.
 func (c *Checkpoint) Encode() []byte {
-	buf := make([]byte, 0, 64)
-	p8 := func(v uint8) { buf = append(buf, v) }
-	p16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
-	p32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
-	p64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
-	pb := func(b []byte) {
-		p32(uint32(len(b)))
-		buf = append(buf, b...)
+	return c.AppendTo(make([]byte, 0, 64))
+}
+
+// TrailingCRC returns the frame's trailing CRC32 word — the value a delta
+// chained onto this frame must carry as PrevCRC. It does not validate the
+// frame; callers hold frames that Decode/DecodeDelta already accepted, or
+// that they encoded themselves.
+func TrailingCRC(frame []byte) uint32 {
+	if len(frame) < 4 {
+		return 0
 	}
-
-	p32(Magic)
-	p16(Version)
-	p16(0) // reserved flags
-	p64(c.UID)
-	p16(uint16(c.NodeID))
-
-	p32(uint32(len(c.Routes)))
-	for _, r := range c.Routes {
-		p16(uint16(r.Node))
-		p16(uint16(len(r.Hops)))
-		buf = append(buf, r.Hops...)
-	}
-
-	p32(uint32(len(c.RxAcks)))
-	for _, a := range c.RxAcks {
-		p16(uint16(a.Stream.Node))
-		p8(uint8(a.Stream.Port))
-		p8(uint8(a.Stream.Prio))
-		p32(a.Seq)
-	}
-
-	p32(uint32(len(c.Ports)))
-	for _, pc := range c.Ports {
-		p8(uint8(pc.Port))
-		p64(pc.NextToken)
-		p32(uint32(len(pc.SendTokens)))
-		for _, t := range pc.SendTokens {
-			p64(t.ID)
-			p16(uint16(t.Dest))
-			p8(uint8(t.DestPort))
-			p8(uint8(t.SrcPort))
-			p8(uint8(t.Prio))
-			p32(t.Seq)
-			p8(boolByte(t.HasSeq))
-			p8(boolByte(t.Directed))
-			p32(t.RegionID)
-			p32(t.RemoteOffset)
-			pb(t.Data)
-		}
-		p32(uint32(len(pc.RecvTokens)))
-		for _, t := range pc.RecvTokens {
-			p64(t.ID)
-			p32(t.Size)
-			p8(uint8(t.Prio))
-			p32(t.BufLen)
-		}
-		p32(uint32(len(pc.SeqStreams)))
-		for _, ss := range pc.SeqStreams {
-			p16(uint16(ss.Node))
-			p8(uint8(ss.Prio))
-			p32(ss.Last)
-		}
-		p32(pc.NextRegion)
-		p32(uint32(len(pc.Regions)))
-		for _, r := range pc.Regions {
-			p32(r.ID)
-			pb(r.Data)
-		}
-	}
-
-	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return binary.LittleEndian.Uint32(frame[len(frame)-4:])
 }
 
 func boolByte(b bool) uint8 {

@@ -21,6 +21,9 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	for _, seed := range deltaChainSeeds() {
+		f.Add(seed)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0x4b, 0x43, 0x4d, 0x47}) // magic alone
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -36,4 +39,74 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 			t.Fatalf("accepted stream is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
 		}
 	})
+}
+
+// deltaChainSeeds builds delta frames exercising the chain failure modes —
+// a truncated chain frame, a CRC-broken link, and a version-skewed frame —
+// shared between the checkpoint and delta fuzz corpora (the base decoder
+// must cleanly reject delta frames and vice versa).
+func deltaChainSeeds() [][]byte {
+	_, frames := chainFrames(seedCheckpoints()[2], seedDeltas())
+	var seeds [][]byte
+	for _, enc := range frames {
+		seeds = append(seeds, enc)
+		if len(enc) > 8 {
+			seeds = append(seeds, enc[:len(enc)/2]) // truncated chain frame
+			link := append([]byte(nil), enc...)
+			link[26] ^= 0xff // PrevCRC word: CRC-broken link
+			seeds = append(seeds, reseal(link))
+			skew := append([]byte(nil), enc...)
+			skew[4] ^= 0x02 // version skew
+			seeds = append(seeds, reseal(skew))
+		}
+	}
+	return seeds
+}
+
+// FuzzDecodeDelta is the delta-frame analogue of FuzzDecodeCheckpoint: the
+// decoder never panics, never over-allocates from hostile counts, and every
+// accepted frame is canonical under re-encode. Anything a mutated frame
+// decodes into must also survive ReplayChain without panicking when chained
+// onto a seed base.
+func FuzzDecodeDelta(f *testing.F) {
+	for _, seed := range deltaChainSeeds() {
+		f.Add(seed)
+	}
+	for _, c := range seedCheckpoints() {
+		f.Add(c.Encode()) // wrong family: must be rejected, not misparsed
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x43, 0x4d, 0x47}) // delta magic alone
+	base := seedCheckpoints()[2]
+	baseFrame := base.Encode()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			if d != nil {
+				t.Fatal("DecodeDelta returned both a delta and an error")
+			}
+			return
+		}
+		re := d.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+		// Chain replay must reject or succeed, never panic; when it
+		// succeeds the result must still encode canonically.
+		if c, err := ReplayChain(baseFrame, [][]byte{data}); err == nil {
+			if !bytes.Equal(c.Encode(), MustDecode(t, c.Encode()).Encode()) {
+				t.Fatal("replayed checkpoint is not canonical")
+			}
+		}
+	})
+}
+
+// MustDecode decodes or fails the test.
+func MustDecode(t *testing.T, data []byte) *Checkpoint {
+	t.Helper()
+	c, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

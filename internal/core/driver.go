@@ -42,6 +42,11 @@ type Driver struct {
 	routes    map[gmproto.NodeID][]byte
 	nodeID    gmproto.NodeID
 
+	// routesVer counts route-table replacements: SetRoutes swaps the whole
+	// map, so a version compare is all incremental checkpointing needs to
+	// decide whether a delta must re-carry the route section.
+	routesVer uint64
+
 	// openPorts remembers each open port's event sink so recovery can
 	// reopen them.
 	openPorts map[gmproto.PortID]mcp.EventSink
@@ -133,6 +138,7 @@ func (d *Driver) handleNetFault(target gmproto.NodeID) {
 func (d *Driver) SetRoutes(id gmproto.NodeID, routes map[gmproto.NodeID][]byte) {
 	d.specTouch()
 	d.nodeID = id
+	d.routesVer++
 	d.routes = make(map[gmproto.NodeID][]byte, len(routes))
 	for k, v := range routes {
 		d.routes[k] = append([]byte(nil), v...)
@@ -141,6 +147,9 @@ func (d *Driver) SetRoutes(id gmproto.NodeID, routes map[gmproto.NodeID][]byte) 
 
 // Routes returns the stored route table.
 func (d *Driver) Routes() map[gmproto.NodeID][]byte { return d.routes }
+
+// RoutesVersion returns the route-table replacement counter.
+func (d *Driver) RoutesVersion() uint64 { return d.routesVer }
 
 // NodeID returns the stored interface identity.
 func (d *Driver) NodeID() gmproto.NodeID { return d.nodeID }

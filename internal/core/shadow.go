@@ -18,6 +18,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/gmproto"
@@ -171,8 +172,14 @@ func (s *ShadowStore) RemoveRecvToken(id uint64) {
 // not been acknowledged" (§4.4). Order matters: restored messages must
 // re-enter the window in sequence order.
 func (s *ShadowStore) OutstandingSends() []gmproto.SendToken {
+	return s.AppendOutstandingSends(make([]gmproto.SendToken, 0, len(s.sendTokens)))
+}
+
+// AppendOutstandingSends is OutstandingSends into a caller-retained buffer:
+// appending onto dst (usually dst[:0] of a pooled slice) keeps periodic
+// checkpoint encoding allocation-free at steady state.
+func (s *ShadowStore) AppendOutstandingSends(dst []gmproto.SendToken) []gmproto.SendToken {
 	s.specTouch()
-	out := make([]gmproto.SendToken, 0, len(s.sendTokens))
 	live := s.sendOrder[:0]
 	for _, id := range s.sendOrder {
 		tok, ok := s.sendTokens[id]
@@ -184,17 +191,21 @@ func (s *ShadowStore) OutstandingSends() []gmproto.SendToken {
 			continue
 		}
 		live = append(live, id)
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
 	s.sendOrder = live
-	return out
+	return dst
 }
 
 // OutstandingRecvs returns the receive tokens the LANai still owes buffers
 // for, in posting order.
 func (s *ShadowStore) OutstandingRecvs() []gmproto.RecvToken {
+	return s.AppendOutstandingRecvs(make([]gmproto.RecvToken, 0, len(s.recvTokens)))
+}
+
+// AppendOutstandingRecvs is OutstandingRecvs into a caller-retained buffer.
+func (s *ShadowStore) AppendOutstandingRecvs(dst []gmproto.RecvToken) []gmproto.RecvToken {
 	s.specTouch()
-	out := make([]gmproto.RecvToken, 0, len(s.recvTokens))
 	live := s.recvOrder[:0]
 	for _, id := range s.recvOrder {
 		tok, ok := s.recvTokens[id]
@@ -203,10 +214,10 @@ func (s *ShadowStore) OutstandingRecvs() []gmproto.RecvToken {
 			continue
 		}
 		live = append(live, id)
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
 	s.recvOrder = live
-	return out
+	return dst
 }
 
 // Counts reports outstanding send and receive token counts.
@@ -238,6 +249,23 @@ func (s *ShadowStore) SeqStreams() []SeqStream {
 		return out[i].Prio < out[j].Prio
 	})
 	return out
+}
+
+// AppendSeqStreams is SeqStreams into a caller-retained buffer, sorted with
+// slices.SortFunc so the append-and-sort allocates nothing once dst has
+// steady-state capacity.
+func (s *ShadowStore) AppendSeqStreams(dst []SeqStream) []SeqStream {
+	base := len(dst)
+	for k, v := range s.txSeq {
+		dst = append(dst, SeqStream{Node: k.node, Prio: k.prio, Last: v})
+	}
+	slices.SortFunc(dst[base:], func(a, b SeqStream) int {
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
+		}
+		return int(a.Prio) - int(b.Prio)
+	})
+	return dst
 }
 
 // RestoreSeq reinstates a sequence-stream cursor from a checkpoint: the next
@@ -275,6 +303,19 @@ func (s *ShadowStore) FootprintBytes(maxSendTokens, maxRecvTokens, maxNodes int)
 type RxAckTable struct {
 	last map[gmproto.StreamID]uint32
 
+	// Dirty-epoch tracking for incremental checkpoints. epoch is 0 while
+	// tracking is off; once enabled, every Update stamps the stream's mark
+	// with the current epoch, and NextDirtyEpoch (called after each delta
+	// emission) opens a fresh epoch without touching the marks. Forget
+	// deletes entries — which a merge delta cannot express — so it latches
+	// replaced, telling the next delta to carry the whole table. All of it
+	// is journaled through the same undo log as the entries: a rolled-back
+	// span must not leave false dirt, or checkpoint frames would depend on
+	// the speculation schedule instead of virtual time alone.
+	marks    map[gmproto.StreamID]uint64
+	epoch    uint64
+	replaced bool
+
 	// Speculation journaling (core spec.go): per-operation undo log — the
 	// table takes a write per received message.
 	eng      *sim.Engine
@@ -293,6 +334,7 @@ func (t *RxAckTable) Update(id gmproto.StreamID, seq uint32) {
 		t.specTouch()
 		t.logEntry(id)
 		t.last[id] = seq
+		t.markDirty(id)
 	}
 }
 
@@ -318,7 +360,103 @@ func (t *RxAckTable) Forget(node gmproto.NodeID) {
 			delete(t.last, id)
 		}
 	}
+	t.setReplaced()
 }
 
 // Len reports how many streams are tracked.
 func (t *RxAckTable) Len() int { return len(t.last) }
+
+// StartDirtyTracking opens the first dirty epoch. The caller is expected to
+// take a full base checkpoint at the same instant, so no pre-existing entry
+// needs marking. Idempotent restart after StopDirtyTracking opens a fresh
+// epoch (stale marks from the previous run compare unequal and read clean).
+func (t *RxAckTable) StartDirtyTracking() {
+	t.specTouch()
+	if t.marks == nil {
+		t.marks = make(map[gmproto.StreamID]uint64, len(t.last)+16)
+	}
+	t.logEpoch()
+	t.epoch++
+	t.replaced = false
+}
+
+// StopDirtyTracking turns tracking off; marks are retained (stale) so a
+// later restart is cheap.
+func (t *RxAckTable) StopDirtyTracking() {
+	if t.epoch == 0 {
+		return
+	}
+	t.specTouch()
+	t.logEpoch()
+	t.epoch = 0
+	t.replaced = false
+}
+
+// NextDirtyEpoch closes the current epoch after a delta emission: entries
+// marked so far read clean until their next Update.
+func (t *RxAckTable) NextDirtyEpoch() {
+	if t.epoch == 0 {
+		return
+	}
+	t.specTouch()
+	t.logEpoch()
+	t.epoch++
+	t.replaced = false
+}
+
+// Replaced reports whether the table saw a deletion this epoch, forcing the
+// next delta to carry the whole table instead of a merge.
+func (t *RxAckTable) Replaced() bool { return t.replaced }
+
+// DirtyLen reports how many live streams are marked in the current epoch.
+func (t *RxAckTable) DirtyLen() int {
+	n := 0
+	for id, m := range t.marks {
+		if m == t.epoch {
+			if _, ok := t.last[id]; ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// AppendDirtyStreams appends the streams dirtied in the current epoch,
+// sorted by (node, port, priority). Marks whose entry has since been
+// deleted (a rolled-back insert, or a Forget — which forces a full replace
+// anyway) are skipped, so the result is a pure function of committed state.
+func (t *RxAckTable) AppendDirtyStreams(dst []gmproto.StreamID) []gmproto.StreamID {
+	base := len(dst)
+	for id, m := range t.marks {
+		if m == t.epoch {
+			if _, ok := t.last[id]; ok {
+				dst = append(dst, id)
+			}
+		}
+	}
+	sortStreamIDs(dst[base:])
+	return dst
+}
+
+// AppendAllStreams appends every tracked stream, sorted — the replace-all
+// companion of AppendDirtyStreams.
+func (t *RxAckTable) AppendAllStreams(dst []gmproto.StreamID) []gmproto.StreamID {
+	base := len(dst)
+	for id := range t.last {
+		dst = append(dst, id)
+	}
+	sortStreamIDs(dst[base:])
+	return dst
+}
+
+func sortStreamIDs(ids []gmproto.StreamID) {
+	slices.SortFunc(ids, func(a, b gmproto.StreamID) int {
+		if a.Node != b.Node {
+			return int(a.Node) - int(b.Node)
+		}
+		if a.Port != b.Port {
+			return int(a.Port) - int(b.Port)
+		}
+		return int(a.Prio) - int(b.Prio)
+	})
+}

@@ -30,6 +30,7 @@ import (
 // Open ports are copied into a fixed array (MaxPorts entries, no alloc).
 type driverShadow struct {
 	routes       map[gmproto.NodeID][]byte
+	routesVer    uint64
 	nodeID       gmproto.NodeID
 	open         [gmproto.MaxPorts]mcp.EventSink
 	openSet      [gmproto.MaxPorts]bool
@@ -44,6 +45,7 @@ func (d *Driver) specTouch() { d.eng.SpecTouch(&d.specMark, d) }
 // SpecSave / SpecRestore implement sim.SpecSaver.
 func (d *Driver) SpecSave() {
 	d.shadow.routes = d.routes
+	d.shadow.routesVer = d.routesVer
 	d.shadow.nodeID = d.nodeID
 	d.shadow.open = [gmproto.MaxPorts]mcp.EventSink{}
 	d.shadow.openSet = [gmproto.MaxPorts]bool{}
@@ -59,6 +61,7 @@ func (d *Driver) SpecSave() {
 
 func (d *Driver) SpecRestore() {
 	d.routes = d.shadow.routes
+	d.routesVer = d.shadow.routesVer
 	d.nodeID = d.shadow.nodeID
 	clear(d.openPorts)
 	for p := range d.shadow.open {
@@ -273,13 +276,23 @@ func (s *ShadowStore) logSeq(k seqKey) {
 
 // --- RxAckTable ---
 
-// rxAckOp is one undo record of the ACK table's log: the displaced (stream,
-// seq) entry.
+// rxAckOp is one undo record of the ACK table's log. ackOpEntry restores a
+// displaced (stream, seq) entry; ackOpMark restores a stream's displaced
+// dirty mark; ackOpEpoch restores the epoch counter and replaced latch.
 type rxAckOp struct {
-	id  gmproto.StreamID
-	seq uint32
-	had bool
+	kind uint8
+	id   gmproto.StreamID
+	seq  uint32
+	had  bool
+	mark uint64 // displaced mark (ackOpMark) or epoch (ackOpEpoch)
 }
+
+// rxAckOp kinds. ackOpEntry is the zero value so logEntry stays unchanged.
+const (
+	ackOpEntry uint8 = iota
+	ackOpMark
+	ackOpEpoch
+)
 
 // Bind attaches the table to its node's engine for speculation journaling.
 func (t *RxAckTable) Bind(eng *sim.Engine) { t.eng = eng }
@@ -300,16 +313,63 @@ func (t *RxAckTable) logEntry(id gmproto.StreamID) {
 	t.ops = append(t.ops, rxAckOp{id: id, seq: old, had: had})
 }
 
+// logEpoch records the epoch counter and replaced latch before a change.
+func (t *RxAckTable) logEpoch() {
+	if !t.inSpan() {
+		return
+	}
+	t.ops = append(t.ops, rxAckOp{kind: ackOpEpoch, mark: t.epoch, had: t.replaced})
+}
+
+// markDirty stamps a stream with the current epoch, journaling the
+// displaced mark so a rollback cannot leave false dirt. Callers run it
+// after specTouch (it lives inside Update's mutation branch).
+func (t *RxAckTable) markDirty(id gmproto.StreamID) {
+	if t.epoch == 0 {
+		return
+	}
+	old := t.marks[id]
+	if old == t.epoch {
+		return
+	}
+	if t.inSpan() {
+		t.ops = append(t.ops, rxAckOp{kind: ackOpMark, id: id, mark: old})
+	}
+	t.marks[id] = t.epoch
+}
+
+// setReplaced latches the replace-all flag for the current epoch.
+func (t *RxAckTable) setReplaced() {
+	if t.epoch == 0 || t.replaced {
+		return
+	}
+	if t.inSpan() {
+		t.ops = append(t.ops, rxAckOp{kind: ackOpEpoch, mark: t.epoch, had: false})
+	}
+	t.replaced = true
+}
+
 // SpecSave / SpecRestore implement sim.SpecSaver.
 func (t *RxAckTable) SpecSave() { t.ops = t.ops[:0] }
 
 func (t *RxAckTable) SpecRestore() {
 	for i := len(t.ops) - 1; i >= 0; i-- {
 		op := &t.ops[i]
-		if op.had {
-			t.last[op.id] = op.seq
-		} else {
-			delete(t.last, op.id)
+		switch op.kind {
+		case ackOpEntry:
+			if op.had {
+				t.last[op.id] = op.seq
+			} else {
+				delete(t.last, op.id)
+			}
+		case ackOpMark:
+			if op.mark == 0 {
+				delete(t.marks, op.id)
+			} else {
+				t.marks[op.id] = op.mark
+			}
+		case ackOpEpoch:
+			t.epoch, t.replaced = op.mark, op.had
 		}
 	}
 }

@@ -81,6 +81,34 @@ func TestLatencyAllocBound(t *testing.T) {
 	}
 }
 
+// TestLatencyAllocsPerRunGuard pins the warmed-up Figure 8 harness with the
+// runtime's own AllocsPerRun accounting, much tighter than the MemStats
+// bound above. A warmed pair's ping-pong call costs a fixed handful of
+// per-call setup allocations (payload buffer, the two handler closures, the
+// receive-buffer provides, the pre-reserved latency series) and ~0 per
+// round. That attributes BENCH_*.json's fig8_lat allocs_per_op (~70): it is
+// sweep-point amortized cluster construction — sweepPoints boots a fresh
+// Pair per (mode, size) point — not the data path. This guard keeps the data
+// path pinned: half an allocation per round only trips if per-round garbage
+// creeps back in.
+func TestLatencyAllocsPerRunGuard(t *testing.T) {
+	const rounds = 50
+	for _, mode := range []gm.Mode{gm.ModeGM, gm.ModeFTGM} {
+		p, err := NewPair(PairOptions{Mode: mode, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		HalfRoundTrip(p, 100, rounds) // warm-up: pools and rings reach steady state
+		HalfRoundTrip(p, 100, rounds)
+		per := testing.AllocsPerRun(3, func() { HalfRoundTrip(p, 100, rounds) })
+		perRound := per / rounds
+		t.Logf("mode=%v allocs/call=%.1f allocs/round=%.3f", mode, per, perRound)
+		if perRound > 0.5 {
+			t.Errorf("mode=%v: %.3f allocs/round exceeds the 0.5 pin", mode, perRound)
+		}
+	}
+}
+
 // TestSteadyStateAllocBound bounds allocations per message on the
 // steady-state streaming workload for both protocol modes.
 func TestSteadyStateAllocBound(t *testing.T) {

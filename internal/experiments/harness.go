@@ -160,6 +160,7 @@ func BidirectionalRate(p *Pair, size, count int) float64 {
 func HalfRoundTrip(p *Pair, size, rounds int) gm.Duration {
 	payload := make([]byte, size)
 	var lat trace.LatencySeries
+	lat.Reserve(rounds)
 	var start gm.Time
 	done := 0
 	p.PB.SetReceiveHandler(func(ev gm.RecvEvent) {

@@ -11,8 +11,8 @@ import (
 
 // HostFaultResult is one scheme's showing under the host-death campaign.
 type HostFaultResult struct {
-	// Label names the scheme: restore+central, restore+gossip, or
-	// rebirth+gossip.
+	// Label names the scheme: restore+central, restore+gossip,
+	// rebirth+gossip, or periodic+central.
 	Label    string
 	Campaign chaos.CampaignResult
 	// Counters sums the trials' checkpoint/revival and membership activity.
@@ -21,7 +21,8 @@ type HostFaultResult struct {
 
 // HostFaultCounters aggregates checkpoint machinery and gossip-plane
 // activity over a campaign. The gossip fields stay zero under the central
-// plane.
+// plane; the periodic fields stay zero unless the scheme streams
+// incremental base+delta chains.
 type HostFaultCounters struct {
 	Checkpoints     uint64 // recovery anchors serialized through the wire codec
 	CheckpointBytes uint64 // total encoded checkpoint bytes
@@ -32,6 +33,12 @@ type HostFaultCounters struct {
 	Readmissions uint64 // gossip: dead members welcomed back
 	LiveExpelled uint64 // gossip: live nodes wrongly marked dead at trial end
 	RouteGaps    uint64 // gossip: live peers missing from survivor route tables
+
+	PeriodicFrames  uint64       // incremental frames shipped (bases + deltas)
+	PeriodicBytes   uint64       // total incremental frame bytes
+	PeriodicSkips   uint64       // intervals skipped on drain-budget exhaustion
+	MaxDrainPause   sim.Duration // worst per-checkpoint drain pause observed
+	ChainMismatches uint64       // chain replays that diverged from the full checkpoint
 }
 
 // DeliveryRate is the fraction of accepted sends that arrived (duplicates
@@ -52,6 +59,8 @@ func (r HostFaultResult) Verdict() string {
 	switch {
 	case !r.Campaign.AllExactlyOnce:
 		return "STALLED"
+	case r.Counters.ChainMismatches > 0:
+		return "CHAIN DIVERGENCE"
 	case r.Counters.LiveExpelled > 0 || r.Counters.RouteGaps > 0:
 		return "MEMBERSHIP DAMAGE"
 	default:
@@ -70,6 +79,28 @@ func (r HostFaultResult) Verdict() string {
 // readmission campaign, with the checkpointed identity but fresh protocol
 // epochs on every stream.
 func HostFaultComparison(seed uint64, cfg chaos.CampaignConfig) ([]HostFaultResult, error) {
+	schemes := HostFaultSchemes(cfg)
+	results := make([]HostFaultResult, 0, len(schemes))
+	for _, s := range schemes {
+		res, err := chaos.Run(seed, s.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, FoldHostFault(s.Label, res))
+	}
+	return results, nil
+}
+
+// HostFaultScheme pairs a scheme label with the campaign config it runs.
+type HostFaultScheme struct {
+	Label string
+	Cfg   chaos.CampaignConfig
+}
+
+// HostFaultSchemes expands a base config into the labeled campaigns
+// HostFaultComparison runs. Exported so the resumable gmbench runner can
+// execute the same campaigns trial by trial across processes.
+func HostFaultSchemes(cfg chaos.CampaignConfig) []HostFaultScheme {
 	cfg.Mode = gm.ModeFTGM
 	if len(cfg.Trial.Kinds) == 0 {
 		cfg.Trial.Kinds = []chaos.EventKind{chaos.KindHostDeath}
@@ -85,38 +116,48 @@ func HostFaultComparison(seed uint64, cfg chaos.CampaignConfig) ([]HostFaultResu
 	if rebirth.Trial.MaxSettle < 60*sim.Second {
 		rebirth.Trial.MaxSettle = 60 * sim.Second
 	}
+	// The periodic scheme revives from streamed base+delta chains instead of
+	// a stop-and-copy anchor: victims run the incremental checkpointer the
+	// whole trial and the revival consumes only bytes a standby host could
+	// have accumulated frame by frame.
+	periodic := cfg
+	periodic.Trial.Kinds = []chaos.EventKind{chaos.KindPeriodicDeath}
 
-	schemes := []struct {
-		label string
-		plane gm.ControlPlane
-		cfg   chaos.CampaignConfig
-	}{
-		{"restore+central", gm.ControlPlaneCentral, cfg},
-		{"restore+gossip", gm.ControlPlaneGossip, cfg},
-		{"rebirth+gossip", gm.ControlPlaneGossip, rebirth},
+	schemes := []HostFaultScheme{
+		{"restore+central", cfg},
+		{"restore+gossip", cfg},
+		{"rebirth+gossip", rebirth},
+		{"periodic+central", periodic},
 	}
-	results := make([]HostFaultResult, 0, len(schemes))
-	for _, s := range schemes {
-		scfg := s.cfg
-		scfg.Trial.ControlPlane = s.plane
-		res, err := chaos.Run(seed, scfg)
-		if err != nil {
-			return nil, err
-		}
-		hf := HostFaultResult{Label: s.label, Campaign: res}
-		for _, tr := range res.Trials {
-			hf.Counters.Checkpoints += tr.Checkpoints
-			hf.Counters.CheckpointBytes += tr.CheckpointBytes
-			hf.Counters.Restores += tr.HostRestores
-			hf.Counters.Rejoins += tr.HostRejoins
-			hf.Counters.DeadDeclared += tr.GossipDeadDeclared
-			hf.Counters.Readmissions += tr.GossipReadmissions
-			hf.Counters.LiveExpelled += tr.GossipLiveExpelled
-			hf.Counters.RouteGaps += tr.GossipRouteGaps
-		}
-		results = append(results, hf)
+	planes := []gm.ControlPlane{gm.ControlPlaneCentral, gm.ControlPlaneGossip,
+		gm.ControlPlaneGossip, gm.ControlPlaneCentral}
+	for i := range schemes {
+		schemes[i].Cfg.Trial.ControlPlane = planes[i]
 	}
-	return results, nil
+	return schemes
+}
+
+// FoldHostFault sums a campaign's per-trial counters into a scheme result.
+func FoldHostFault(label string, res chaos.CampaignResult) HostFaultResult {
+	hf := HostFaultResult{Label: label, Campaign: res}
+	for _, tr := range res.Trials {
+		hf.Counters.Checkpoints += tr.Checkpoints
+		hf.Counters.CheckpointBytes += tr.CheckpointBytes
+		hf.Counters.Restores += tr.HostRestores
+		hf.Counters.Rejoins += tr.HostRejoins
+		hf.Counters.DeadDeclared += tr.GossipDeadDeclared
+		hf.Counters.Readmissions += tr.GossipReadmissions
+		hf.Counters.LiveExpelled += tr.GossipLiveExpelled
+		hf.Counters.RouteGaps += tr.GossipRouteGaps
+		hf.Counters.PeriodicFrames += tr.PeriodicFrames
+		hf.Counters.PeriodicBytes += tr.PeriodicBytes
+		hf.Counters.PeriodicSkips += tr.PeriodicSkips
+		if tr.PeriodicMaxPause > hf.Counters.MaxDrainPause {
+			hf.Counters.MaxDrainPause = tr.PeriodicMaxPause
+		}
+		hf.Counters.ChainMismatches += tr.PeriodicChainMismatches
+	}
+	return hf
 }
 
 // RenderHostFault prints the comparison.
@@ -142,9 +183,14 @@ func RenderHostFault(results []HostFaultResult) string {
 	out := t.Render()
 	for _, r := range results {
 		c := r.Counters
-		out += fmt.Sprintf("\n%-15s ckpts=%d ckpt-bytes=%d restores=%d rejoins=%d dead=%d readmitted=%d live-expelled=%d route-gaps=%d",
+		out += fmt.Sprintf("\n%-16s ckpts=%d ckpt-bytes=%d restores=%d rejoins=%d dead=%d readmitted=%d live-expelled=%d route-gaps=%d",
 			r.Label, c.Checkpoints, c.CheckpointBytes, c.Restores, c.Rejoins,
 			c.DeadDeclared, c.Readmissions, c.LiveExpelled, c.RouteGaps)
+		if c.PeriodicFrames > 0 {
+			out += fmt.Sprintf("\n%-16s frames=%d frame-bytes=%d skips=%d max-drain-pause=%v chain-mismatches=%d",
+				"", c.PeriodicFrames, c.PeriodicBytes, c.PeriodicSkips,
+				c.MaxDrainPause, c.ChainMismatches)
+		}
 	}
 	return out
 }

@@ -28,7 +28,7 @@ func TestHostFaultComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
+	if len(results) != 4 {
 		t.Fatalf("got %d results", len(results))
 	}
 	byLabel := map[string]HostFaultResult{}
@@ -38,12 +38,32 @@ func TestHostFaultComparison(t *testing.T) {
 			t.Errorf("%s verdict = %q: %v (dirty=%v)", r.Label, v,
 				r.Campaign.Total, r.Campaign.Total.Dirty)
 		}
+		if r.Label == "periodic+central" {
+			// The periodic scheme serializes base+delta chains, not
+			// stop-and-copy anchors.
+			continue
+		}
 		if r.Counters.Checkpoints == 0 || r.Counters.CheckpointBytes == 0 {
 			t.Errorf("%s never serialized a checkpoint: %+v", r.Label, r.Counters)
 		}
 		if r.Counters.LiveExpelled != 0 || r.Counters.RouteGaps != 0 {
 			t.Errorf("%s membership damage: %+v", r.Label, r.Counters)
 		}
+	}
+	pc := byLabel["periodic+central"]
+	if pc.Counters.PeriodicFrames == 0 || pc.Counters.PeriodicBytes == 0 {
+		t.Errorf("periodic scheme shipped no incremental frames: %+v", pc.Counters)
+	}
+	if pc.Counters.ChainMismatches != 0 {
+		t.Errorf("periodic scheme chain replays diverged: %+v", pc.Counters)
+	}
+	// The bounded-drain contract: no partial drain may ever pause the victim
+	// longer than the configured budget (200µs in the chaos injector).
+	if pc.Counters.MaxDrainPause > 200*sim.Microsecond {
+		t.Errorf("periodic drain pause %v exceeded the 200µs budget", pc.Counters.MaxDrainPause)
+	}
+	if pc.Counters.Restores == 0 {
+		t.Errorf("periodic scheme never restored from a chain: %+v", pc.Counters)
 	}
 	for _, label := range []string{"restore+central", "restore+gossip"} {
 		r := byLabel[label]
@@ -71,7 +91,7 @@ func TestHostFaultComparison(t *testing.T) {
 	}
 	out := RenderHostFault(results)
 	for _, want := range []string{"restore+central", "restore+gossip", "rebirth+gossip",
-		"exactly-once in-order", "ckpt-bytes="} {
+		"periodic+central", "exactly-once in-order", "ckpt-bytes=", "max-drain-pause="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered table missing %q:\n%s", want, out)
 		}

@@ -388,4 +388,8 @@ type Event struct {
 	TokenID uint64 // send token (EvSent/EvSendError) or recv token (EvReceived)
 	Status  SendStatus
 	Data    []byte // received message contents (EvReceived)
+	// RegionID names the registered region a directed send landed in
+	// (EvDirectedDeposit) so the library can dirty-mark exactly that
+	// region's checkpoint section.
+	RegionID uint32
 }

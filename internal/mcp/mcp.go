@@ -197,6 +197,15 @@ type portState struct {
 	// same slices during recovery.
 	regions map[uint32][]byte
 
+	// frozen parks committed deliveries in frozenQ instead of running them
+	// (bounded-drain periodic checkpointing). Parking happens BEFORE the
+	// §4.1 commit point — no host table advances and no delayed ACK leaves
+	// for a parked item — so everything parked is still covered by the
+	// sender's Go-Back-N window and a checkpoint cut taken during the
+	// freeze is consistent. ThawPort replays the queue in arrival order.
+	frozen  bool
+	frozenQ []deliverItem
+
 	// Speculation journaling (sim spec.go, DESIGN.md §16).
 	specMark uint64
 	shadow   portShadow
@@ -309,6 +318,19 @@ func (m *MCP) deliverDispatch() {
 	it := m.deliverQ[m.deliverHead]
 	m.deliverQ[m.deliverHead] = deliverItem{}
 	m.deliverHead++
+	if it.ps.frozen {
+		// Bounded-drain freeze: park ahead of the commit point. The item
+		// is unacknowledged, so the sender's window still owns it.
+		m.touchPort(it.ps)
+		it.ps.frozenQ = append(it.ps.frozenQ, it)
+		return
+	}
+	m.deliverBody(it)
+}
+
+// deliverBody is the committed-delivery tail shared by the live dispatch
+// path and ThawPort's replay of parked items.
+func (m *MCP) deliverBody(it deliverItem) {
 	m.touchRx(it.rs)
 	if it.directed {
 		// Deposit complete: the receiver process is not notified (GM's
@@ -556,12 +578,57 @@ func (m *MCP) HostOpenPort(port gmproto.PortID, sink EventSink) error {
 	return nil
 }
 
-// HostClosePort closes a port; pending tokens are dropped.
+// HostClosePort closes a port; pending tokens are dropped, as are any
+// deliveries parked by a freeze (they were never acknowledged, so the
+// sender still owns them).
 func (m *MCP) HostClosePort(port gmproto.PortID) {
 	if ps := m.port(port); ps != nil {
 		m.touchPort(ps)
 		ps.open = false
+		ps.frozen = false
+		for i := range ps.frozenQ {
+			ps.frozenQ[i] = deliverItem{}
+		}
+		ps.frozenQ = ps.frozenQ[:0]
 	}
+}
+
+// FreezePort stops committed-message delivery on a port: items reaching the
+// delivery stage park in the port's freeze queue ahead of the §4.1 commit
+// point (no host event, no ACK). Send-side traffic and control processing
+// continue. Idempotent; a closed or unknown port is a no-op.
+func (m *MCP) FreezePort(port gmproto.PortID) {
+	ps := m.port(port)
+	if ps == nil || !ps.open || ps.frozen {
+		return
+	}
+	m.touchPort(ps)
+	ps.frozen = true
+}
+
+// ThawPort resumes delivery, replaying parked items in arrival order
+// through the same commit path the live dispatch uses (event DMA, ACK
+// release). Replay happens at the thaw instant: the delivery processor
+// slot for each item was already charged before it parked.
+func (m *MCP) ThawPort(port gmproto.PortID) {
+	ps := m.port(port)
+	if ps == nil || !ps.frozen {
+		return
+	}
+	m.touchPort(ps)
+	ps.frozen = false
+	for i := 0; i < len(ps.frozenQ); i++ {
+		it := ps.frozenQ[i]
+		ps.frozenQ[i] = deliverItem{}
+		m.deliverBody(it)
+	}
+	ps.frozenQ = ps.frozenQ[:0]
+}
+
+// Frozen reports whether a port is holding deliveries.
+func (m *MCP) Frozen(port gmproto.PortID) bool {
+	ps := m.port(port)
+	return ps != nil && ps.frozen
 }
 
 // PortOpen reports whether a port is open.

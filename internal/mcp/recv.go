@@ -361,12 +361,13 @@ func (m *MCP) maybeCommit(ps *portState, rs *rxStream, id gmproto.StreamID, p *p
 		// before the ACK leaves — the deposit becomes part of the
 		// checkpointable recovery anchor.
 		it.ev = gmproto.Event{
-			Type:    gmproto.EvDirectedDeposit,
-			Port:    p.hdr.DstPort,
-			Src:     p.hdr.Src,
-			SrcPort: p.hdr.SrcPort,
-			Prio:    p.hdr.Prio,
-			Seq:     p.hdr.Seq,
+			Type:     gmproto.EvDirectedDeposit,
+			Port:     p.hdr.DstPort,
+			Src:      p.hdr.Src,
+			SrcPort:  p.hdr.SrcPort,
+			Prio:     p.hdr.Prio,
+			Seq:      p.hdr.Seq,
+			RegionID: p.hdr.RegionID,
 		}
 	} else {
 		it.ev = gmproto.Event{

@@ -34,6 +34,15 @@ type txStream struct {
 	// a recovery); the window is sorted once before pumping instead of
 	// shifting per insert.
 	needSort bool
+	// nfailed counts window messages marked failed and not yet swept, so
+	// the per-pump sweep can skip the window rewrite on the (overwhelmingly
+	// common) failure-free path.
+	nfailed int
+	// rtxAt is the Go-Back-N timer's current deadline, 0 when disarmed.
+	// Re-arming stores the new deadline instead of cancel+reschedule; the
+	// queued event re-arms itself on an early fire. ACK-heavy traffic
+	// re-arms per message, so this keeps timer churn out of the event heap.
+	rtxAt sim.Time
 	// queued marks the stream as already on the serviceSendQueues touched
 	// list for the current round.
 	queued bool
@@ -87,11 +96,22 @@ func (m *MCP) txStreamFor(id gmproto.StreamID) *txStream {
 		s.dmaDone = func() { m.chip.Exec(m.cfg.SendProcB, s.stageInj) }
 		s.stageInj = func() { m.injectFrag(s) }
 		s.rtxFn = func() {
+			m.touchTx(s)
+			s.rtx = nil
 			if m.gen != s.rtxGen || !m.chip.Running() {
 				return
 			}
-			m.touchTx(s)
-			s.rtx = nil
+			if now := m.eng.Now(); s.rtxAt > now {
+				// The deadline moved forward since this event was scheduled
+				// (an ACK or a fresh transmission re-armed the timer): hop to
+				// the current deadline instead of firing.
+				s.rtx = m.eng.AfterLabel(s.rtxAt-now, "rtx", s.rtxFn)
+				return
+			}
+			if s.rtxAt == 0 {
+				return // disarmed: the window drained while this event was queued
+			}
+			s.rtxAt = 0
 			m.retransmitWindow(s)
 		}
 		if m.mode == ModeGM {
@@ -204,9 +224,14 @@ func (m *MCP) serviceSendQueues() {
 }
 
 // sweepFailed drops unroutable messages from the window, recycling their
-// records (they completed with an error when they were marked).
+// records (they completed with an error when they were marked). With no
+// failed messages pending it is a counter check, not a window walk.
 func (m *MCP) sweepFailed(s *txStream) {
+	if s.nfailed == 0 {
+		return
+	}
 	m.touchTx(s)
+	s.nfailed = 0
 	w := s.window[:0]
 	for _, msg := range s.window {
 		if !msg.failed {
@@ -271,6 +296,7 @@ func (m *MCP) transmitMsg(s *txStream, msg *txMsg, isRtx bool) {
 		}
 		m.completeSend(msg, status)
 		msg.failed = true
+		s.nfailed++
 		s.txBusy = false
 		m.pumpStream(s)
 		return
@@ -375,14 +401,17 @@ func (m *MCP) injectFrag(s *txStream) {
 	m.pumpStream(s)
 }
 
-// armRtx (re)arms the stream's Go-Back-N retransmission timer.
+// armRtx (re)arms the stream's Go-Back-N retransmission timer. Only the
+// deadline is written; if an event is already queued (necessarily at or
+// before the new deadline — deadlines only move forward), it will hop to the
+// stored deadline when it fires, so a re-arm never touches the event heap.
 func (m *MCP) armRtx(s *txStream) {
 	m.touchTx(s)
-	if s.rtx != nil {
-		s.rtx.Cancel()
-	}
 	s.rtxGen = m.gen
-	s.rtx = m.eng.AfterLabel(m.cfg.RtxTimeout, "rtx", s.rtxFn)
+	s.rtxAt = m.eng.Now() + m.cfg.RtxTimeout
+	if s.rtx == nil {
+		s.rtx = m.eng.AfterLabel(m.cfg.RtxTimeout, "rtx", s.rtxFn)
+	}
 }
 
 // retransmitWindow marks every in-flight unacknowledged message of the
@@ -445,10 +474,9 @@ func (m *MCP) handleAck(h gmproto.AckHeader) {
 	}
 	s.window = rest
 	if len(s.window) == 0 {
-		if s.rtx != nil {
-			s.rtx.Cancel()
-			s.rtx = nil
-		}
+		// Disarm by deadline: the queued event (if any) self-clears when it
+		// fires, avoiding a cancel/compact cycle per drained window.
+		s.rtxAt = 0
 	} else {
 		m.armRtx(s)
 	}
@@ -631,6 +659,8 @@ func (m *MCP) FailPeer(node gmproto.NodeID) {
 			m.completeSend(msg, gmproto.SendErrorUnreachable)
 		}
 		s.window = nil
+		s.nfailed = 0
+		s.rtxAt = 0
 		delete(m.tx, id)
 		m.eng.SpecUndo(txMapUndoDelete, m.tx, s, 0, 0)
 	}
@@ -653,6 +683,7 @@ func (m *MCP) ResetPeerStreams(node gmproto.NodeID) {
 			s.rtx.Cancel()
 			s.rtx = nil
 		}
+		s.rtxAt = 0
 		delete(m.tx, id)
 		m.eng.SpecUndo(txMapUndoDelete, m.tx, s, 0, 0)
 	}

@@ -166,6 +166,8 @@ type txStreamShadow struct {
 	curTotal, curNfrag, curFrag, curLo, curHi int
 	curRoute                                  []byte
 	rtxGen                                    uint64
+	rtxAt                                     sim.Time
+	nfailed                                   int
 }
 
 func (s *txStream) SpecSave() {
@@ -176,6 +178,7 @@ func (s *txStream) SpecSave() {
 	sh.curTotal, sh.curNfrag, sh.curFrag = s.curTotal, s.curNfrag, s.curFrag
 	sh.curLo, sh.curHi = s.curLo, s.curHi
 	sh.curRoute, sh.rtxGen = s.curRoute, s.rtxGen
+	sh.rtxAt, sh.nfailed = s.rtxAt, s.nfailed
 	sh.window = append(sh.window[:0], s.window...)
 }
 
@@ -187,6 +190,7 @@ func (s *txStream) SpecRestore() {
 	s.curTotal, s.curNfrag, s.curFrag = sh.curTotal, sh.curNfrag, sh.curFrag
 	s.curLo, s.curHi = sh.curLo, sh.curHi
 	s.curRoute, s.rtxGen = sh.curRoute, sh.rtxGen
+	s.rtxAt, s.nfailed = sh.rtxAt, sh.nfailed
 	for i := len(sh.window); i < len(s.window); i++ {
 		s.window[i] = nil
 	}
@@ -249,22 +253,27 @@ func (p *partialMsg) SpecRestore() {
 
 type portShadow struct {
 	open       bool
+	frozen     bool
 	sendQ      []gmproto.SendToken
 	recvTokens []gmproto.RecvToken
+	frozenQ    []deliverItem
 	sink       EventSink
 	regions    map[uint32][]byte
 }
 
 func (ps *portState) SpecSave() {
 	sh := &ps.shadow
-	sh.open, sh.sink, sh.regions = ps.open, ps.sink, ps.regions
+	sh.open, sh.frozen = ps.open, ps.frozen
+	sh.sink, sh.regions = ps.sink, ps.regions
 	sh.sendQ = append(sh.sendQ[:0], ps.sendQ...)
 	sh.recvTokens = append(sh.recvTokens[:0], ps.recvTokens...)
+	sh.frozenQ = append(sh.frozenQ[:0], ps.frozenQ...)
 }
 
 func (ps *portState) SpecRestore() {
 	sh := &ps.shadow
-	ps.open, ps.sink, ps.regions = sh.open, sh.sink, sh.regions
+	ps.open, ps.frozen = sh.open, sh.frozen
+	ps.sink, ps.regions = sh.sink, sh.regions
 	for i := len(sh.sendQ); i < len(ps.sendQ); i++ {
 		ps.sendQ[i] = gmproto.SendToken{}
 	}
@@ -273,6 +282,10 @@ func (ps *portState) SpecRestore() {
 		ps.recvTokens[i] = gmproto.RecvToken{}
 	}
 	ps.recvTokens = append(ps.recvTokens[:0], sh.recvTokens...)
+	for i := len(sh.frozenQ); i < len(ps.frozenQ); i++ {
+		ps.frozenQ[i] = deliverItem{}
+	}
+	ps.frozenQ = append(ps.frozenQ[:0], sh.frozenQ...)
 }
 
 // --- raw undo records for in-place map mutation ---

@@ -25,6 +25,16 @@ func (s *LatencySeries) Add(d sim.Duration) {
 	s.sorted = false
 }
 
+// Reserve pre-sizes the series for n further samples, so a measurement loop
+// of known length never reallocates mid-run.
+func (s *LatencySeries) Reserve(n int) {
+	if free := cap(s.samples) - len(s.samples); free < n {
+		grown := make([]sim.Duration, len(s.samples), len(s.samples)+n)
+		copy(grown, s.samples)
+		s.samples = grown
+	}
+}
+
 // N reports the sample count.
 func (s *LatencySeries) N() int { return len(s.samples) }
 
